@@ -1,0 +1,34 @@
+//! B5 — bibliographic substrate: index construction and the Fig.-3 query
+//! plan (phrase AND phrase AND category).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hierod_corpus::{CorpusGenerator, QueryEngine};
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(20);
+    let generator = CorpusGenerator::new(2019).with_scale(0.25);
+    let docs = generator.generate();
+    group.bench_function("index_build_2.4k_docs", |b| {
+        b.iter(|| hierod_corpus::InvertedIndex::build(black_box(docs.clone())))
+    });
+    let index = generator.build_index();
+    let engine = QueryEngine::new(&index);
+    group.bench_function("fig3_query_anomaly_detection", |b| {
+        let q = QueryEngine::fig3_query("anomaly detection");
+        b.iter(|| engine.count(black_box(&q)))
+    });
+    group.bench_function("fig3_all_eight_fields", |b| {
+        b.iter(|| {
+            hierod_corpus::FIG3_FIELDS
+                .iter()
+                .map(|f| engine.count(&QueryEngine::fig3_query(f.term)))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

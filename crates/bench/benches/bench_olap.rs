@@ -1,0 +1,46 @@
+//! B4 — OLAP substrate: fact insertion, roll-up, and cell-outlierness
+//! scoring (the UOA row's cost profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierod_olap::{cell_outlierness, Cube, CubeSchema, Dimension};
+use std::hint::black_box;
+
+fn schema(card: usize) -> CubeSchema {
+    CubeSchema::new(vec![
+        Dimension::indexed("machine", card).unwrap(),
+        Dimension::indexed("job", card).unwrap(),
+        Dimension::indexed("phase", 5).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn filled_cube(card: usize, facts: usize) -> Cube {
+    let mut cube = Cube::new(schema(card));
+    for i in 0..facts {
+        let coords = [i % card, (i / card) % card, i % 5];
+        cube.insert(&coords, (i % 97) as f64).unwrap();
+    }
+    cube
+}
+
+fn bench_olap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olap");
+    for facts in [1_000_usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", facts), &facts, |b, &facts| {
+            b.iter(|| filled_cube(8, black_box(facts)))
+        });
+        let cube = filled_cube(8, facts);
+        group.bench_with_input(BenchmarkId::new("roll_up", facts), &facts, |b, _| {
+            b.iter(|| cube.roll_up(black_box("job")).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cell_outlierness", facts),
+            &facts,
+            |b, _| b.iter(|| cell_outlierness(black_box(&cube), 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_olap);
+criterion_main!(benches);

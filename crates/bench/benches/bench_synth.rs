@@ -1,0 +1,32 @@
+//! B7 — workload generator throughput: plant synthesis as the scenario
+//! grows (the substitute data source must not be the bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierod_synth::ScenarioBuilder;
+use std::hint::black_box;
+
+fn bench_synth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_build");
+    group.sample_size(20);
+    for (machines, jobs) in [(1_usize, 5_usize), (3, 20), (8, 40)] {
+        group.bench_with_input(
+            BenchmarkId::new("plant", format!("{machines}x{jobs}")),
+            &(machines, jobs),
+            |b, &(machines, jobs)| {
+                b.iter(|| {
+                    ScenarioBuilder::new(black_box(7))
+                        .machines(machines)
+                        .jobs_per_machine(jobs)
+                        .redundancy(3)
+                        .phase_samples(60)
+                        .anomaly_rate(0.3)
+                        .build()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! E4 + E5 — evaluates **Algorithm 1** (the paper never does):
+//!
+//! * part 1 (E4): does the fused ⟨global score, outlierness, support⟩
+//!   ranking beat the flat single-level outlierness ranking at finding
+//!   process anomalies, at point and job granularity?
+//! * part 2 (E5): does the support value separate measurement errors from
+//!   process anomalies, and how does that scale with sensor redundancy?
+
+use hierod_bench::{fmt_opt, standard_scenario};
+use hierod_core::experiment::{
+    job_level_eval, point_level_eval, redundancy_sweep, triage_eval,
+};
+use hierod_core::{
+    find_hierarchical_outliers, AlgorithmPolicy, FindOptions, FusionRule, PhaseChoice,
+};
+use hierod_hierarchy::Level;
+
+fn main() {
+    let policy = AlgorithmPolicy::default();
+    let fusion = FusionRule::default_weighted();
+    println!("Algorithm 1 evaluation (standard scenario: 3 machines x 20 jobs,");
+    println!("redundancy 3, 30% anomalous jobs, 50% measurement errors)\n");
+
+    // ---------------- E4: detection quality over 5 seeds ----------------
+    println!("== E4: detection quality (process anomalies vs all points) ==\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "base-AUC", "hier-AUC", "base-AP", "hier-AP", "base-F1", "hier-F1"
+    );
+    let mut wins = 0;
+    let mut total = 0;
+    for seed in [1_u64, 2, 3, 4, 5] {
+        let scenario = standard_scenario(seed).build();
+        let eval = point_level_eval(&scenario, &policy, fusion).expect("eval");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10.3} {:>10.3}",
+            seed,
+            fmt_opt(eval.baseline.roc_auc),
+            fmt_opt(eval.hierarchical.roc_auc),
+            fmt_opt(eval.baseline.pr_auc),
+            fmt_opt(eval.hierarchical.pr_auc),
+            eval.baseline.best_f1,
+            eval.hierarchical.best_f1
+        );
+        if let (Some(b), Some(h)) = (eval.baseline.pr_auc, eval.hierarchical.pr_auc) {
+            total += 1;
+            if h >= b {
+                wins += 1;
+            }
+        }
+    }
+    println!("\nhierarchical >= baseline on PR-AUC in {wins}/{total} seeds\n");
+
+    // Same comparison with the cross-job profile-similarity phase policy
+    // (the paper's §3 "PS" in prose), which exploits the repetitive
+    // structure of production phases.
+    println!("same, with phase algorithm = profile similarity (PS):");
+    println!("(pa-F1 = point-adjusted F1: a ground-truth event counts as found");
+    println!(" once any of its points fires)\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "base-AP", "hier-AP", "base-F1", "hier-F1", "base-paF1", "hier-paF1"
+    );
+    let ps_policy = AlgorithmPolicy {
+        phase: PhaseChoice::ProfileAcrossJobs,
+        ..AlgorithmPolicy::default()
+    };
+    for seed in [1_u64, 2, 3, 4, 5] {
+        let scenario = standard_scenario(seed).build();
+        let eval = point_level_eval(&scenario, &ps_policy, fusion).expect("eval");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            seed,
+            fmt_opt(eval.baseline.pr_auc),
+            fmt_opt(eval.hierarchical.pr_auc),
+            eval.baseline.best_f1,
+            eval.hierarchical.best_f1,
+            eval.baseline.point_adjusted_f1,
+            eval.hierarchical.point_adjusted_f1
+        );
+    }
+    println!();
+
+    // Job-level comparison.
+    println!("== E4b: job-level ranking (truth = jobs with a process anomaly) ==\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "base-AUC", "hier-AUC", "base-F1", "hier-F1"
+    );
+    for seed in [1_u64, 2, 3] {
+        let scenario = standard_scenario(seed).build();
+        let eval = job_level_eval(&scenario, &policy, fusion).expect("eval");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10.3} {:>10.3}",
+            seed,
+            fmt_opt(eval.baseline.roc_auc),
+            fmt_opt(eval.hierarchical.roc_auc),
+            eval.baseline.best_f1,
+            eval.hierarchical.best_f1
+        );
+    }
+
+    // ---------------- E5: measurement-error triage ----------------
+    println!("\n== E5: support as measurement-error discriminator ==\n");
+    let scenario = standard_scenario(1).build();
+    let triage = triage_eval(&scenario, &policy).expect("triage");
+    println!(
+        "matched detections: {} process anomalies, {} measurement errors",
+        triage.matched_process, triage.matched_measurement
+    );
+    println!(
+        "mean support: process {:.3} vs measurement {:.3}",
+        triage.mean_support.0, triage.mean_support.1
+    );
+    println!("support ROC-AUC: {}", fmt_opt(triage.support_auc));
+
+    println!("\nredundancy sweep (support AUC as redundancy grows):");
+    println!("{:<12} {:>12} {:>10} {:>10}", "redundancy", "support-AUC", "PA", "ME");
+    let base = standard_scenario(1).anomaly_rate(0.5);
+    let sweep =
+        redundancy_sweep(&base, &[1, 2, 3, 4, 5], &policy).expect("sweep");
+    for (r, t) in &sweep {
+        println!(
+            "{:<12} {:>12} {:>10} {:>10}",
+            r,
+            fmt_opt(t.support_auc),
+            t.matched_process,
+            t.matched_measurement
+        );
+    }
+
+    // ---------------- the paper's triple, rendered ----------------
+    println!("\n== FindHierarchicalOutlier: top outliers by fused score ==\n");
+    let report = find_hierarchical_outliers(
+        &scenario.plant,
+        Level::Phase,
+        &FindOptions::default(),
+    )
+    .expect("report");
+    for o in report.ranked_by(|o| fusion.score(o)).into_iter().take(10) {
+        println!("  {}", o.summary());
+    }
+    println!(
+        "\noutliers: {}, measurement-error warnings (downward pass): {}",
+        report.len(),
+        report.warnings.len()
+    );
+}

@@ -1,0 +1,94 @@
+//! E8 — concept shift (the paper's §1: outlier detection can "discover
+//! Concept Shifts"): one machine's laser efficiency declines slowly over
+//! the job sequence. Every job is individually normal, so the phase level
+//! sees nothing; the decline surfaces only when jobs are compared over time
+//! and machines against each other — exactly the argument for the upper
+//! hierarchy levels.
+
+use hierod_bench::{ascii_plot, fmt_opt};
+use hierod_core::experiment::{drift_eval, evaluate_levels};
+use hierod_core::AlgorithmPolicy;
+use hierod_hierarchy::{Level, LevelView};
+use hierod_synth::ScenarioBuilder;
+
+fn main() {
+    println!("E8: concept shift — machine m3 loses laser efficiency linearly");
+    println!("(25% by its last job); no discrete event is ever injected.\n");
+    let policy = AlgorithmPolicy::default();
+
+    println!(
+        "{:<6} {:>12} {:>14} {:>14}",
+        "seed", "drift rank", "phase outliers", "vs healthy max"
+    );
+    for seed in [7_u64, 8, 9, 10, 11] {
+        let s = ScenarioBuilder::new(seed)
+            .machines(4)
+            .jobs_per_machine(16)
+            .redundancy(2)
+            .phase_samples(40)
+            .anomaly_rate(0.0)
+            .drift(1, 0.25)
+            .build();
+        let eval = drift_eval(&s, &policy).expect("drift eval");
+        let detections = evaluate_levels(&s, &policy).expect("levels");
+        let healthy_max = (0..3)
+            .map(|m| {
+                detections[&Level::Phase]
+                    .outliers
+                    .iter()
+                    .filter(|o| o.machine == format!("m{m}"))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<6} {:>12} {:>14} {:>14}",
+            seed,
+            eval.drift_rank
+                .map(|r| format!("#{r}/4"))
+                .unwrap_or_else(|| "n/a".into()),
+            eval.phase_outliers_on_drifting,
+            healthy_max
+        );
+    }
+
+    // Render one scenario's quality summaries.
+    let s = ScenarioBuilder::new(7)
+        .machines(4)
+        .jobs_per_machine(16)
+        .redundancy(2)
+        .phase_samples(40)
+        .anomaly_rate(0.0)
+        .drift(1, 0.25)
+        .build();
+    let view = LevelView::extract(&s.plant, Level::Production);
+    println!("\nper-machine quality summaries over jobs (production-level view):");
+    for at in &view.series {
+        let mark = if s.drifting_machines.contains(&at.machine) {
+            " <- drifting"
+        } else {
+            ""
+        };
+        println!("\n{}{}:", at.machine, mark);
+        print!("{}", ascii_plot(at.series.values(), 64, 5));
+    }
+    let eval = drift_eval(&s, &policy).expect("drift eval");
+    println!("\nproduction-level ranking (standardized scores):");
+    for (machine, score) in &eval.production_ranking {
+        println!(
+            "  {:<4} {}  {}",
+            machine,
+            fmt_opt(Some(*score)),
+            if s.drifting_machines.contains(machine) {
+                "<- drifting"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nreading: the drifting machine tops the production-level ranking in\n\
+         every seed while producing no more phase-level alarms than a healthy\n\
+         machine — the concept shift exists only at the aggregated levels."
+    );
+}

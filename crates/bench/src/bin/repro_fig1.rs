@@ -1,0 +1,76 @@
+//! E1 — regenerates the paper's **Fig. 1** (the four temporal outlier
+//! types: additive outlier, innovative outlier, temporary change, level
+//! shift) and measures, per type, how well representative detectors of
+//! three Table-1 classes localize the event.
+
+use hierod_bench::{ascii_plot, fmt_opt};
+use hierod_detect::itm::HistogramDeviants;
+use hierod_detect::pm::AutoregressiveModel;
+use hierod_detect::stat::{GlobalZScore, SlidingZScore};
+use hierod_detect::PointScorer;
+use hierod_eval::roc_auc;
+use hierod_synth::scenario::fig1_example;
+use hierod_synth::OutlierType;
+
+fn main() {
+    const N: usize = 400;
+    const SEED: u64 = 7;
+    println!("Fig. 1: Outlier Types (Fox 1972) — synthetic AR(1) base with one");
+    println!("injected event at t = {}:\n", N / 2);
+    let detectors: Vec<(&str, Box<dyn PointScorer>)> = vec![
+        ("AR prediction error (PM)", Box::new(AutoregressiveModel::new(3).unwrap())),
+        ("sliding z-score (baseline)", Box::new(SlidingZScore::new(48).unwrap())),
+        ("global z-score (baseline)", Box::new(GlobalZScore)),
+        ("histogram deviants (ITM)", Box::new(HistogramDeviants::new(8).unwrap())),
+    ];
+    type Row = Vec<(Option<f64>, bool)>;
+    let mut table: Vec<(OutlierType, Row)> = Vec::new();
+    for outlier in OutlierType::ALL {
+        let (series, labels) = fig1_example(outlier, N, SEED);
+        println!("--- {} ---", outlier.label());
+        print!("{}", ascii_plot(series.values(), 76, 9));
+        println!();
+        let mut row = Vec::new();
+        for (_, det) in &detectors {
+            let scores = det.score_points(series.values()).ok();
+            let auc = scores
+                .as_deref()
+                .and_then(|scores| roc_auc(scores, &labels));
+            // Top-1 hit: is the highest-scored point inside the event?
+            let hit = scores
+                .as_deref()
+                .and_then(|s| {
+                    s.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(i, _)| labels[i])
+                })
+                .unwrap_or(false);
+            row.push((auc, hit));
+        }
+        table.push((outlier, row));
+    }
+    println!("Per outlier type: ROC-AUC over event points, and whether the");
+    println!("single highest-scored point falls inside the event (top-1 hit):\n");
+    print!("{:<18}", "outlier type");
+    for (name, _) in &detectors {
+        print!(" | {name:<26}");
+    }
+    println!();
+    println!("{}", "-".repeat(18 + detectors.len() * 29));
+    for (outlier, row) in &table {
+        print!("{:<18}", outlier.label());
+        for (auc, hit) in row {
+            print!(
+                " | {:<26}",
+                format!("{} (top-1 {})", fmt_opt(*auc), if *hit { "hit" } else { "miss" })
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("Reading: point-wise detectors excel on the isolated additive outlier;");
+    println!("decaying (innovative / temporary change) events are partially visible;");
+    println!("the level shift is hardest for prediction-error detectors, which adapt");
+    println!("to the new level — matching the qualitative distinctions of Fig. 1.");
+}

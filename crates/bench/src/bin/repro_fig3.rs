@@ -1,0 +1,46 @@
+//! E6 — regenerates the paper's **Fig. 3** ("Research Fields of Outlier
+//! Detection"): article counts per synonym research field, each query
+//! AND-filtered with the phrase "time series" and restricted to the
+//! category Automation & Control Systems, executed against the calibrated
+//! synthetic bibliographic corpus (Web of Science is proprietary; see
+//! DESIGN.md §2 for the substitution).
+
+use hierod_bench::ascii_bars;
+use hierod_corpus::{CorpusGenerator, QueryEngine, FIG3_FIELDS};
+
+fn main() {
+    let generator = CorpusGenerator::new(2019);
+    let index = generator.build_index();
+    println!("Fig. 3: Research Fields of Outlier Detection");
+    println!(
+        "(synthetic corpus: {} documents, {} distinct terms; query = <field>",
+        index.len(),
+        index.vocabulary_size()
+    );
+    println!(" AND \"time series\" AND category \"Automation & Control Systems\")\n");
+    let engine = QueryEngine::new(&index);
+    let mut rows = Vec::new();
+    for field in &FIG3_FIELDS {
+        let count = engine.count(&QueryEngine::fig3_query(field.term));
+        rows.push((field.term.to_string(), count as f64));
+    }
+    print!("{}", ascii_bars(&rows, 48));
+    println!();
+    // Shape assertions the experiment records (see EXPERIMENTS.md E6).
+    let count =
+        |term: &str| engine.count(&QueryEngine::fig3_query(term)) as f64;
+    let ordered = count("fault detection") >= count("anomaly detection")
+        && count("anomaly detection") > count("outlier detection")
+        && count("outlier detection") > count("event detection")
+        && count("event detection") > count("change point detection")
+        && count("change point detection") > count("novelty detection")
+        && count("novelty detection") > count("deviant discovery");
+    println!(
+        "shape check (fault >= anomaly > outlier > event > change-point > novelty > deviant): {}",
+        if ordered { "OK" } else { "MISMATCH" }
+    );
+    println!(
+        "deviant discovery is a near-empty field: {} hits",
+        count("deviant discovery")
+    );
+}

@@ -1,0 +1,570 @@
+//! `CalculateOutlier(algorithm, level, TS)`: per-level detection.
+//!
+//! Each level view is scored with the policy's algorithm for that level,
+//! the raw scores are standardized into robust z-units (so one threshold
+//! scale works across algorithms), and everything above the level's
+//! threshold becomes a [`LevelOutlier`].
+
+use std::collections::BTreeMap;
+
+use hierod_detect::related::ProfileSimilarity;
+use hierod_hierarchy::{Level, LevelView, PhaseKind, Plant};
+use hierod_timeseries::stats;
+
+use hierod_detect::Result;
+
+use crate::policy::{AlgorithmPolicy, PhaseChoice};
+
+/// One detected outlier at one level (before support / global score).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelOutlier {
+    /// Level of detection.
+    pub level: Level,
+    /// Machine id.
+    pub machine: String,
+    /// Job id, when inside a job.
+    pub job: Option<String>,
+    /// Phase, when inside a phase.
+    pub phase: Option<PhaseKind>,
+    /// Sensor / feature / series name.
+    pub sensor: Option<String>,
+    /// Sample index within the scored series.
+    pub index: Option<usize>,
+    /// Timestamp, when the series carries one.
+    pub timestamp: Option<u64>,
+    /// Standardized outlierness (robust z-units of the score distribution).
+    pub outlierness: f64,
+    /// The algorithm's raw score.
+    pub raw_score: f64,
+}
+
+/// Full per-point standardized scores of one series (kept so support and
+/// evaluation can look beyond the thresholded outliers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesScores {
+    /// Machine id.
+    pub machine: String,
+    /// Job id, when inside a job.
+    pub job: Option<String>,
+    /// Phase, when inside a phase.
+    pub phase: Option<PhaseKind>,
+    /// Sensor / feature name.
+    pub sensor: String,
+    /// Timestamps, parallel to `z`.
+    pub timestamps: Vec<u64>,
+    /// Standardized scores (robust z-units), parallel to `timestamps`.
+    pub z: Vec<f64>,
+}
+
+/// Full standardized score of one job vector (job level only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorScore {
+    /// Machine id.
+    pub machine: String,
+    /// Job id.
+    pub job: String,
+    /// Standardized score (robust z-units).
+    pub z: f64,
+}
+
+/// The detections of one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelDetections {
+    /// Level.
+    pub level: Level,
+    /// Thresholded outliers.
+    pub outliers: Vec<LevelOutlier>,
+    /// Full standardized per-point scores (phase / environment / line).
+    pub series_scores: Vec<SeriesScores>,
+    /// Full standardized per-job scores (job level).
+    pub vector_scores: Vec<VectorScore>,
+}
+
+impl LevelDetections {
+    /// `true` if an outlier at this level is associated with the given
+    /// machine (and, when given, job).
+    pub fn has_outlier_for(&self, machine: &str, job: Option<&str>) -> bool {
+        self.outliers.iter().any(|o| {
+            o.machine == machine
+                && match job {
+                    Some(j) => o.job.as_deref() == Some(j),
+                    None => true,
+                }
+        })
+    }
+
+    /// `true` if an outlier at this level on `machine` overlaps the time
+    /// interval `[t0, t1]` (outliers without timestamps never match).
+    pub fn has_outlier_in_span(&self, machine: &str, t0: u64, t1: u64) -> bool {
+        self.outliers.iter().any(|o| {
+            o.machine == machine
+                && o.timestamp.map(|t| t >= t0 && t <= t1).unwrap_or(false)
+        })
+    }
+}
+
+/// Standardizes raw scores into robust z-units (0 when the spread is zero).
+pub fn standardize_scores(scores: &[f64]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let med = stats::median(scores).expect("non-empty");
+    let mad = stats::mad(scores).expect("non-empty");
+    let spread = if mad > 1e-12 {
+        mad
+    } else {
+        // MAD collapses when most scores are identical (e.g. IQR-fence
+        // zeros); fall back to the standard deviation.
+        let sd = stats::std_dev(scores).expect("non-empty");
+        if sd > 1e-12 {
+            sd
+        } else {
+            return vec![0.0; scores.len()];
+        }
+    };
+    scores.iter().map(|s| (s - med) / spread).collect()
+}
+
+/// Runs `CalculateOutlier` for one level of the plant.
+///
+/// # Errors
+/// Propagates algorithm construction/scoring failures. Series too short for
+/// the chosen algorithm are skipped silently (phases shorter than the AR
+/// warm-up would otherwise poison whole-plant runs).
+pub fn detect_level(
+    plant: &Plant,
+    level: Level,
+    policy: &AlgorithmPolicy,
+) -> Result<LevelDetections> {
+    let view = LevelView::extract(plant, level);
+    let threshold = policy.threshold(level);
+    let mut outliers = Vec::new();
+    let mut series_scores = Vec::new();
+    let mut vector_scores = Vec::new();
+    // Shared emission of one scored series: thresholded outliers + the full
+    // standardized score vector.
+    let emit_series = |at: &hierod_hierarchy::SeriesAt,
+                       raw: &[f64],
+                       already_standardized: bool,
+                       outliers: &mut Vec<LevelOutlier>,
+                       series_scores: &mut Vec<SeriesScores>| {
+        // Profile-similarity scores are already expressed in MAD units
+        // against the learned template; re-standardizing them per series
+        // would amplify the near-zero spread of clean executions into
+        // false positives.
+        let z = if already_standardized {
+            raw.to_vec()
+        } else {
+            standardize_scores(raw)
+        };
+        for (idx, (&zs, &rs)) in z.iter().zip(raw).enumerate() {
+            if zs >= threshold {
+                outliers.push(LevelOutlier {
+                    level,
+                    machine: at.machine.clone(),
+                    job: job_for(plant, level, at, idx),
+                    phase: at.phase,
+                    sensor: Some(at.series.name().to_string()),
+                    index: Some(idx),
+                    timestamp: Some(at.series.timestamps()[idx]),
+                    outlierness: zs,
+                    raw_score: rs,
+                });
+            }
+        }
+        series_scores.push(SeriesScores {
+            machine: at.machine.clone(),
+            job: at.job.clone(),
+            phase: at.phase,
+            sensor: at.series.name().to_string(),
+            timestamps: at.series.timestamps().to_vec(),
+            z,
+        });
+    };
+    match level {
+        Level::Phase if matches!(policy.phase, PhaseChoice::ProfileAcrossJobs) => {
+            // Profile similarity: group executions of the same
+            // (machine, phase, sensor, length) across jobs, learn the
+            // profile, score every execution against it.
+            let mut groups: BTreeMap<(String, u8, String, usize), Vec<usize>> =
+                BTreeMap::new();
+            for (i, at) in view.series.iter().enumerate() {
+                let Some(phase) = at.phase else { continue };
+                groups
+                    .entry((
+                        at.machine.clone(),
+                        phase as u8,
+                        at.series.name().to_string(),
+                        at.series.len(),
+                    ))
+                    .or_default()
+                    .push(i);
+            }
+            for idxs in groups.values() {
+                if idxs.len() < 2 {
+                    continue; // no profile evidence from one execution
+                }
+                let refs: Vec<&[f64]> = idxs
+                    .iter()
+                    .map(|&i| view.series[i].series.values())
+                    .collect();
+                let Ok(profile) = ProfileSimilarity::fit(&refs) else {
+                    continue;
+                };
+                for &i in idxs {
+                    let at = &view.series[i];
+                    let Ok(raw) = profile.score_points(at.series.values()) else {
+                        continue;
+                    };
+                    emit_series(at, &raw, true, &mut outliers, &mut series_scores);
+                }
+            }
+        }
+        Level::Phase | Level::Environment | Level::ProductionLine => {
+            let algo = match level {
+                Level::Phase => match policy.phase {
+                    PhaseChoice::PerSeries(a) => a,
+                    PhaseChoice::ProfileAcrossJobs => unreachable!("handled above"),
+                },
+                Level::Environment => policy.environment,
+                _ => policy.line,
+            };
+            let scorer = algo.build()?;
+            for at in &view.series {
+                let values = at.series.values();
+                let Ok(raw) = scorer.score_points(values) else {
+                    continue; // series too short for this algorithm
+                };
+                emit_series(at, &raw, false, &mut outliers, &mut series_scores);
+            }
+        }
+        Level::Job => {
+            if !view.vectors.is_empty() {
+                let scorer = policy.job.build()?;
+                let rows: Vec<Vec<f64>> =
+                    view.vectors.iter().map(|v| v.features.clone()).collect();
+                let raw = scorer.score_rows(&rows)?;
+                let z = standardize_scores(&raw);
+                for (v, &zs) in view.vectors.iter().zip(&z) {
+                    vector_scores.push(VectorScore {
+                        machine: v.machine.clone(),
+                        job: v.job.clone(),
+                        z: zs,
+                    });
+                }
+                for ((v, &zs), &rs) in view.vectors.iter().zip(&z).zip(&raw) {
+                    if zs >= threshold {
+                        outliers.push(LevelOutlier {
+                            level,
+                            machine: v.machine.clone(),
+                            job: Some(v.job.clone()),
+                            phase: None,
+                            sensor: None,
+                            index: None,
+                            timestamp: Some(v.start),
+                            outlierness: zs,
+                            raw_score: rs,
+                        });
+                    }
+                }
+            }
+        }
+        Level::Production => {
+            if view.series.len() >= 2 {
+                let collection: Vec<&[f64]> =
+                    view.series.iter().map(|s| s.series.values()).collect();
+                if let Ok(raw) = policy.production.score(&collection) {
+                    let z = standardize_scores(&raw);
+                    for ((at, &zs), &rs) in view.series.iter().zip(&z).zip(&raw) {
+                        if zs >= threshold {
+                            outliers.push(LevelOutlier {
+                                level,
+                                machine: at.machine.clone(),
+                                job: None,
+                                phase: None,
+                                sensor: Some(at.series.name().to_string()),
+                                index: None,
+                                timestamp: None,
+                                outlierness: zs,
+                                raw_score: rs,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(LevelDetections {
+        level,
+        outliers,
+        series_scores,
+        vector_scores,
+    })
+}
+
+/// Runs `CalculateOutlier` for all five levels in parallel (the levels are
+/// independent; crossbeam scoped threads), returning them in level order.
+///
+/// # Errors
+/// Propagates the first per-level failure.
+pub fn detect_all_levels(
+    plant: &Plant,
+    policy: &AlgorithmPolicy,
+) -> Result<BTreeMap<Level, LevelDetections>> {
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = Level::ALL
+            .into_iter()
+            .map(|level| s.spawn(move |_| (level, detect_level(plant, level, policy))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("detection thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    let mut out = BTreeMap::new();
+    for (level, det) in results {
+        out.insert(level, det?);
+    }
+    Ok(out)
+}
+
+/// Resolves the job an outlier belongs to. Phase-level series carry their
+/// job directly; line-level feature series are indexed by job position.
+fn job_for(
+    plant: &Plant,
+    level: Level,
+    at: &hierod_hierarchy::SeriesAt,
+    idx: usize,
+) -> Option<String> {
+    match level {
+        Level::Phase => at.job.clone(),
+        Level::ProductionLine => plant
+            .line(&at.machine)
+            .and_then(|l| l.jobs.get(idx))
+            .map(|j| j.id.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierod_synth::{Scope, ScenarioBuilder};
+
+    fn scenario() -> hierod_synth::Scenario {
+        ScenarioBuilder::new(77)
+            .machines(2)
+            .jobs_per_machine(4)
+            .redundancy(2)
+            .phase_samples(60)
+            .anomaly_rate(1.0)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(15.0)
+            .build()
+    }
+
+    #[test]
+    fn standardize_scores_robust_units() {
+        let scores = vec![1.0, 1.1, 0.9, 1.0, 9.0];
+        let z = standardize_scores(&scores);
+        assert!(z[4] > 5.0);
+        assert!(z[0].abs() < 2.0);
+        assert_eq!(standardize_scores(&[]), Vec::<f64>::new());
+        assert_eq!(standardize_scores(&[2.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn phase_level_detects_injected_anomalies() {
+        let s = scenario();
+        let det = detect_level(&s.plant, Level::Phase, &AlgorithmPolicy::default()).unwrap();
+        assert!(!det.outliers.is_empty(), "injections must surface");
+        assert!(!det.series_scores.is_empty());
+        // Every outlier has full provenance.
+        for o in &det.outliers {
+            assert_eq!(o.level, Level::Phase);
+            assert!(o.job.is_some());
+            assert!(o.phase.is_some());
+            assert!(o.sensor.is_some());
+            assert!(o.index.is_some());
+            assert!(o.outlierness >= 6.0);
+        }
+    }
+
+    #[test]
+    fn phase_level_quiet_on_clean_plant() {
+        let s = ScenarioBuilder::new(5)
+            .machines(1)
+            .jobs_per_machine(3)
+            .phase_samples(60)
+            .anomaly_rate(0.0)
+            .build();
+        let det = detect_level(&s.plant, Level::Phase, &AlgorithmPolicy::default()).unwrap();
+        // Clean AR noise should rarely exceed 6 robust-z; tolerate a few.
+        let total_points: usize = det.series_scores.iter().map(|s| s.z.len()).sum();
+        assert!(
+            (det.outliers.len() as f64) < total_points as f64 * 0.002,
+            "{} outliers in {} clean points",
+            det.outliers.len(),
+            total_points
+        );
+    }
+
+    #[test]
+    fn job_level_flags_jobs_with_degraded_caq() {
+        // Anomalies must stay a minority for the unsupervised job scorer.
+        let s = ScenarioBuilder::new(23)
+            .machines(3)
+            .jobs_per_machine(12)
+            .redundancy(2)
+            .phase_samples(60)
+            .anomaly_rate(0.3)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(15.0)
+            .build();
+        let det = detect_level(&s.plant, Level::Job, &AlgorithmPolicy::default()).unwrap();
+        let truth = s.truth.anomalous_jobs();
+        // At least one truly anomalous job must be flagged.
+        let hits = det
+            .outliers
+            .iter()
+            .filter(|o| {
+                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
+            })
+            .count();
+        assert!(
+            hits > 0,
+            "expected job-level detections among {:?}",
+            det.outliers
+        );
+    }
+
+    #[test]
+    fn line_level_outliers_map_to_job_ids() {
+        let s = scenario();
+        let det =
+            detect_level(&s.plant, Level::ProductionLine, &AlgorithmPolicy::default()).unwrap();
+        for o in &det.outliers {
+            let job = o.job.as_ref().expect("line outliers carry job ids");
+            assert!(s.plant.line(&o.machine).unwrap().job(job).is_some());
+        }
+    }
+
+    #[test]
+    fn profile_mode_detects_and_silences_repeating_structure() {
+        let s = ScenarioBuilder::new(77)
+            .machines(2)
+            .jobs_per_machine(6)
+            .redundancy(2)
+            .phase_samples(60)
+            .anomaly_rate(0.5)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(15.0)
+            .build();
+        let policy = AlgorithmPolicy {
+            phase: crate::policy::PhaseChoice::ProfileAcrossJobs,
+            ..AlgorithmPolicy::default()
+        };
+        let det = detect_level(&s.plant, Level::Phase, &policy).unwrap();
+        assert!(!det.outliers.is_empty(), "profile mode must detect events");
+        // Laser square-wave edges repeat identically across jobs, so the
+        // profile absorbs them: laser outliers should be (nearly) gone
+        // unless an event was injected on the laser itself.
+        let laser_truth = s
+            .truth
+            .injections
+            .iter()
+            .filter(|r| r.sensor.contains("laser"))
+            .count();
+        let laser_outliers = det
+            .outliers
+            .iter()
+            .filter(|o| {
+                o.sensor
+                    .as_deref()
+                    .map(|x| x.contains("laser"))
+                    .unwrap_or(false)
+            })
+            .count();
+        if laser_truth == 0 {
+            assert!(
+                laser_outliers < 10,
+                "profile should absorb repeating laser edges, got {laser_outliers}"
+            );
+        }
+        // Full provenance preserved.
+        for o in &det.outliers {
+            assert!(o.job.is_some() && o.phase.is_some() && o.sensor.is_some());
+        }
+    }
+
+    #[test]
+    fn production_level_needs_multiple_machines() {
+        let s = ScenarioBuilder::new(9)
+            .machines(1)
+            .jobs_per_machine(3)
+            .phase_samples(40)
+            .build();
+        let det =
+            detect_level(&s.plant, Level::Production, &AlgorithmPolicy::default()).unwrap();
+        assert!(det.outliers.is_empty());
+    }
+
+    #[test]
+    fn association_lookups() {
+        let s = scenario();
+        let det = detect_level(&s.plant, Level::Phase, &AlgorithmPolicy::default()).unwrap();
+        let o = &det.outliers[0];
+        assert!(det.has_outlier_for(&o.machine, o.job.as_deref()));
+        assert!(!det.has_outlier_for("ghost-machine", None));
+        let t = o.timestamp.unwrap();
+        assert!(det.has_outlier_in_span(&o.machine, t.saturating_sub(1), t + 1));
+        assert!(!det.has_outlier_in_span(&o.machine, t + 1_000_000, t + 1_000_001));
+    }
+
+    #[test]
+    fn measurement_error_affects_only_one_sensor_series() {
+        let s = ScenarioBuilder::new(31)
+            .machines(1)
+            .jobs_per_machine(6)
+            .redundancy(3)
+            .phase_samples(60)
+            .anomaly_rate(1.0)
+            .measurement_error_fraction(1.0)
+            .magnitude_sigmas(15.0)
+            .build();
+        let det = detect_level(&s.plant, Level::Phase, &AlgorithmPolicy::default()).unwrap();
+        // Pick a recorded measurement error and check the sibling series
+        // show no outlier at that index.
+        let rec = s
+            .truth
+            .injections
+            .iter()
+            .find(|r| r.scope == Scope::MeasurementError && r.outlier == hierod_synth::OutlierType::Additive)
+            .expect("an additive measurement error");
+        let siblings: Vec<&SeriesScores> = det
+            .series_scores
+            .iter()
+            .filter(|ss| {
+                ss.machine == rec.machine
+                    && ss.job.as_deref() == Some(rec.job.as_str())
+                    && ss.phase == Some(rec.phase)
+                    && ss.sensor != rec.sensor
+                    && ss.sensor.contains(
+                        rec.sensor
+                            .rsplit_once('.')
+                            .map(|(prefix, _)| prefix)
+                            .unwrap_or(""),
+                    )
+            })
+            .collect();
+        assert!(!siblings.is_empty());
+        for sib in siblings {
+            assert!(
+                sib.z[rec.start_idx] < 6.0,
+                "sibling {} unexpectedly confirms a measurement error",
+                sib.sensor
+            );
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! `CalcGlobalScore`: upward confirmation and downward verification.
+//!
+//! The paper's recursion:
+//!
+//! ```text
+//! CalcGlobalScore(level, up):
+//!   algorithm = ChooseAlgorithm(level); CalculateOutlier(algorithm, level);
+//!   if up:   if Outlier Detected in Level { globalScore++; recurse(level++) }
+//!   else:    if No Outlier Detected in Level { Warning for Wrong Measurement }
+//!            else { recurse(level--) }
+//! ```
+//!
+//! "If outliers are identified in a high production level, it is assumed
+//! that these outliers can be also identified in a lower level as well.
+//! Adversely, if no outlier can be found at a lower level, but in a higher
+//! level, a measurement error must be assumed."
+//!
+//! Base cases the pseudocode leaves implicit, made explicit here:
+//! the upward walk stops at the production level (nothing above ⑤); the
+//! downward walk stops at the phase level (nothing below ①); "outlier
+//! detected in level" means an outlier at that level *associated* with the
+//! one being scored — same machine, and same job / overlapping time span
+//! where the level carries that information (see [`associated`]).
+
+use std::collections::BTreeMap;
+
+use hierod_hierarchy::{Level, Plant};
+
+use crate::detect_level::{LevelDetections, LevelOutlier};
+
+/// Whether `detections` (at its own level) contains an outlier associated
+/// with `outlier` (detected at a possibly different level).
+///
+/// Association rules per evidence level:
+/// * **phase / job / production-line** — same machine and same job when the
+///   outlier names one; same machine otherwise.
+/// * **environment** — same machine and a detection whose timestamp falls
+///   within the time span of the outlier's job (environment data has no job
+///   structure of its own).
+/// * **production** — same machine.
+pub fn associated(
+    plant: &Plant,
+    outlier: &LevelOutlier,
+    detections: &LevelDetections,
+) -> bool {
+    match detections.level {
+        Level::Environment => {
+            // Match through the job's time span when known, else through
+            // the outlier's own timestamp.
+            if let (Some(job), Some(line)) =
+                (outlier.job.as_deref(), plant.line(&outlier.machine))
+            {
+                if let Some(span) = line.job(job).and_then(|j| j.span()) {
+                    return detections.has_outlier_in_span(&outlier.machine, span.0, span.1);
+                }
+            }
+            match outlier.timestamp {
+                Some(t) => detections.has_outlier_in_span(
+                    &outlier.machine,
+                    t.saturating_sub(512),
+                    t + 512,
+                ),
+                None => detections.has_outlier_for(&outlier.machine, None),
+            }
+        }
+        Level::Production => detections.has_outlier_for(&outlier.machine, None),
+        _ => detections.has_outlier_for(&outlier.machine, outlier.job.as_deref()),
+    }
+}
+
+/// The upward pass: starting from the outlier's own level (score 1), +1 for
+/// each consecutive higher level with an associated detection; stops at the
+/// first level without one.
+pub fn upward_global_score(
+    plant: &Plant,
+    outlier: &LevelOutlier,
+    detections: &BTreeMap<Level, LevelDetections>,
+) -> u8 {
+    let mut score = 1_u8;
+    let mut level = outlier.level;
+    while let Some(up) = level.up() {
+        let Some(det) = detections.get(&up) else { break };
+        if associated(plant, outlier, det) {
+            score += 1;
+            level = up;
+        } else {
+            break;
+        }
+    }
+    score
+}
+
+/// The downward pass: descends from the outlier's level; returns the first
+/// lower level with **no** associated detection (the paper's measurement-
+/// error warning), or `None` when every lower level confirms.
+pub fn downward_missing_level(
+    plant: &Plant,
+    outlier: &LevelOutlier,
+    detections: &BTreeMap<Level, LevelDetections>,
+) -> Option<Level> {
+    let mut level = outlier.level;
+    while let Some(down) = level.down() {
+        let Some(det) = detections.get(&down) else {
+            return None; // level not evaluated: no verdict
+        };
+        if associated(plant, outlier, det) {
+            level = down;
+        } else {
+            return Some(down);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect_level::detect_level;
+    use crate::policy::AlgorithmPolicy;
+    use hierod_synth::ScenarioBuilder;
+
+    fn all_detections(
+        plant: &Plant,
+        policy: &AlgorithmPolicy,
+    ) -> BTreeMap<Level, LevelDetections> {
+        Level::ALL
+            .into_iter()
+            .map(|l| (l, detect_level(plant, l, policy).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn upward_score_bounded_by_levels() {
+        let s = ScenarioBuilder::new(17)
+            .machines(3)
+            .jobs_per_machine(8)
+            .redundancy(2)
+            .phase_samples(50)
+            .anomaly_rate(0.8)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(20.0)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        let dets = all_detections(&s.plant, &policy);
+        for o in &dets[&Level::Phase].outliers {
+            let g = upward_global_score(&s.plant, o, &dets);
+            assert!((1..=5).contains(&g), "global score {g}");
+        }
+    }
+
+    #[test]
+    fn strong_process_anomalies_reach_higher_global_scores() {
+        // Keep anomalies a minority: the unsupervised job-level detector
+        // defines "normal" from the majority of jobs.
+        let strong = ScenarioBuilder::new(23)
+            .machines(3)
+            .jobs_per_machine(12)
+            .redundancy(3)
+            .phase_samples(50)
+            .anomaly_rate(0.3)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(25.0)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        let dets = all_detections(&strong.plant, &policy);
+        let gmax = dets[&Level::Phase]
+            .outliers
+            .iter()
+            .map(|o| upward_global_score(&strong.plant, o, &dets))
+            .max()
+            .unwrap_or(1);
+        assert!(
+            gmax >= 2,
+            "process anomalies degrade CAQ, so some phase outlier must be \
+             confirmed at the job level (max global score {gmax})"
+        );
+    }
+
+    #[test]
+    fn downward_pass_confirms_job_outliers_with_phase_evidence() {
+        let s = ScenarioBuilder::new(29)
+            .machines(3)
+            .jobs_per_machine(10)
+            .redundancy(2)
+            .phase_samples(50)
+            .anomaly_rate(0.8)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(25.0)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        let dets = all_detections(&s.plant, &policy);
+        // Job-level outliers on truly anomalous jobs should find phase
+        // evidence below (no warning).
+        let truth = s.truth.anomalous_jobs();
+        let confirmed = dets[&Level::Job]
+            .outliers
+            .iter()
+            .filter(|o| {
+                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
+            })
+            .filter(|o| downward_missing_level(&s.plant, o, &dets).is_none())
+            .count();
+        let total = dets[&Level::Job]
+            .outliers
+            .iter()
+            .filter(|o| {
+                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
+            })
+            .count();
+        if total > 0 {
+            assert!(
+                confirmed * 2 >= total,
+                "most true job outliers should be confirmed below ({confirmed}/{total})"
+            );
+        }
+    }
+
+    #[test]
+    fn downward_pass_missing_evidence_yields_level() {
+        // Outlier fabricated at the job level of a clean plant: the phase
+        // level below holds no associated detection -> warning.
+        let s = ScenarioBuilder::new(4)
+            .machines(1)
+            .jobs_per_machine(4)
+            .phase_samples(40)
+            .anomaly_rate(0.0)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        let dets = all_detections(&s.plant, &policy);
+        let fake = LevelOutlier {
+            level: Level::Job,
+            machine: "m0".into(),
+            job: Some("m0-j1".into()),
+            phase: None,
+            sensor: None,
+            index: None,
+            timestamp: Some(0),
+            outlierness: 10.0,
+            raw_score: 10.0,
+        };
+        assert_eq!(
+            downward_missing_level(&s.plant, &fake, &dets),
+            Some(Level::Phase)
+        );
+        // Phase-level outliers have nothing below: never a warning.
+        let fake_phase = LevelOutlier {
+            level: Level::Phase,
+            ..fake
+        };
+        assert_eq!(downward_missing_level(&s.plant, &fake_phase, &dets), None);
+    }
+
+    #[test]
+    fn association_rules_per_level() {
+        let s = ScenarioBuilder::new(41)
+            .machines(2)
+            .jobs_per_machine(4)
+            .phase_samples(40)
+            .anomaly_rate(1.0)
+            .magnitude_sigmas(18.0)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        let dets = all_detections(&s.plant, &policy);
+        let phase_det = &dets[&Level::Phase];
+        if let Some(o) = phase_det.outliers.first() {
+            // An outlier is associated with its own level's detections.
+            assert!(associated(&s.plant, o, phase_det));
+        }
+        // Production associations ignore jobs.
+        let prod = &dets[&Level::Production];
+        for o in &prod.outliers {
+            assert!(associated(&s.plant, o, prod));
+        }
+    }
+}

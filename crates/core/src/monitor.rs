@@ -1,0 +1,444 @@
+//! Online condition monitoring.
+//!
+//! The paper's Section 1 motivates outlier detection for "Condition
+//! Monitoring, … Alerts, … or … Predictive Maintenance", all of which are
+//! *streaming* settings: jobs complete one after another and each must be
+//! assessed against the machine's history, not against a closed batch.
+//! [`PlantMonitor`] is that online form of Algorithm 1:
+//!
+//! * completed jobs are ingested per machine into a bounded history window;
+//! * the new job's phase series are scored against **profiles** learned
+//!   from the history (the §3 profile-similarity procedure — phases repeat,
+//!   so the profile is the natural streaming reference);
+//! * redundant sensors provide the support value, exactly as in the batch
+//!   pipeline;
+//! * the job's feature vector is scored against the history's vectors,
+//!   giving the upward (job-level) confirmation of the global score;
+//! * the triple is fused into one severity, mapped to a maintenance
+//!   urgency.
+//!
+//! The monitor needs `min_history` jobs per machine before it starts
+//! assessing (the warm-up period); earlier jobs are recorded and reported
+//! as [`Urgency::WarmingUp`].
+
+use std::collections::{HashMap, VecDeque};
+
+use hierod_detect::related::ProfileSimilarity;
+use hierod_detect::Result;
+use hierod_hierarchy::{Job, RedundancyGroup};
+
+use crate::detect_level::standardize_scores;
+use crate::fusion::FusionRule;
+use crate::outlier::HierOutlier;
+use hierod_hierarchy::Level;
+
+/// Maintenance urgency derived from the fused severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Urgency {
+    /// Not enough history yet to assess.
+    WarmingUp,
+    /// No alert.
+    None,
+    /// Elevated: keep watching.
+    Watch,
+    /// Schedule maintenance.
+    Scheduled,
+    /// Stop the machine.
+    Immediate,
+}
+
+impl Urgency {
+    /// Maps a fused severity to an urgency band.
+    pub fn from_severity(severity: f64) -> Urgency {
+        match severity {
+            s if s >= 30.0 => Urgency::Immediate,
+            s if s >= 15.0 => Urgency::Scheduled,
+            s if s > 0.0 => Urgency::Watch,
+            _ => Urgency::None,
+        }
+    }
+}
+
+/// One phase-level alert raised while assessing a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Sensor the alert fired on.
+    pub sensor: String,
+    /// Phase it fired in.
+    pub phase: hierod_hierarchy::PhaseKind,
+    /// Sample index within the phase series.
+    pub index: usize,
+    /// Profile deviation (MAD units).
+    pub outlierness: f64,
+    /// Redundancy agreement in `[0, 1]`.
+    pub support: f64,
+}
+
+/// The assessment of one ingested job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobAssessment {
+    /// Job id.
+    pub job_id: String,
+    /// Fused severity (0 when clean or warming up).
+    pub severity: f64,
+    /// Urgency band.
+    pub urgency: Urgency,
+    /// Phase-level alerts, strongest first.
+    pub alerts: Vec<Alert>,
+    /// Whether the job-level vector also deviates (upward confirmation).
+    pub job_level_confirmed: bool,
+    /// Whether the CAQ check failed.
+    pub caq_failed: bool,
+}
+
+/// Per-machine bounded history.
+struct MachineHistory {
+    jobs: VecDeque<Job>,
+    redundancy: Vec<RedundancyGroup>,
+}
+
+/// Online Algorithm-1 monitor.
+pub struct PlantMonitor {
+    fusion: FusionRule,
+    /// Alert threshold on the profile deviation (MAD units).
+    pub phase_threshold: f64,
+    /// Robust-z threshold on the job vector score.
+    pub job_threshold: f64,
+    /// Jobs needed per machine before assessing.
+    pub min_history: usize,
+    /// History window per machine.
+    pub window: usize,
+    machines: HashMap<String, MachineHistory>,
+}
+
+impl PlantMonitor {
+    /// Creates a monitor with the given fusion rule and defaults
+    /// (`phase_threshold` 6 MADs, `job_threshold` 3.5, `min_history` 4,
+    /// `window` 32).
+    pub fn new(fusion: FusionRule) -> Self {
+        Self {
+            fusion,
+            phase_threshold: 6.0,
+            job_threshold: 3.5,
+            min_history: 4,
+            window: 32,
+            machines: HashMap::new(),
+        }
+    }
+
+    /// Registers a machine with its redundancy groups (the "corresponding
+    /// sensors" used for support).
+    pub fn register_machine(&mut self, machine_id: impl Into<String>, redundancy: Vec<RedundancyGroup>) {
+        self.machines.insert(
+            machine_id.into(),
+            MachineHistory {
+                jobs: VecDeque::new(),
+                redundancy,
+            },
+        );
+    }
+
+    /// Number of jobs currently held for a machine.
+    pub fn history_len(&self, machine_id: &str) -> usize {
+        self.machines
+            .get(machine_id)
+            .map(|m| m.jobs.len())
+            .unwrap_or(0)
+    }
+
+    /// Ingests a completed job and assesses it against the machine's
+    /// history. Unknown machines are registered on the fly (without
+    /// redundancy groups, so support stays 0 until
+    /// [`Self::register_machine`] is called).
+    ///
+    /// # Errors
+    /// Propagates scoring failures.
+    pub fn ingest_job(&mut self, machine_id: &str, job: Job) -> Result<JobAssessment> {
+        if !self.machines.contains_key(machine_id) {
+            self.register_machine(machine_id, Vec::new());
+        }
+        // Assess BEFORE inserting, against history only (a job must not
+        // vouch for itself through the profile).
+        let assessment = self.assess(machine_id, &job)?;
+        let history = self.machines.get_mut(machine_id).expect("registered");
+        history.jobs.push_back(job);
+        while history.jobs.len() > self.window {
+            history.jobs.pop_front();
+        }
+        Ok(assessment)
+    }
+
+    fn assess(&self, machine_id: &str, job: &Job) -> Result<JobAssessment> {
+        let history = self.machines.get(machine_id).expect("registered");
+        if history.jobs.len() < self.min_history {
+            return Ok(JobAssessment {
+                job_id: job.id.clone(),
+                severity: 0.0,
+                urgency: Urgency::WarmingUp,
+                alerts: Vec::new(),
+                job_level_confirmed: false,
+                caq_failed: !job.caq.passed,
+            });
+        }
+        // --- phase level: profile deviation per (phase, sensor) ---
+        // Per-sensor per-phase score vectors plus the reference count they
+        // were computed from, kept for the support pass. A profile learned
+        // from few references has an unstable MAD, so the alert threshold
+        // is inflated for small histories.
+        let mut scored: HashMap<(u8, String), (Vec<f64>, usize)> = HashMap::new();
+        for phase in &job.phases {
+            for series in &phase.series {
+                let refs: Vec<&[f64]> = history
+                    .jobs
+                    .iter()
+                    .filter_map(|j| {
+                        j.phase(phase.kind)
+                            .and_then(|p| p.sensor_series(series.name()))
+                    })
+                    .filter(|s| s.len() == series.len())
+                    .map(|s| s.values())
+                    .collect();
+                if refs.len() < 2 {
+                    continue;
+                }
+                let Ok(profile) = ProfileSimilarity::fit(&refs) else {
+                    continue;
+                };
+                let Ok(scores) = profile.score_points(series.values()) else {
+                    continue;
+                };
+                scored.insert(
+                    (phase.kind as u8, series.name().to_string()),
+                    (scores, refs.len()),
+                );
+            }
+        }
+        let mut alerts = Vec::new();
+        for phase in &job.phases {
+            for series in &phase.series {
+                let key = (phase.kind as u8, series.name().to_string());
+                let Some((scores, n_refs)) = scored.get(&key) else { continue };
+                let threshold = self.phase_threshold * (1.0 + 8.0 / *n_refs as f64);
+                for (idx, &s) in scores.iter().enumerate() {
+                    if s < threshold {
+                        continue;
+                    }
+                    // Support: corresponding sensors confirming near idx.
+                    let correspondents: Vec<&str> = history
+                        .redundancy
+                        .iter()
+                        .find(|g| g.contains(series.name()))
+                        .map(|g| g.corresponding(series.name()))
+                        .unwrap_or_default();
+                    let support = if correspondents.is_empty() {
+                        0.0
+                    } else {
+                        let confirmed = correspondents
+                            .iter()
+                            .filter(|c| {
+                                scored
+                                    .get(&(phase.kind as u8, c.to_string()))
+                                    .map(|(cs, _)| {
+                                        let lo = idx.saturating_sub(8);
+                                        let hi = (idx + 8).min(cs.len().saturating_sub(1));
+                                        cs[lo..=hi].iter().any(|&z| z >= threshold)
+                                    })
+                                    .unwrap_or(false)
+                            })
+                            .count();
+                        confirmed as f64 / correspondents.len() as f64
+                    };
+                    alerts.push(Alert {
+                        sensor: series.name().to_string(),
+                        phase: phase.kind,
+                        index: idx,
+                        outlierness: s,
+                        support,
+                    });
+                }
+            }
+        }
+        alerts.sort_by(|a, b| {
+            b.outlierness
+                .partial_cmp(&a.outlierness)
+                .expect("finite scores")
+        });
+
+        // --- job level: vector vs history (upward confirmation) ---
+        let mut vectors: Vec<Vec<f64>> =
+            history.jobs.iter().map(Job::feature_vector).collect();
+        vectors.push(job.feature_vector());
+        let widths_match = vectors
+            .iter()
+            .all(|v| v.len() == vectors[0].len() && !v.is_empty());
+        let job_level_confirmed = if widths_match && vectors.len() >= 4 {
+            let scorer = crate::policy::VectorAlgo::Pca { components: 2 }.build()?;
+            let raw = scorer.score_rows(&vectors)?;
+            let z = standardize_scores(&raw);
+            z.last().map(|&v| v >= self.job_threshold).unwrap_or(false)
+        } else {
+            false
+        };
+
+        // --- fuse ---
+        let severity = alerts
+            .iter()
+            .map(|a| {
+                let pseudo = HierOutlier {
+                    level: Level::Phase,
+                    machine: machine_id.to_string(),
+                    job: Some(job.id.clone()),
+                    phase: Some(a.phase),
+                    sensor: Some(a.sensor.clone()),
+                    index: Some(a.index),
+                    timestamp: None,
+                    outlierness: a.outlierness,
+                    support: a.support,
+                    global_score: if job_level_confirmed { 2 } else { 1 },
+                };
+                self.fusion.score(&pseudo)
+            })
+            .fold(0.0_f64, f64::max);
+        Ok(JobAssessment {
+            job_id: job.id.clone(),
+            severity,
+            urgency: Urgency::from_severity(severity),
+            alerts,
+            job_level_confirmed,
+            caq_failed: !job.caq.passed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierod_synth::{Scenario, ScenarioBuilder, Scope};
+
+    fn scenario(anomaly_rate: f64, seed: u64) -> Scenario {
+        ScenarioBuilder::new(seed)
+            .machines(1)
+            .jobs_per_machine(16)
+            .redundancy(3)
+            .phase_samples(50)
+            .anomaly_rate(anomaly_rate)
+            .measurement_error_fraction(0.0)
+            .magnitude_sigmas(14.0)
+            .build()
+    }
+
+    fn feed(monitor: &mut PlantMonitor, s: &Scenario) -> Vec<JobAssessment> {
+        let line = &s.plant.lines[0];
+        monitor.register_machine(line.machine_id.clone(), line.redundancy.clone());
+        line.jobs
+            .iter()
+            .map(|j| monitor.ingest_job(&line.machine_id, j.clone()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn warmup_then_assessment() {
+        let s = scenario(0.0, 3);
+        let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
+        let assessments = feed(&mut monitor, &s);
+        assert_eq!(assessments.len(), 16);
+        for a in &assessments[..4] {
+            assert_eq!(a.urgency, Urgency::WarmingUp);
+        }
+        // Clean plant: after warm-up, severity stays negligible.
+        let alerts: usize = assessments[4..].iter().map(|a| a.alerts.len()).sum();
+        assert!(alerts < 8, "clean plant raised {alerts} alerts");
+        assert_eq!(monitor.history_len("m0"), 16);
+    }
+
+    #[test]
+    fn anomalous_jobs_raise_alerts_with_support() {
+        let s = scenario(0.5, 9);
+        let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
+        let assessments = feed(&mut monitor, &s);
+        let truth = s.truth.anomalous_jobs();
+        let mut hits = 0;
+        let mut anomalous_after_warmup = 0;
+        for (job, a) in s.plant.lines[0].jobs.iter().zip(&assessments) {
+            if a.urgency == Urgency::WarmingUp {
+                continue;
+            }
+            if truth.contains(&("m0".to_string(), job.id.clone())) {
+                anomalous_after_warmup += 1;
+                if a.severity > 0.0 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(anomalous_after_warmup > 0);
+        assert!(
+            hits * 2 >= anomalous_after_warmup,
+            "monitor detected {hits}/{anomalous_after_warmup} anomalous jobs"
+        );
+        // Temperature-group alerts carry support (process anomalies).
+        let supported = assessments
+            .iter()
+            .flat_map(|a| &a.alerts)
+            .filter(|al| al.sensor.contains("temp") && al.support > 0.5)
+            .count();
+        assert!(supported > 0, "expected supported temperature alerts");
+    }
+
+    #[test]
+    fn measurement_errors_get_no_support_online() {
+        let s = ScenarioBuilder::new(21)
+            .machines(1)
+            .jobs_per_machine(16)
+            .redundancy(3)
+            .phase_samples(50)
+            .anomaly_rate(0.6)
+            .measurement_error_fraction(1.0)
+            .magnitude_sigmas(14.0)
+            .build();
+        assert!(s
+            .truth
+            .injections
+            .iter()
+            .all(|r| r.scope == Scope::MeasurementError));
+        let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
+        let assessments = feed(&mut monitor, &s);
+        for al in assessments.iter().flat_map(|a| &a.alerts) {
+            if al.sensor.contains("temp") {
+                assert!(
+                    al.support <= 0.5,
+                    "measurement error got support {} on {}",
+                    al.support,
+                    al.sensor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_machine_is_registered_on_the_fly() {
+        let s = scenario(0.0, 4);
+        let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
+        let job = s.plant.lines[0].jobs[0].clone();
+        let a = monitor.ingest_job("brand-new", job).unwrap();
+        assert_eq!(a.urgency, Urgency::WarmingUp);
+        assert_eq!(monitor.history_len("brand-new"), 1);
+        assert_eq!(monitor.history_len("never-seen"), 0);
+    }
+
+    #[test]
+    fn history_window_is_bounded() {
+        let s = scenario(0.0, 5);
+        let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
+        monitor.window = 6;
+        feed(&mut monitor, &s);
+        assert_eq!(monitor.history_len("m0"), 6);
+    }
+
+    #[test]
+    fn urgency_bands() {
+        assert_eq!(Urgency::from_severity(0.0), Urgency::None);
+        assert_eq!(Urgency::from_severity(5.0), Urgency::Watch);
+        assert_eq!(Urgency::from_severity(20.0), Urgency::Scheduled);
+        assert_eq!(Urgency::from_severity(50.0), Urgency::Immediate);
+    }
+}

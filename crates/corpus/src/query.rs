@@ -1,0 +1,205 @@
+//! Boolean query layer: phrases, conjunction, category restriction.
+//!
+//! The Fig.-3 query plan is `Phrase(field) AND Phrase("time series") AND
+//! Category(AutomationControlSystems)`; [`QueryEngine::count`] executes it.
+
+use crate::document::{Category, DocId};
+use crate::index::{intersect, InvertedIndex};
+
+/// A boolean query over the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Exact phrase match (single tokens degenerate to term match).
+    Phrase(String),
+    /// Restriction to a subject category.
+    Category(Category),
+    /// Conjunction of sub-queries.
+    And(Vec<Query>),
+    /// Disjunction of sub-queries.
+    Or(Vec<Query>),
+}
+
+impl Query {
+    /// Convenience: `Phrase` from a `&str`.
+    pub fn phrase(s: &str) -> Query {
+        Query::Phrase(s.to_string())
+    }
+
+    /// Convenience: conjunction of two queries.
+    pub fn and(self, other: Query) -> Query {
+        match self {
+            Query::And(mut qs) => {
+                qs.push(other);
+                Query::And(qs)
+            }
+            q => Query::And(vec![q, other]),
+        }
+    }
+}
+
+/// Executes queries against an [`InvertedIndex`].
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    index: &'a InvertedIndex,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Wraps an index.
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        Self { index }
+    }
+
+    /// Evaluates a query to a sorted list of matching document ids.
+    pub fn execute(&self, query: &Query) -> Vec<DocId> {
+        match query {
+            Query::Phrase(p) => {
+                let mut ids = self.index.phrase_docs(p);
+                ids.sort_unstable();
+                ids
+            }
+            Query::Category(c) => {
+                let mut ids = self.index.category_docs(*c).to_vec();
+                ids.sort_unstable();
+                ids
+            }
+            Query::And(qs) => {
+                let mut iter = qs.iter();
+                let Some(first) = iter.next() else {
+                    return Vec::new();
+                };
+                let mut acc = self.execute(first);
+                for q in iter {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = intersect(&acc, &self.execute(q));
+                }
+                acc
+            }
+            Query::Or(qs) => {
+                let mut acc: Vec<DocId> = Vec::new();
+                for q in qs {
+                    acc.extend(self.execute(q));
+                }
+                acc.sort_unstable();
+                acc.dedup();
+                acc
+            }
+        }
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, query: &Query) -> usize {
+        self.execute(query).len()
+    }
+
+    /// The paper's Fig.-3 query for one research-field term: field phrase
+    /// AND "time series" AND category Automation & Control Systems.
+    pub fn fig3_query(field_term: &str) -> Query {
+        Query::phrase(field_term)
+            .and(Query::phrase("time series"))
+            .and(Query::Category(Category::AutomationControlSystems))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn doc(title: &str, cats: &[Category]) -> Document {
+        Document {
+            title: title.into(),
+            abstract_text: String::new(),
+            keywords: vec![],
+            year: 2018,
+            categories: cats.to_vec(),
+        }
+    }
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(vec![
+            doc(
+                "Anomaly detection in time series for plants",
+                &[Category::AutomationControlSystems],
+            ),
+            doc(
+                "Anomaly detection without the magic words",
+                &[Category::AutomationControlSystems],
+            ),
+            doc(
+                "Anomaly detection in time series for genomes",
+                &[Category::LifeSciences],
+            ),
+            doc("Fault detection in time series", &[Category::AutomationControlSystems]),
+        ])
+    }
+
+    #[test]
+    fn and_intersects() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        let q = Query::phrase("anomaly detection").and(Query::phrase("time series"));
+        assert_eq!(eng.execute(&q), vec![0, 2]);
+    }
+
+    #[test]
+    fn fig3_query_applies_all_three_filters() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        let q = QueryEngine::fig3_query("anomaly detection");
+        // Doc 0 matches; doc 1 lacks "time series"; doc 2 wrong category.
+        assert_eq!(eng.execute(&q), vec![0]);
+        assert_eq!(eng.count(&QueryEngine::fig3_query("fault detection")), 1);
+        assert_eq!(eng.count(&QueryEngine::fig3_query("novelty detection")), 0);
+    }
+
+    #[test]
+    fn or_unions_and_dedups() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        let q = Query::Or(vec![
+            Query::phrase("anomaly detection"),
+            Query::phrase("fault detection"),
+            Query::phrase("anomaly detection"),
+        ]);
+        assert_eq!(eng.execute(&q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_matches_nothing() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        assert!(eng.execute(&Query::And(vec![])).is_empty());
+        assert!(eng.execute(&Query::Or(vec![])).is_empty());
+    }
+
+    #[test]
+    fn category_query_alone() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        assert_eq!(
+            eng.count(&Query::Category(Category::AutomationControlSystems)),
+            3
+        );
+        assert_eq!(eng.count(&Query::Category(Category::Environment)), 0);
+    }
+
+    #[test]
+    fn and_short_circuits_on_empty() {
+        let idx = index();
+        let eng = QueryEngine::new(&idx);
+        let q = Query::phrase("zzz").and(Query::phrase("anomaly"));
+        assert!(eng.execute(&q).is_empty());
+    }
+
+    #[test]
+    fn query_builder_flattens_ands() {
+        let q = Query::phrase("a").and(Query::phrase("b")).and(Query::phrase("c"));
+        if let Query::And(parts) = &q {
+            assert_eq!(parts.len(), 3);
+        } else {
+            panic!("expected flattened And");
+        }
+    }
+}

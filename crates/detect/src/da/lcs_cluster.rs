@@ -1,0 +1,211 @@
+//! Longest-common-subsequence similarity clustering.
+//!
+//! Table-1 row **Longest Common Subsequence** (Budalakoti et al., *Anomaly
+//! detection in large sets of high-dimensional symbol sequences*, 2006 —
+//! citation [2]): sequences are clustered around medoids under normalized
+//! LCS similarity; a sequence's anomaly score is `1 − similarity` to its
+//! nearest medoid. Unlike match-count, LCS tolerates insertions/deletions,
+//! so it handles variable-length sequences.
+
+use hierod_timeseries::distance::lcs_similarity;
+
+use crate::api::{
+    Capabilities, DetectError, Detector, DetectorInfo, DiscreteScorer, Result, TechniqueClass,
+};
+
+/// LCS medoid-clustering scorer for symbol sequences (variable lengths
+/// allowed).
+#[derive(Debug, Clone, Copy)]
+pub struct LcsCluster {
+    /// Number of medoids.
+    pub k: usize,
+}
+
+impl Default for LcsCluster {
+    fn default() -> Self {
+        Self { k: 2 }
+    }
+}
+
+impl LcsCluster {
+    /// Creates with `k` medoids.
+    ///
+    /// # Errors
+    /// Rejects `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectError::invalid("k", "must be > 0"));
+        }
+        Ok(Self { k })
+    }
+
+    /// Greedy k-medoid selection: the first medoid is the sequence with the
+    /// highest total similarity (most central); each further medoid is the
+    /// sequence worst-covered by the current medoids (farthest-point
+    /// heuristic). Deterministic.
+    fn select_medoids(&self, sim: &[Vec<f64>]) -> Vec<usize> {
+        let n = sim.len();
+        let k = self.k.min(n);
+        let mut medoids = Vec::with_capacity(k);
+        let first = (0..n)
+            .max_by(|&a, &b| {
+                let sa: f64 = sim[a].iter().sum();
+                let sb: f64 = sim[b].iter().sum();
+                sa.partial_cmp(&sb).expect("finite")
+            })
+            .expect("non-empty");
+        medoids.push(first);
+        while medoids.len() < k {
+            let next = (0..n)
+                .filter(|i| !medoids.contains(i))
+                .min_by(|&a, &b| {
+                    let ca = medoids.iter().map(|&m| sim[a][m]).fold(f64::MIN, f64::max);
+                    let cb = medoids.iter().map(|&m| sim[b][m]).fold(f64::MIN, f64::max);
+                    ca.partial_cmp(&cb).expect("finite")
+                });
+            match next {
+                Some(i) => medoids.push(i),
+                None => break,
+            }
+        }
+        medoids
+    }
+}
+
+impl Detector for LcsCluster {
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: "Longest Common Subsequence",
+            citation: "[2]",
+            class: TechniqueClass::DA,
+            capabilities: Capabilities::new(false, true, false),
+            supervised: false,
+        }
+    }
+}
+
+impl DiscreteScorer for LcsCluster {
+    fn score_sequences(&self, seqs: &[&[u16]]) -> Result<Vec<f64>> {
+        if seqs.len() < 2 {
+            return Err(DetectError::NotEnoughData {
+                what: "LcsCluster",
+                needed: 2,
+                got: seqs.len(),
+            });
+        }
+        let n = seqs.len();
+        // Full pairwise similarity matrix (symmetric).
+        let mut sim = vec![vec![0.0_f64; n]; n];
+        for i in 0..n {
+            sim[i][i] = 1.0;
+            for j in (i + 1)..n {
+                let s = lcs_similarity(seqs[i], seqs[j]);
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+        let medoids = self.select_medoids(&sim);
+        Ok((0..n)
+            .map(|i| {
+                if medoids.contains(&i) && medoids.len() > 1 {
+                    // A medoid is scored against the *other* medoids' members
+                    // via its best non-self similarity, so a lone-outlier
+                    // medoid still scores high.
+                    let best = (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| sim[i][j])
+                        .fold(f64::MIN, f64::max);
+                    1.0 - best
+                } else {
+                    let best = medoids
+                        .iter()
+                        .map(|&m| sim[i][m])
+                        .fold(f64::MIN, f64::max);
+                    1.0 - best
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffled_alien_sequence_scores_high() {
+        // Normal grammar: ascending runs with small edits.
+        let normals: Vec<Vec<u16>> = (0..6)
+            .map(|i| {
+                let mut s: Vec<u16> = (0..10).collect();
+                s[i % 10] = 99;
+                s
+            })
+            .collect();
+        let alien: Vec<u16> = vec![50, 40, 30, 20, 10, 5, 3, 2, 1, 0];
+        let mut all: Vec<&[u16]> = normals.iter().map(Vec::as_slice).collect();
+        all.push(&alien);
+        let scores = LcsCluster::default().score_sequences(&all).unwrap();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, all.len() - 1);
+    }
+
+    #[test]
+    fn handles_variable_lengths() {
+        let a: Vec<u16> = (0..12).collect();
+        let b: Vec<u16> = (0..8).collect(); // prefix of a
+        let c: Vec<u16> = vec![99, 98, 97];
+        let all: Vec<&[u16]> = vec![&a, &b, &c];
+        let scores = LcsCluster::new(1).unwrap().score_sequences(&all).unwrap();
+        assert!(scores[2] > scores[1]);
+    }
+
+    #[test]
+    fn identical_sequences_score_zero() {
+        let s: Vec<u16> = vec![1, 2, 3, 4];
+        let all: Vec<&[u16]> = vec![&s, &s, &s];
+        let scores = LcsCluster::new(1).unwrap().score_sequences(&all).unwrap();
+        assert!(scores.iter().all(|&x| x < 1e-12));
+    }
+
+    #[test]
+    fn k_clamped_and_validation() {
+        assert!(LcsCluster::new(0).is_err());
+        let s: Vec<u16> = vec![1];
+        assert!(LcsCluster::default().score_sequences(&[&s]).is_err());
+        // k larger than n works.
+        let a: Vec<u16> = vec![1, 2];
+        let b: Vec<u16> = vec![3, 4];
+        let all: Vec<&[u16]> = vec![&a, &b];
+        assert_eq!(
+            LcsCluster::new(10).unwrap().score_sequences(&all).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<u16> = vec![1, 2, 3];
+        let b: Vec<u16> = vec![1, 2, 4];
+        let c: Vec<u16> = vec![9, 9, 9];
+        let all: Vec<&[u16]> = vec![&a, &b, &c];
+        let d = LcsCluster::default();
+        assert_eq!(
+            d.score_sequences(&all).unwrap(),
+            d.score_sequences(&all).unwrap()
+        );
+    }
+
+    #[test]
+    fn info_matches_table1() {
+        let i = LcsCluster::default().info();
+        assert_eq!(i.citation, "[2]");
+        assert_eq!(i.class, TechniqueClass::DA);
+        assert_eq!(i.capabilities.count(), 1);
+    }
+}

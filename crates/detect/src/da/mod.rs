@@ -1,0 +1,27 @@
+//! Discriminative approaches (DA).
+//!
+//! "Thereby, a similarity function compares sequences and clusters, while
+//! the distance of a time series to the centroid of the nearest clusters
+//! denotes the anomaly score." — one module per Table-1 DA row.
+
+mod dynamic_clustering;
+mod gmm;
+mod kmeans;
+mod lcs_cluster;
+mod match_count;
+mod ocsvm;
+mod pca;
+mod single_linkage;
+mod som;
+mod vibration;
+
+pub use dynamic_clustering::DynamicClustering;
+pub use gmm::GaussianMixture;
+pub use kmeans::{KMeans, PhasedKMeans};
+pub use lcs_cluster::LcsCluster;
+pub use match_count::MatchCount;
+pub use ocsvm::OneClassSvm;
+pub use pca::PrincipalComponentSpace;
+pub use single_linkage::SingleLinkage;
+pub use som::SelfOrganizingMap;
+pub use vibration::VibrationSignature;

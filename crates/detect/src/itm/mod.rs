@@ -1,0 +1,10 @@
+//! Information-theoretic models (ITM).
+//!
+//! "An information-theoretic model detects outlier points by removing
+//! points from a sequel and measuring the improvement in a histogram-based
+//! representation. In this context, outlier points are denoted as
+//! deviants."
+
+mod deviants;
+
+pub use deviants::HistogramDeviants;

@@ -1,0 +1,9 @@
+//! Negative and mixed pattern databases (NMD).
+//!
+//! "The negative and mixed pattern database is based on anomaly
+//! dictionaries. Here, test sequences are classified as anomalies if they
+//! match a sequence from the database."
+
+mod anomaly_dict;
+
+pub use anomaly_dict::AnomalyDictionary;

@@ -1,0 +1,10 @@
+//! Normal pattern databases (NPD).
+//!
+//! "The frequencies of overlapping windows are stored in a database. If a
+//! new subsequence has many mismatches, it is considered as an anomaly.
+//! This procedure can be extended by not including only exact matches, but
+//! rather compute soft mismatch scores."
+
+mod window_db;
+
+pub use window_db::WindowSequenceDb;

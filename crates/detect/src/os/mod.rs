@@ -1,0 +1,9 @@
+//! Outlier subsequence detection (OS).
+//!
+//! "To find outlier subsequences, patterns are compared to their expected
+//! frequency in the database. The main problem is to preserve computational
+//! efficiency …"
+
+mod sax_discord;
+
+pub use sax_discord::SaxDiscord;

@@ -1,0 +1,10 @@
+//! Predictive models (PM).
+//!
+//! "Prediction models define the outlier score based on the delta value to
+//! the predicted value."
+
+mod ar;
+mod var;
+
+pub use ar::AutoregressiveModel;
+pub use var::{FittedVar, VectorAutoregressive};

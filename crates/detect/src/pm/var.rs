@@ -1,0 +1,281 @@
+//! Vector autoregression for multivariate series.
+//!
+//! The paper's Section 3, on predictive models: "In addition, prediction
+//! models are suitable for multi-variate time series." This is the
+//! multivariate member of the PM family: a VAR(1) model
+//! `x_t ≈ A·x_{t−1} + c` fitted by per-equation least squares (normal
+//! equations, Gaussian elimination — implemented here), scoring each time
+//! point by the norm of its standardized one-step prediction error. A
+//! cross-sensor anomaly that no single-channel AR model can see (one sensor
+//! breaking its usual relationship to the others) surfaces as a VAR
+//! residual.
+
+use crate::api::{
+    Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
+};
+
+/// VAR(1) prediction-error scorer over a multivariate series
+/// (rows = time points, columns = channels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorAutoregressive;
+
+/// A fitted VAR(1): `x_t ≈ coeffs · x_{t−1} + intercept`.
+#[derive(Debug, Clone)]
+pub struct FittedVar {
+    /// Coefficient matrix (d × d): row i predicts channel i.
+    pub coeffs: Vec<Vec<f64>>,
+    /// Per-channel intercept.
+    pub intercept: Vec<f64>,
+    /// Per-channel residual standard deviation on the training data.
+    pub residual_std: Vec<f64>,
+}
+
+/// Solves `M·x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` when `M` is (numerically) singular.
+#[allow(clippy::needless_range_loop)] // elimination kernel reads clearer indexed
+fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&a, &c| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[c][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = m[row][col] / m[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row][k] -= f * m[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0_f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+impl VectorAutoregressive {
+    /// Fits a VAR(1) on `rows` (time-ordered, rectangular, ≥ `3·(d+1)`
+    /// points for a usable fit).
+    ///
+    /// # Errors
+    /// Rejects empty/ragged/too-short inputs or singular designs.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<FittedVar> {
+        let d = crate::api::check_rows("VectorAutoregressive", rows)?;
+        let n = rows.len();
+        if n < 3 * (d + 1) {
+            return Err(DetectError::NotEnoughData {
+                what: "VectorAutoregressive",
+                needed: 3 * (d + 1),
+                got: n,
+            });
+        }
+        // Design: z_t = [x_{t-1}, 1]; per-channel least squares share the
+        // Gram matrix G = Σ z zᵀ.
+        let dim = d + 1;
+        let mut gram = vec![vec![0.0_f64; dim]; dim];
+        let mut rhs = vec![vec![0.0_f64; dim]; d]; // one b per output channel
+        for t in 1..n {
+            let mut z = rows[t - 1].clone();
+            z.push(1.0);
+            for i in 0..dim {
+                for j in 0..dim {
+                    gram[i][j] += z[i] * z[j];
+                }
+            }
+            for (c, r) in rhs.iter_mut().enumerate() {
+                for (ri, zi) in r.iter_mut().zip(&z) {
+                    *ri += zi * rows[t][c];
+                }
+            }
+        }
+        // Ridge: keeps near-constant channels solvable.
+        for (i, row) in gram.iter_mut().enumerate() {
+            row[i] += 1e-8;
+        }
+        let mut coeffs = Vec::with_capacity(d);
+        let mut intercept = Vec::with_capacity(d);
+        for r in &rhs {
+            let sol = solve(gram.clone(), r.clone()).ok_or_else(|| DetectError::Numeric {
+                message: "VAR normal equations are singular".into(),
+            })?;
+            intercept.push(sol[d]);
+            coeffs.push(sol[..d].to_vec());
+        }
+        // Residual std per channel.
+        let mut residual_sq = vec![0.0_f64; d];
+        for t in 1..n {
+            for c in 0..d {
+                let pred: f64 = coeffs[c]
+                    .iter()
+                    .zip(&rows[t - 1])
+                    .map(|(a, x)| a * x)
+                    .sum::<f64>()
+                    + intercept[c];
+                let e = rows[t][c] - pred;
+                residual_sq[c] += e * e;
+            }
+        }
+        let residual_std = residual_sq
+            .into_iter()
+            .map(|s| (s / (n - 1) as f64).sqrt().max(1e-9))
+            .collect();
+        Ok(FittedVar {
+            coeffs,
+            intercept,
+            residual_std,
+        })
+    }
+
+    /// Scores every time point: the root-mean-square of the per-channel
+    /// standardized one-step prediction errors (first point scores 0).
+    ///
+    /// # Errors
+    /// See [`Self::fit`].
+    pub fn score_rows_over_time(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let model = Self::fit(rows)?;
+        let d = model.coeffs.len();
+        let mut out = Vec::with_capacity(rows.len());
+        out.push(0.0);
+        for t in 1..rows.len() {
+            let mut acc = 0.0;
+            for c in 0..d {
+                let pred: f64 = model.coeffs[c]
+                    .iter()
+                    .zip(&rows[t - 1])
+                    .map(|(a, x)| a * x)
+                    .sum::<f64>()
+                    + model.intercept[c];
+                let e = (rows[t][c] - pred) / model.residual_std[c];
+                acc += e * e;
+            }
+            out.push((acc / d as f64).sqrt());
+        }
+        Ok(out)
+    }
+}
+
+impl Detector for VectorAutoregressive {
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: "Vector Autoregressive Model",
+            citation: "§3 (PM, multivariate)",
+            class: TechniqueClass::PM,
+            capabilities: Capabilities::new(true, false, true),
+            supervised: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two coupled channels: y follows x with a lag; plus a cross-channel
+    /// break at t = 60 where y stops following.
+    fn coupled(n: usize, break_at: Option<usize>) -> Vec<Vec<f64>> {
+        let mut state = 0xABCDE_u64;
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1_u64 << 53) as f64 - 0.5
+        };
+        let mut x = 0.0_f64;
+        let mut rows = Vec::with_capacity(n);
+        let mut prev_x = 0.0;
+        for t in 0..n {
+            x = 0.8 * x + noise();
+            let mut y = 0.9 * prev_x + 0.1 * noise();
+            if let Some(b) = break_at {
+                // Bounded break: the relationship flips for 20 samples.
+                if t >= b && t < b + 20 {
+                    y = -0.9 * prev_x;
+                }
+            }
+            rows.push(vec![x, y]);
+            prev_x = x;
+        }
+        rows
+    }
+
+    #[test]
+    fn fit_recovers_the_coupling() {
+        let rows = coupled(400, None);
+        let model = VectorAutoregressive::fit(&rows).unwrap();
+        // Channel 1 (y) is driven by channel 0 (x) with weight ~0.9.
+        assert!(
+            (model.coeffs[1][0] - 0.9).abs() < 0.1,
+            "cross coefficient {:?}",
+            model.coeffs[1]
+        );
+        // Channel 0 is AR(1) with phi ~0.8.
+        assert!((model.coeffs[0][0] - 0.8).abs() < 0.15);
+    }
+
+    #[test]
+    fn cross_channel_break_scores_high() {
+        let rows = coupled(200, Some(120));
+        let scores = VectorAutoregressive
+            .score_rows_over_time(&rows)
+            .unwrap();
+        // Mean score inside the 20-sample break window far exceeds the
+        // clean region.
+        let clean: f64 = scores[10..110].iter().sum::<f64>() / 100.0;
+        let during: f64 = scores[121..140].iter().sum::<f64>() / 19.0;
+        assert!(
+            during > clean * 2.0,
+            "break must show: clean {clean:.2}, during {during:.2}"
+        );
+    }
+
+    #[test]
+    fn solver_matches_hand_solution() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(m, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        // Singular system.
+        let m = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve(m, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn constant_channels_survive_via_ridge() {
+        let mut rows = coupled(100, None);
+        for r in rows.iter_mut() {
+            r.push(5.0); // constant third channel
+        }
+        let scores = VectorAutoregressive.score_rows_over_time(&rows).unwrap();
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VectorAutoregressive::fit(&[]).is_err());
+        let short = coupled(5, None);
+        assert!(VectorAutoregressive::fit(&short).is_err());
+        let i = VectorAutoregressive.info();
+        assert_eq!(i.class, TechniqueClass::PM);
+        assert!(i.capabilities.points);
+    }
+}

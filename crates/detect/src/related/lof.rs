@@ -1,0 +1,184 @@
+//! Local outlier factor.
+//!
+//! The paper's related work (its citation [29], Ortner et al.) pairs PCA
+//! with "the local outlier factor (LOC) for a robust detection of noisy
+//! variables". This is the classical Breunig et al. LOF: a point's score
+//! is the ratio of its neighbors' local reachability density to its own —
+//! ≈ 1 inside any uniform region (regardless of that region's density),
+//! > 1 for points less dense than their neighborhood.
+
+use hierod_timeseries::distance::sq_euclidean;
+
+use crate::api::{
+    check_rows, Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
+    VectorScorer,
+};
+
+/// Local outlier factor scorer.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalOutlierFactor {
+    /// Neighborhood size (`MinPts`).
+    pub k: usize,
+}
+
+impl Default for LocalOutlierFactor {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl LocalOutlierFactor {
+    /// Creates with an explicit neighborhood size.
+    ///
+    /// # Errors
+    /// Rejects `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectError::invalid("k", "must be > 0"));
+        }
+        Ok(Self { k })
+    }
+}
+
+impl Detector for LocalOutlierFactor {
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: "Local Outlier Factor",
+            citation: "[29]",
+            class: TechniqueClass::Baseline,
+            capabilities: Capabilities::ALL,
+            supervised: false,
+        }
+    }
+}
+
+impl VectorScorer for LocalOutlierFactor {
+    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        check_rows("LocalOutlierFactor", rows)?;
+        let n = rows.len();
+        if n <= 2 {
+            return Ok(vec![0.0; n]);
+        }
+        let k = self.k.min(n - 1);
+        // Pairwise distances.
+        let mut dist = vec![vec![0.0_f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = sq_euclidean(&rows[i], &rows[j]).expect("checked dims").sqrt();
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        // k-neighborhoods and k-distances.
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut k_dist = vec![0.0_f64; n];
+        for i in 0..n {
+            let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            order.sort_by(|&a, &b| dist[i][a].partial_cmp(&dist[i][b]).expect("finite"));
+            order.truncate(k);
+            k_dist[i] = dist[i][*order.last().expect("k >= 1")];
+            neighbors.push(order);
+        }
+        // Local reachability density.
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let reach_sum: f64 = neighbors[i]
+                    .iter()
+                    .map(|&j| dist[i][j].max(k_dist[j]))
+                    .sum();
+                if reach_sum <= 1e-300 {
+                    f64::INFINITY // duplicated points: infinite density
+                } else {
+                    k as f64 / reach_sum
+                }
+            })
+            .collect();
+        // LOF = mean neighbor lrd / own lrd; shift by -1 so inliers sit at
+        // ~0 and the score is (clamped) non-negative.
+        Ok((0..n)
+            .map(|i| {
+                if lrd[i].is_infinite() {
+                    return 0.0; // co-located with duplicates: maximal density
+                }
+                let mean_neighbor_lrd: f64 = neighbors[i]
+                    .iter()
+                    .map(|&j| if lrd[j].is_infinite() { lrd[i] } else { lrd[j] })
+                    .sum::<f64>()
+                    / k as f64;
+                (mean_neighbor_lrd / lrd[i] - 1.0).max(0.0)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_outlier_between_two_densities() {
+        // Dense cluster, sparse cluster, and one point just outside the
+        // dense one: a global distance threshold misses it (it is closer to
+        // the dense cluster than sparse points are to each other), LOF does
+        // not — the canonical LOF motivation.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![i as f64 * 0.05, 0.0]); // dense line
+        }
+        for i in 0..6 {
+            rows.push(vec![100.0 + i as f64 * 3.0, 0.0]); // sparse line
+        }
+        rows.push(vec![1.5, 0.0]); // local outlier near the dense cluster
+        let idx = rows.len() - 1;
+        let scores = LocalOutlierFactor::new(3).unwrap().score_rows(&rows).unwrap();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, idx, "{scores:?}");
+        // Sparse-cluster members are NOT outliers to LOF.
+        for s in &scores[10..16] {
+            assert!(*s < scores[idx] * 0.5, "sparse member flagged: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_data_scores_near_zero() {
+        let rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let scores = LocalOutlierFactor::default().score_rows(&rows).unwrap();
+        for s in &scores {
+            assert!(*s < 0.5, "{scores:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_divide_by_zero() {
+        let mut rows = vec![vec![1.0, 1.0]; 6];
+        rows.push(vec![9.0, 9.0]);
+        let scores = LocalOutlierFactor::new(3).unwrap().score_rows(&rows).unwrap();
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 6);
+    }
+
+    #[test]
+    fn validation_and_tiny_inputs() {
+        assert!(LocalOutlierFactor::new(0).is_err());
+        assert!(LocalOutlierFactor::default().score_rows(&[]).is_err());
+        assert_eq!(
+            LocalOutlierFactor::default()
+                .score_rows(&[vec![1.0], vec![2.0]])
+                .unwrap(),
+            vec![0.0, 0.0]
+        );
+    }
+}

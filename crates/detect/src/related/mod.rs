@@ -1,0 +1,18 @@
+//! Related-work detectors (paper Section 5, not Table-1 rows).
+//!
+//! The paper's related-work study singles out several approaches "to tackle
+//! complex and large production data": the local outlier factor combined
+//! with PCA (Ortner et al., paper citation \[29\]), reverse nearest neighbors
+//! (Radovanović et al., \[34\], motivated by the hubness effect), and plain
+//! k-nearest-neighbor distances as their common substrate. They are
+//! implemented here as additional [`crate::VectorScorer`]s usable anywhere
+//! the Table-1 vector detectors are — in particular as `ChooseAlgorithm`
+//! choices in the ablation experiments.
+
+mod knn;
+mod lof;
+mod profile;
+
+pub use knn::{KnnDistance, ReverseKnn};
+pub use lof::LocalOutlierFactor;
+pub use profile::ProfileSimilarity;

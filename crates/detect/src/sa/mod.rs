@@ -1,0 +1,12 @@
+//! Supervised approaches (SA).
+//!
+//! "When labeled training data is available, supervised approaches can be
+//! applied."
+
+mod mlp;
+mod motif_rules;
+mod rule_learning;
+
+pub use mlp::NeuralNetwork;
+pub use motif_rules::MotifRuleClassifier;
+pub use rule_learning::RuleLearner;

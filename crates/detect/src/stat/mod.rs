@@ -1,0 +1,8 @@
+//! Statistical baselines (not Table-1 rows).
+//!
+//! The paper proposes comparing its hierarchical triple against the flat
+//! single-level practice; these four classical detectors are that practice.
+
+mod zscore;
+
+pub use zscore::{GlobalZScore, IqrFence, RobustZScore, SlidingZScore};

@@ -1,0 +1,9 @@
+//! Unsupervised online (OLAP) approaches (UOA).
+//!
+//! "In case of multidimensional data, an Online Analytical Processing
+//! (OLAP) cube can be analyzed, using an unsupervised approach with each
+//! cell as a measure."
+
+mod olap_cube;
+
+pub use olap_cube::OlapCubeDetector;

@@ -1,0 +1,383 @@
+//! Discrete hidden Markov model.
+//!
+//! Table-1 row **Hidden Markov Models** (Florez-Larrahondo et al.,
+//! *Efficient modeling of discrete events for anomaly detection using hidden
+//! markov models*, 2005 — citation [7]): a small discrete-observation HMM is
+//! trained on the event sequences (Baum-Welch with scaling); a sequence's
+//! anomaly score is its negative per-symbol log-likelihood under the model,
+//! so sequences the summary model cannot explain rank highest.
+
+use crate::api::{
+    Capabilities, DetectError, Detector, DetectorInfo, DiscreteScorer, Result, TechniqueClass,
+};
+
+/// Discrete-observation HMM scorer.
+#[derive(Debug, Clone)]
+pub struct HiddenMarkov {
+    /// Number of hidden states.
+    pub states: usize,
+    /// Baum-Welch iterations.
+    pub iterations: usize,
+    /// Laplace smoothing added to every re-estimated probability.
+    pub smoothing: f64,
+}
+
+impl Default for HiddenMarkov {
+    fn default() -> Self {
+        Self {
+            states: 3,
+            iterations: 30,
+            smoothing: 1e-3,
+        }
+    }
+}
+
+/// A trained HMM (row-stochastic matrices).
+#[derive(Debug, Clone)]
+pub struct FittedHmm {
+    /// Initial state distribution (length `s`).
+    pub pi: Vec<f64>,
+    /// Transition matrix (`s × s`).
+    pub trans: Vec<Vec<f64>>,
+    /// Emission matrix (`s × m`).
+    pub emit: Vec<Vec<f64>>,
+}
+
+impl FittedHmm {
+    /// Scaled-forward log-likelihood of a sequence.
+    #[allow(clippy::needless_range_loop)] // forward kernel reads clearer indexed
+    pub fn log_likelihood(&self, seq: &[u16]) -> f64 {
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let s = self.pi.len();
+        let m = self.emit[0].len();
+        let emit_of = |state: usize, sym: u16| -> f64 {
+            if (sym as usize) < m {
+                self.emit[state][sym as usize]
+            } else {
+                1e-12 // out-of-alphabet symbol
+            }
+        };
+        let mut alpha: Vec<f64> = (0..s).map(|i| self.pi[i] * emit_of(i, seq[0])).collect();
+        let mut log_like = 0.0;
+        let c0: f64 = alpha.iter().sum::<f64>().max(1e-300);
+        alpha.iter_mut().for_each(|a| *a /= c0);
+        log_like += c0.ln();
+        for &sym in &seq[1..] {
+            let mut next = vec![0.0_f64; s];
+            for (j, nj) in next.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, &ai) in alpha.iter().enumerate() {
+                    acc += ai * self.trans[i][j];
+                }
+                *nj = acc * emit_of(j, sym);
+            }
+            let c: f64 = next.iter().sum::<f64>().max(1e-300);
+            next.iter_mut().for_each(|a| *a /= c);
+            log_like += c.ln();
+            alpha = next;
+        }
+        log_like
+    }
+}
+
+impl HiddenMarkov {
+    /// Creates with an explicit state count.
+    ///
+    /// # Errors
+    /// Rejects `states == 0`.
+    pub fn new(states: usize) -> Result<Self> {
+        if states == 0 {
+            return Err(DetectError::invalid("states", "must be > 0"));
+        }
+        Ok(Self {
+            states,
+            ..Self::default()
+        })
+    }
+
+    /// Deterministic non-uniform initialization (uniform start is a fixed
+    /// point of Baum-Welch, so we perturb by state/symbol index).
+    fn init(&self, m: usize) -> FittedHmm {
+        let s = self.states;
+        let mut pi = vec![0.0; s];
+        for (i, p) in pi.iter_mut().enumerate() {
+            *p = 1.0 + 0.1 * (i as f64 + 1.0);
+        }
+        normalize(&mut pi);
+        let mut trans = vec![vec![0.0; s]; s];
+        for (i, row) in trans.iter_mut().enumerate() {
+            for (j, t) in row.iter_mut().enumerate() {
+                *t = 1.0 + 0.05 * (((i + 2 * j + 1) % 7) as f64);
+            }
+            normalize(row);
+        }
+        let mut emit = vec![vec![0.0; m]; s];
+        for (i, row) in emit.iter_mut().enumerate() {
+            for (k, e) in row.iter_mut().enumerate() {
+                // Strongly state-specialized start: state i prefers symbols
+                // congruent to i, which breaks the symmetric fixed point of
+                // Baum-Welch.
+                *e = if k % s == i { 4.0 } else { 1.0 };
+            }
+            normalize(row);
+        }
+        FittedHmm { pi, trans, emit }
+    }
+
+    /// Baum-Welch training over a collection of sequences.
+    ///
+    /// # Errors
+    /// Rejects an empty collection or all-empty sequences.
+    #[allow(clippy::needless_range_loop)] // forward/backward kernels read clearer indexed
+    pub fn fit(&self, seqs: &[&[u16]]) -> Result<FittedHmm> {
+        if seqs.is_empty() {
+            return Err(DetectError::NotEnoughData {
+                what: "HiddenMarkov",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let m = seqs
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&x| x as usize + 1)
+            .max()
+            .ok_or(DetectError::NotEnoughData {
+                what: "HiddenMarkov (symbols)",
+                needed: 1,
+                got: 0,
+            })?;
+        let s = self.states;
+        let mut model = self.init(m);
+        for _ in 0..self.iterations {
+            let mut pi_acc = vec![self.smoothing; s];
+            let mut trans_acc = vec![vec![self.smoothing; s]; s];
+            let mut emit_acc = vec![vec![self.smoothing; m]; s];
+            for seq in seqs {
+                if seq.is_empty() {
+                    continue;
+                }
+                let t_len = seq.len();
+                // Scaled forward.
+                let mut alpha = vec![vec![0.0_f64; s]; t_len];
+                let mut scale = vec![0.0_f64; t_len];
+                for i in 0..s {
+                    alpha[0][i] = model.pi[i] * model.emit[i][seq[0] as usize];
+                }
+                scale[0] = alpha[0].iter().sum::<f64>().max(1e-300);
+                alpha[0].iter_mut().for_each(|a| *a /= scale[0]);
+                for t in 1..t_len {
+                    for j in 0..s {
+                        let mut acc = 0.0;
+                        for i in 0..s {
+                            acc += alpha[t - 1][i] * model.trans[i][j];
+                        }
+                        alpha[t][j] = acc * model.emit[j][seq[t] as usize];
+                    }
+                    scale[t] = alpha[t].iter().sum::<f64>().max(1e-300);
+                    let sc = scale[t];
+                    alpha[t].iter_mut().for_each(|a| *a /= sc);
+                }
+                // Scaled backward.
+                let mut beta = vec![vec![0.0_f64; s]; t_len];
+                beta[t_len - 1].iter_mut().for_each(|b| *b = 1.0);
+                for t in (0..t_len - 1).rev() {
+                    for i in 0..s {
+                        let mut acc = 0.0;
+                        for j in 0..s {
+                            acc += model.trans[i][j]
+                                * model.emit[j][seq[t + 1] as usize]
+                                * beta[t + 1][j];
+                        }
+                        beta[t][i] = acc / scale[t + 1];
+                    }
+                }
+                // Accumulate expected counts.
+                for t in 0..t_len {
+                    let gamma_denom: f64 = (0..s)
+                        .map(|i| alpha[t][i] * beta[t][i])
+                        .sum::<f64>()
+                        .max(1e-300);
+                    for i in 0..s {
+                        let gamma = alpha[t][i] * beta[t][i] / gamma_denom;
+                        if t == 0 {
+                            pi_acc[i] += gamma;
+                        }
+                        emit_acc[i][seq[t] as usize] += gamma;
+                    }
+                }
+                for t in 0..t_len - 1 {
+                    let mut denom = 0.0;
+                    for i in 0..s {
+                        for j in 0..s {
+                            denom += alpha[t][i]
+                                * model.trans[i][j]
+                                * model.emit[j][seq[t + 1] as usize]
+                                * beta[t + 1][j];
+                        }
+                    }
+                    let denom = denom.max(1e-300);
+                    for i in 0..s {
+                        for j in 0..s {
+                            let xi = alpha[t][i]
+                                * model.trans[i][j]
+                                * model.emit[j][seq[t + 1] as usize]
+                                * beta[t + 1][j]
+                                / denom;
+                            trans_acc[i][j] += xi;
+                        }
+                    }
+                }
+            }
+            // Re-estimate.
+            normalize(&mut pi_acc);
+            model.pi = pi_acc;
+            for row in trans_acc.iter_mut() {
+                normalize(row);
+            }
+            model.trans = trans_acc;
+            for row in emit_acc.iter_mut() {
+                normalize(row);
+            }
+            model.emit = emit_acc;
+        }
+        Ok(model)
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        v.iter_mut().for_each(|x| *x /= s);
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+impl Detector for HiddenMarkov {
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: "Hidden Markov Models",
+            citation: "[7]",
+            class: TechniqueClass::UPA,
+            capabilities: Capabilities::new(false, true, true),
+            supervised: false,
+        }
+    }
+}
+
+impl DiscreteScorer for HiddenMarkov {
+    fn score_sequences(&self, seqs: &[&[u16]]) -> Result<Vec<f64>> {
+        if seqs.len() < 2 {
+            return Err(DetectError::NotEnoughData {
+                what: "HiddenMarkov",
+                needed: 2,
+                got: seqs.len(),
+            });
+        }
+        let model = self.fit(seqs)?;
+        Ok(seqs
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    0.0
+                } else {
+                    -model.log_likelihood(s) / s.len() as f64
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_matrices_are_stochastic() {
+        let a: Vec<u16> = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let b: Vec<u16> = vec![0, 1, 0, 1, 1, 0, 0, 1];
+        let model = HiddenMarkov::new(2).unwrap().fit(&[&a, &b]).unwrap();
+        assert!((model.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for row in &model.trans {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for row in &model.emit {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn training_improves_likelihood() {
+        let seqs: Vec<Vec<u16>> = (0..4)
+            .map(|k| (0..20).map(|i| ((i + k) % 2) as u16).collect())
+            .collect();
+        let refs: Vec<&[u16]> = seqs.iter().map(Vec::as_slice).collect();
+        let hmm = HiddenMarkov::new(2).unwrap();
+        let untrained = hmm.init(2);
+        let trained = hmm.fit(&refs).unwrap();
+        let ll_before: f64 = refs.iter().map(|s| untrained.log_likelihood(s)).sum();
+        let ll_after: f64 = refs.iter().map(|s| trained.log_likelihood(s)).sum();
+        assert!(
+            ll_after > ll_before,
+            "Baum-Welch must not decrease likelihood ({ll_before} -> {ll_after})"
+        );
+    }
+
+    #[test]
+    fn anomalous_sequence_has_lowest_likelihood() {
+        // Normals alternate strictly; anomaly is constant.
+        let normals: Vec<Vec<u16>> = (0..6)
+            .map(|_| (0..24).map(|i| (i % 2) as u16).collect())
+            .collect();
+        let anomaly: Vec<u16> = vec![1; 24];
+        let mut all: Vec<&[u16]> = normals.iter().map(Vec::as_slice).collect();
+        all.push(&anomaly);
+        let scores = HiddenMarkov::new(2).unwrap().score_sequences(&all).unwrap();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, all.len() - 1, "{scores:?}");
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_are_penalized() {
+        let a: Vec<u16> = vec![0, 1, 0, 1];
+        let model = HiddenMarkov::new(2).unwrap().fit(&[&a, &a]).unwrap();
+        let in_alpha = model.log_likelihood(&[0, 1, 0, 1]);
+        let out_alpha = model.log_likelihood(&[7, 7, 7, 7]);
+        assert!(in_alpha > out_alpha);
+    }
+
+    #[test]
+    fn empty_sequence_scores_zero() {
+        let a: Vec<u16> = vec![0, 1, 0];
+        let empty: Vec<u16> = vec![];
+        let all: Vec<&[u16]> = vec![&a, &empty];
+        let scores = HiddenMarkov::new(2).unwrap().score_sequences(&all).unwrap();
+        assert_eq!(scores[1], 0.0);
+    }
+
+    #[test]
+    fn deterministic_validation_info() {
+        let a: Vec<u16> = vec![0, 1, 2, 0, 1, 2];
+        let b: Vec<u16> = vec![0, 1, 2, 2, 1, 0];
+        let all: Vec<&[u16]> = vec![&a, &b];
+        let hmm = HiddenMarkov::default();
+        assert_eq!(
+            hmm.score_sequences(&all).unwrap(),
+            hmm.score_sequences(&all).unwrap()
+        );
+        assert!(HiddenMarkov::new(0).is_err());
+        assert!(hmm.score_sequences(&[&a]).is_err());
+        let i = hmm.info();
+        assert_eq!(i.citation, "[7]");
+        assert_eq!(i.class, TechniqueClass::UPA);
+    }
+}

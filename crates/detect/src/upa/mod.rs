@@ -1,0 +1,10 @@
+//! Unsupervised parametric approaches (UPA).
+//!
+//! "An anomaly is discovered if a sequence is unlikely to be generated from
+//! a specified summary model."
+
+mod fsa;
+mod hmm;
+
+pub use fsa::FiniteStateAutomaton;
+pub use hmm::HiddenMarkov;

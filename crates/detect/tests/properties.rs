@@ -1,0 +1,227 @@
+//! Property-based tests over the detector zoo's cross-cutting contracts:
+//! every scorer returns one finite, non-negative score per item, is
+//! deterministic, and the unsupervised vector scorers respect basic
+//! structure (translation invariance where the method promises it).
+
+use hierod_detect::da::{
+    DynamicClustering, GaussianMixture, KMeans, OneClassSvm, PhasedKMeans,
+    PrincipalComponentSpace, SelfOrganizingMap, SingleLinkage,
+};
+use hierod_detect::itm::HistogramDeviants;
+use hierod_detect::pm::AutoregressiveModel;
+use hierod_detect::stat::{GlobalZScore, IqrFence, RobustZScore, SlidingZScore};
+use hierod_detect::uoa::OlapCubeDetector;
+use hierod_detect::upa::FiniteStateAutomaton;
+use hierod_detect::{DiscreteScorer, PointScorer, VectorScorer};
+use proptest::prelude::*;
+
+fn vec_rows(n: std::ops::Range<usize>, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0_f64..100.0, d), n)
+}
+
+fn all_vector_scorers() -> Vec<Box<dyn VectorScorer>> {
+    vec![
+        Box::new(KMeans::new(2).unwrap()),
+        Box::new(PhasedKMeans::new(2).unwrap()),
+        Box::new(GaussianMixture::new(2).unwrap()),
+        Box::new(PrincipalComponentSpace::new(1).unwrap()),
+        Box::new(OneClassSvm::default()),
+        Box::new(SelfOrganizingMap::new(2, 2).unwrap()),
+        Box::new(SingleLinkage::default()),
+        Box::new(DynamicClustering::default()),
+        Box::new(OlapCubeDetector::default()),
+    ]
+}
+
+fn all_point_scorers() -> Vec<Box<dyn PointScorer>> {
+    vec![
+        Box::new(AutoregressiveModel::new(2).unwrap()),
+        Box::new(SlidingZScore::new(8).unwrap()),
+        Box::new(GlobalZScore),
+        Box::new(RobustZScore),
+        Box::new(IqrFence),
+        Box::new(HistogramDeviants::new(4).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vector_scorers_return_finite_nonnegative_scores(rows in vec_rows(3..20, 3)) {
+        for scorer in all_vector_scorers() {
+            let scores = scorer
+                .score_rows(&rows)
+                .unwrap_or_else(|e| panic!("{}: {e}", scorer.info().name));
+            prop_assert_eq!(scores.len(), rows.len());
+            for s in &scores {
+                prop_assert!(s.is_finite() && *s >= 0.0, "{}: {}", scorer.info().name, s);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_scorers_are_deterministic(rows in vec_rows(3..16, 2)) {
+        for scorer in all_vector_scorers() {
+            let a = scorer.score_rows(&rows).unwrap();
+            let b = scorer.score_rows(&rows).unwrap();
+            prop_assert_eq!(a, b, "{}", scorer.info().name);
+        }
+    }
+
+    #[test]
+    fn point_scorers_return_finite_nonnegative_scores(
+        values in prop::collection::vec(-100.0_f64..100.0, 12..64),
+    ) {
+        for scorer in all_point_scorers() {
+            let scores = scorer
+                .score_points(&values)
+                .unwrap_or_else(|e| panic!("{}: {e}", scorer.info().name));
+            prop_assert_eq!(scores.len(), values.len());
+            for s in &scores {
+                prop_assert!(s.is_finite() && *s >= 0.0, "{}: {}", scorer.info().name, s);
+            }
+        }
+    }
+
+    #[test]
+    fn point_scorers_invariant_under_translation(
+        values in prop::collection::vec(-10.0_f64..10.0, 12..48),
+        offset in -1000.0_f64..1000.0,
+    ) {
+        // All point scorers standardize internally, so adding a constant
+        // must leave scores (nearly) unchanged.
+        let shifted: Vec<f64> = values.iter().map(|v| v + offset).collect();
+        for scorer in all_point_scorers() {
+            let a = scorer.score_points(&values).unwrap();
+            let b = scorer.score_points(&shifted).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!(
+                    (x - y).abs() < 1e-5 * (1.0 + x.abs()),
+                    "{}: {} vs {} (offset {})",
+                    scorer.info().name,
+                    x,
+                    y,
+                    offset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_series_scores_zero_for_all_point_scorers(
+        value in -100.0_f64..100.0,
+        n in 12_usize..48,
+    ) {
+        let values = vec![value; n];
+        for scorer in all_point_scorers() {
+            let scores = scorer.score_points(&values).unwrap();
+            for s in &scores {
+                prop_assert!(s.abs() < 1e-9, "{}: {}", scorer.info().name, s);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_rows_are_never_outliers(
+        row in prop::collection::vec(-50.0_f64..50.0, 3),
+        n in 4_usize..16,
+    ) {
+        let rows = vec![row; n];
+        for scorer in all_vector_scorers() {
+            let scores = scorer.score_rows(&rows).unwrap();
+            // All rows identical: no row can stand out from any other.
+            let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+            let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+            prop_assert!(
+                max - min < 1e-9,
+                "{}: spread {}..{}",
+                scorer.info().name,
+                min,
+                max
+            );
+        }
+    }
+
+    #[test]
+    fn fsa_scores_bounded_unit_interval(
+        seqs in prop::collection::vec(prop::collection::vec(0_u16..6, 4..20), 2..8),
+    ) {
+        let refs: Vec<&[u16]> = seqs.iter().map(Vec::as_slice).collect();
+        let scores = FiniteStateAutomaton::default().score_sequences(&refs).unwrap();
+        for s in scores {
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn far_outlier_row_gets_strictly_highest_score(
+        mut rows in vec_rows(8..20, 2),
+        direction in 0_usize..4,
+    ) {
+        // Keep the bulk inside a bounded ball, plant one far point.
+        for r in rows.iter_mut() {
+            for v in r.iter_mut() {
+                *v = v.clamp(-10.0, 10.0);
+            }
+        }
+        let far = match direction {
+            0 => vec![1e4, 0.0],
+            1 => vec![-1e4, 0.0],
+            2 => vec![0.0, 1e4],
+            _ => vec![0.0, -1e4],
+        };
+        rows.push(far);
+        let last = rows.len() - 1;
+        // The geometry-based scorers must all rank the planted point first.
+        let geometric: Vec<Box<dyn VectorScorer>> = vec![
+            Box::new(KMeans::new(2).unwrap()),
+            Box::new(OneClassSvm::default()),
+            Box::new(SingleLinkage::default()),
+            Box::new(DynamicClustering::default()),
+        ];
+        for scorer in geometric {
+            let scores = scorer.score_rows(&rows).unwrap();
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert_eq!(best, last, "{}: {:?}", scorer.info().name, scores);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn non_finite_inputs_error_not_panic(
+        values in prop::collection::vec(-10.0_f64..10.0, 12..32),
+        nan_at in 0_usize..12,
+        rows in vec_rows(3..8, 2),
+        nan_row in 0_usize..3,
+    ) {
+        // Point scorers.
+        let mut poisoned = values.clone();
+        poisoned[nan_at] = f64::NAN;
+        for scorer in all_point_scorers() {
+            prop_assert!(
+                scorer.score_points(&poisoned).is_err(),
+                "{} accepted NaN",
+                scorer.info().name
+            );
+        }
+        // Vector scorers.
+        let mut poisoned_rows = rows.clone();
+        poisoned_rows[nan_row % rows.len()][0] = f64::INFINITY;
+        for scorer in all_vector_scorers() {
+            prop_assert!(
+                scorer.score_rows(&poisoned_rows).is_err(),
+                "{} accepted infinity",
+                scorer.info().name
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Ranking metrics over continuous outlierness scores.
+//!
+//! ROC-AUC is computed by the Mann-Whitney U statistic (tie-aware); PR-AUC
+//! by the step-wise interpolation of the precision-recall curve; and
+//! precision@k over the top-k scored items.
+
+/// Area under the ROC curve via the Mann-Whitney U statistic: the
+/// probability that a random positive outranks a random negative (ties count
+/// ½). Returns `None` when either class is empty or lengths mismatch.
+pub fn roc_auc(scores: &[f64], actual: &[bool]) -> Option<f64> {
+    if scores.len() != actual.len() || scores.is_empty() {
+        return None;
+    }
+    let pos = actual.iter().filter(|&&a| a).count();
+    let neg = actual.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Rank all scores (average rank for ties), sum positive ranks.
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut rank_sum_pos = 0.0_f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // 1-based average rank for the tie group [i..=j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if actual[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    Some(u / (pos * neg) as f64)
+}
+
+/// Area under the precision-recall curve (average-precision style: sums
+/// precision at each positive hit, scanning by descending score; ties are
+/// processed as one block using the block's final precision). Returns
+/// `None` when there are no positives or lengths mismatch.
+pub fn pr_auc(scores: &[f64], actual: &[bool]) -> Option<f64> {
+    average_precision(scores, actual)
+}
+
+/// Average precision: mean of precision values at the rank of each true
+/// positive (descending score order, tie blocks share the block-end
+/// precision). `None` when there are no positives or lengths mismatch.
+pub fn average_precision(scores: &[f64], actual: &[bool]) -> Option<f64> {
+    if scores.len() != actual.len() || scores.is_empty() {
+        return None;
+    }
+    let total_pos = actual.iter().filter(|&&a| a).count();
+    if total_pos == 0 {
+        return None;
+    }
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut tp = 0_usize;
+    let mut seen = 0_usize;
+    let mut ap = 0.0_f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let block_pos = idx[i..=j].iter().filter(|&&k| actual[k]).count();
+        seen += j - i + 1;
+        tp += block_pos;
+        if block_pos > 0 {
+            let precision_here = tp as f64 / seen as f64;
+            ap += precision_here * block_pos as f64;
+        }
+        i = j + 1;
+    }
+    Some(ap / total_pos as f64)
+}
+
+/// Precision among the `k` highest-scored items (ties at the boundary are
+/// resolved by index order for determinism). Returns `None` for `k == 0`,
+/// empty input, or length mismatch.
+pub fn precision_at_k(scores: &[f64], actual: &[bool], k: usize) -> Option<f64> {
+    if scores.len() != actual.len() || scores.is_empty() || k == 0 {
+        return None;
+    }
+    let k = k.min(scores.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    let hits = idx[..k].iter().filter(|&&i| actual[i]).count();
+    Some(hits as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn perfect_ranking_auc_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let actual = [false, false, true, true];
+        assert!((roc_auc(&scores, &actual).unwrap() - 1.0).abs() < EPS);
+        assert!((pr_auc(&scores, &actual).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn inverted_ranking_auc_is_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let actual = [false, false, true, true];
+        assert!(roc_auc(&scores, &actual).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn random_ties_auc_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let actual = [true, false, true, false];
+        assert!((roc_auc(&scores, &actual).unwrap() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn auc_hand_checked_mixed_case() {
+        // scores: pos {3, 1}, neg {2}. Pairs: (3>2)=1, (1<2)=0 -> AUC 0.5.
+        let scores = [3.0, 1.0, 2.0];
+        let actual = [true, true, false];
+        assert!((roc_auc(&scores, &actual).unwrap() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn auc_none_for_degenerate_classes() {
+        assert!(roc_auc(&[1.0, 2.0], &[true, true]).is_none());
+        assert!(roc_auc(&[1.0, 2.0], &[false, false]).is_none());
+        assert!(roc_auc(&[], &[]).is_none());
+        assert!(roc_auc(&[1.0], &[true, false]).is_none());
+    }
+
+    #[test]
+    fn average_precision_hand_checked() {
+        // Descending: 0.9(+), 0.8(-), 0.7(+). AP = (1/1 + 2/3)/2 = 5/6.
+        let scores = [0.7, 0.9, 0.8];
+        let actual = [true, true, false];
+        assert!((average_precision(&scores, &actual).unwrap() - 5.0 / 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn average_precision_none_without_positives() {
+        assert!(average_precision(&[1.0], &[false]).is_none());
+        assert!(average_precision(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn precision_at_k_hand_checked() {
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let actual = [true, true, false, false];
+        assert!((precision_at_k(&scores, &actual, 2).unwrap() - 0.5).abs() < EPS);
+        assert!((precision_at_k(&scores, &actual, 1).unwrap() - 1.0).abs() < EPS);
+        // k larger than n clamps.
+        assert!((precision_at_k(&scores, &actual, 10).unwrap() - 0.5).abs() < EPS);
+        assert!(precision_at_k(&scores, &actual, 0).is_none());
+        assert!(precision_at_k(&[], &[], 1).is_none());
+    }
+
+    #[test]
+    fn tie_blocks_in_average_precision() {
+        // All tied: AP equals the base rate.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let actual = [true, false, true, false];
+        assert!((average_precision(&scores, &actual).unwrap() - 0.5).abs() < EPS);
+    }
+}

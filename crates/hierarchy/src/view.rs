@@ -1,0 +1,313 @@
+//! Level views: the data a detector at level L sees.
+//!
+//! Section 2 of the paper assigns each level a characteristic data shape:
+//! phase → high-resolution series and discrete sequences; job →
+//! high-dimensional vectors; environment → context series;
+//! production line → series of job features over time; production →
+//! the same across machines. [`LevelView::extract`] materializes those
+//! shapes from a [`Plant`], and is the single entry point `hierod-core`
+//! uses, so the mapping from Fig. 2 to data lives in exactly one place.
+
+use hierod_timeseries::{DiscreteSequence, TimeSeries};
+
+use crate::level::Level;
+use crate::phase::PhaseKind;
+use crate::plant::Plant;
+
+/// A series plus its position in the hierarchy (provenance for reports and
+/// for the support computation, which must find sibling sensors *at the
+/// same location*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesAt {
+    /// Machine id.
+    pub machine: String,
+    /// Job id, when the series lives inside a job.
+    pub job: Option<String>,
+    /// Phase, when the series lives inside a phase.
+    pub phase: Option<PhaseKind>,
+    /// The series itself (its name is the producing sensor, or a feature
+    /// label at line/production level).
+    pub series: TimeSeries,
+}
+
+/// A job-level feature vector with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobVector {
+    /// Machine id.
+    pub machine: String,
+    /// Job id.
+    pub job: String,
+    /// Job start tick.
+    pub start: u64,
+    /// Feature values (setup params followed by CAQ measurements).
+    pub features: Vec<f64>,
+    /// Feature names, parallel to `features`.
+    pub feature_names: Vec<String>,
+}
+
+/// The materialized data of one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelView {
+    /// Which level this view shows.
+    pub level: Level,
+    /// Numeric series at this level (empty at the job level).
+    pub series: Vec<SeriesAt>,
+    /// Discrete event sequences (phase level only).
+    pub sequences: Vec<DiscreteSequence>,
+    /// High-dimensional vectors (job level only).
+    pub vectors: Vec<JobVector>,
+}
+
+impl LevelView {
+    /// Extracts the view of `level` from a plant.
+    pub fn extract(plant: &Plant, level: Level) -> LevelView {
+        match level {
+            Level::Phase => Self::phase_view(plant),
+            Level::Job => Self::job_view(plant),
+            Level::Environment => Self::environment_view(plant),
+            Level::ProductionLine => Self::line_view(plant),
+            Level::Production => Self::production_view(plant),
+        }
+    }
+
+    fn phase_view(plant: &Plant) -> LevelView {
+        let mut series = Vec::new();
+        let mut sequences = Vec::new();
+        for line in &plant.lines {
+            for job in &line.jobs {
+                for phase in &job.phases {
+                    for s in &phase.series {
+                        series.push(SeriesAt {
+                            machine: line.machine_id.clone(),
+                            job: Some(job.id.clone()),
+                            phase: Some(phase.kind),
+                            series: s.clone(),
+                        });
+                    }
+                    sequences.extend(phase.events.iter().cloned());
+                }
+            }
+        }
+        LevelView {
+            level: Level::Phase,
+            series,
+            sequences,
+            vectors: Vec::new(),
+        }
+    }
+
+    fn job_view(plant: &Plant) -> LevelView {
+        let mut vectors = Vec::new();
+        for line in &plant.lines {
+            for job in &line.jobs {
+                vectors.push(JobVector {
+                    machine: line.machine_id.clone(),
+                    job: job.id.clone(),
+                    start: job.start,
+                    features: job.feature_vector(),
+                    feature_names: job.feature_names(),
+                });
+            }
+        }
+        LevelView {
+            level: Level::Job,
+            series: Vec::new(),
+            sequences: Vec::new(),
+            vectors,
+        }
+    }
+
+    fn environment_view(plant: &Plant) -> LevelView {
+        let mut series = Vec::new();
+        for line in &plant.lines {
+            for s in &line.environment.series {
+                series.push(SeriesAt {
+                    machine: line.machine_id.clone(),
+                    job: None,
+                    phase: None,
+                    series: s.clone(),
+                });
+            }
+        }
+        LevelView {
+            level: Level::Environment,
+            series,
+            sequences: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    fn line_view(plant: &Plant) -> LevelView {
+        let mut series = Vec::new();
+        for line in &plant.lines {
+            for f in 0..line.feature_dims() {
+                if let Some(s) = line.feature_series(f) {
+                    series.push(SeriesAt {
+                        machine: line.machine_id.clone(),
+                        job: None,
+                        phase: None,
+                        series: s,
+                    });
+                }
+            }
+        }
+        LevelView {
+            level: Level::ProductionLine,
+            series,
+            sequences: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Production level: for each machine one summary series across jobs —
+    /// the mean of the job's CAQ quality measurements (the cross-machine
+    /// comparable outcome), falling back to the full feature vector when a
+    /// job carries no CAQ data. Detectors compare these series *between*
+    /// machines.
+    fn production_view(plant: &Plant) -> LevelView {
+        let mut series = Vec::new();
+        for line in &plant.lines {
+            if line.jobs.is_empty() {
+                continue;
+            }
+            let mut ts = Vec::with_capacity(line.jobs.len());
+            let mut vals = Vec::with_capacity(line.jobs.len());
+            for job in &line.jobs {
+                let fv = if job.caq.dims() > 0 {
+                    job.caq.values.clone()
+                } else {
+                    job.feature_vector()
+                };
+                if fv.is_empty() {
+                    continue;
+                }
+                ts.push(job.start);
+                vals.push(fv.iter().sum::<f64>() / fv.len() as f64);
+            }
+            if let Ok(s) = TimeSeries::new(format!("{}.summary", line.machine_id), ts, vals) {
+                series.push(SeriesAt {
+                    machine: line.machine_id.clone(),
+                    job: None,
+                    phase: None,
+                    series: s,
+                });
+            }
+        }
+        LevelView {
+            level: Level::Production,
+            series,
+            sequences: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Approximate in-memory data volume of the view (for the Fig.-2
+    /// inventory report): number of scalar values.
+    pub fn volume(&self) -> usize {
+        self.series.iter().map(|s| s.series.len()).sum::<usize>()
+            + self.sequences.iter().map(DiscreteSequence::len).sum::<usize>()
+            + self.vectors.iter().map(|v| v.features.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caq::CaqResult;
+    use crate::environment::Environment;
+    use crate::job::{Job, JobConfig};
+    use crate::line::ProductionLine;
+    use crate::phase::Phase;
+
+    fn demo_plant() -> Plant {
+        let phase = Phase::new(
+            PhaseKind::WarmUp,
+            vec![TimeSeries::regular("m0.bed.0", 0, 1, vec![1.0, 2.0, 3.0]).unwrap()],
+            vec![DiscreteSequence::new("m0.state", vec![0, 1])],
+        );
+        let job0 = Job {
+            id: "j0".into(),
+            start: 0,
+            config: JobConfig::new(vec!["p".into()], vec![1.0]),
+            phases: vec![phase],
+            caq: CaqResult::new(vec!["q".into()], vec![3.0], true),
+        };
+        let job1 = Job {
+            id: "j1".into(),
+            start: 100,
+            config: JobConfig::new(vec!["p".into()], vec![2.0]),
+            phases: vec![],
+            caq: CaqResult::new(vec!["q".into()], vec![4.0], true),
+        };
+        let line = ProductionLine {
+            machine_id: "m0".into(),
+            sensors: vec![],
+            redundancy: vec![],
+            jobs: vec![job0, job1],
+            environment: Environment::new(vec![TimeSeries::from_values(
+                "m0.room_temp",
+                vec![20.0, 21.0],
+            )]),
+        };
+        Plant::new("demo", vec![line])
+    }
+
+    #[test]
+    fn phase_view_carries_provenance() {
+        let v = LevelView::extract(&demo_plant(), Level::Phase);
+        assert_eq!(v.level, Level::Phase);
+        assert_eq!(v.series.len(), 1);
+        assert_eq!(v.series[0].machine, "m0");
+        assert_eq!(v.series[0].job.as_deref(), Some("j0"));
+        assert_eq!(v.series[0].phase, Some(PhaseKind::WarmUp));
+        assert_eq!(v.sequences.len(), 1);
+        assert_eq!(v.volume(), 3 + 2);
+    }
+
+    #[test]
+    fn job_view_exposes_vectors() {
+        let v = LevelView::extract(&demo_plant(), Level::Job);
+        assert_eq!(v.vectors.len(), 2);
+        assert_eq!(v.vectors[0].features, vec![1.0, 3.0]);
+        assert_eq!(v.vectors[1].features, vec![2.0, 4.0]);
+        assert_eq!(v.vectors[0].feature_names, vec!["setup.p", "caq.q"]);
+        assert!(v.series.is_empty());
+        assert_eq!(v.volume(), 4);
+    }
+
+    #[test]
+    fn environment_view_lists_context_series() {
+        let v = LevelView::extract(&demo_plant(), Level::Environment);
+        assert_eq!(v.series.len(), 1);
+        assert_eq!(v.series[0].series.name(), "m0.room_temp");
+        assert!(v.series[0].job.is_none());
+    }
+
+    #[test]
+    fn line_view_builds_feature_series_across_jobs() {
+        let v = LevelView::extract(&demo_plant(), Level::ProductionLine);
+        // 2 features -> 2 series, each with 2 points (one per job).
+        assert_eq!(v.series.len(), 2);
+        assert_eq!(v.series[0].series.values(), &[1.0, 2.0]);
+        assert_eq!(v.series[1].series.values(), &[3.0, 4.0]);
+        assert_eq!(v.series[0].series.timestamps(), &[0, 100]);
+    }
+
+    #[test]
+    fn production_view_summarizes_per_machine() {
+        let v = LevelView::extract(&demo_plant(), Level::Production);
+        assert_eq!(v.series.len(), 1);
+        // The summary is the mean of each job's CAQ values: [3.0], [4.0].
+        assert_eq!(v.series[0].series.values(), &[3.0, 4.0]);
+        assert!(v.series[0].series.name().contains("m0"));
+    }
+
+    #[test]
+    fn empty_plant_yields_empty_views() {
+        let p = Plant::default();
+        for level in Level::ALL {
+            let v = LevelView::extract(&p, level);
+            assert_eq!(v.volume(), 0, "level {level}");
+        }
+    }
+}

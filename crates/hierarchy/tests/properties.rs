@@ -1,0 +1,161 @@
+//! Property tests over the hierarchy model invariants.
+
+use hierod_hierarchy::{
+    CaqResult, Environment, Job, JobConfig, Level, LevelView, Phase, PhaseKind, Plant,
+    ProductionLine, RedundancyGroup, Sensor, SensorKind,
+};
+use hierod_timeseries::TimeSeries;
+use proptest::prelude::*;
+
+fn plant_strategy() -> impl Strategy<Value = Plant> {
+    (
+        1_usize..4,                           // machines
+        1_usize..4,                           // jobs per machine
+        1_usize..4,                           // sensors per job phase
+        2_usize..12,                          // samples per phase
+        prop::collection::vec(-50.0_f64..50.0, 4), // caq values
+    )
+        .prop_map(|(machines, jobs, sensors, samples, caq)| {
+            let lines = (0..machines)
+                .map(|m| {
+                    let machine = format!("m{m}");
+                    let mut tick = 0_u64;
+                    let jobs: Vec<Job> = (0..jobs)
+                        .map(|j| {
+                            let phases: Vec<Phase> = PhaseKind::ALL
+                                .into_iter()
+                                .map(|kind| {
+                                    let series: Vec<TimeSeries> = (0..sensors)
+                                        .map(|s| {
+                                            TimeSeries::regular(
+                                                format!("{machine}.sensor.{s}"),
+                                                tick,
+                                                1,
+                                                (0..samples)
+                                                    .map(|i| (i + s) as f64)
+                                                    .collect(),
+                                            )
+                                            .expect("regular")
+                                        })
+                                        .collect();
+                                    tick += samples as u64;
+                                    Phase::new(kind, series, vec![])
+                                })
+                                .collect();
+                            let start = phases
+                                .first()
+                                .and_then(Phase::span)
+                                .map(|(a, _)| a)
+                                .unwrap_or(0);
+                            Job {
+                                id: format!("{machine}-j{j}"),
+                                start,
+                                config: JobConfig::new(
+                                    vec!["p0".into(), "p1".into()],
+                                    vec![j as f64, (j * 2) as f64],
+                                ),
+                                phases,
+                                caq: CaqResult::new(
+                                    vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                                    caq.clone(),
+                                    true,
+                                ),
+                            }
+                        })
+                        .collect();
+                    ProductionLine {
+                        machine_id: machine.clone(),
+                        sensors: (0..sensors)
+                            .map(|s| {
+                                Sensor::new(
+                                    format!("{machine}.sensor.{s}"),
+                                    SensorKind::BedTemperature,
+                                )
+                            })
+                            .collect(),
+                        redundancy: vec![RedundancyGroup::new(
+                            SensorKind::BedTemperature,
+                            (0..sensors)
+                                .map(|s| format!("{machine}.sensor.{s}"))
+                                .collect(),
+                        )],
+                        jobs,
+                        environment: Environment::new(vec![TimeSeries::regular(
+                            format!("{machine}.room_temp"),
+                            0,
+                            10,
+                            vec![20.0; 8],
+                        )
+                        .expect("regular")]),
+                    }
+                })
+                .collect();
+            Plant::new("prop", lines)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn views_conserve_volume_accounting(plant in plant_strategy()) {
+        let phase = LevelView::extract(&plant, Level::Phase);
+        prop_assert_eq!(phase.volume(), plant.sample_count());
+        let job = LevelView::extract(&plant, Level::Job);
+        prop_assert_eq!(job.vectors.len(), plant.job_count());
+        for v in &job.vectors {
+            prop_assert_eq!(v.features.len(), 6); // 2 setup + 4 caq
+            prop_assert_eq!(v.features.len(), v.feature_names.len());
+        }
+        // Line view: one series per feature per machine, one point per job.
+        let line = LevelView::extract(&plant, Level::ProductionLine);
+        prop_assert_eq!(line.series.len(), plant.machine_count() * 6);
+        for s in &line.series {
+            let machine_jobs = plant.line(&s.machine).unwrap().jobs.len();
+            prop_assert_eq!(s.series.len(), machine_jobs);
+        }
+        // Production view: one summary per machine.
+        let prod = LevelView::extract(&plant, Level::Production);
+        prop_assert_eq!(prod.series.len(), plant.machine_count());
+    }
+
+    #[test]
+    fn feature_series_round_trip_job_features(plant in plant_strategy()) {
+        for line in &plant.lines {
+            for f in 0..line.feature_dims() {
+                let series = line.feature_series(f).expect("feature in range");
+                for (job, &v) in line.jobs.iter().zip(series.values()) {
+                    prop_assert_eq!(v, job.feature_vector()[f]);
+                }
+            }
+            prop_assert!(line.feature_series(line.feature_dims()).is_none());
+        }
+    }
+
+    #[test]
+    fn redundancy_group_partitions(plant in plant_strategy()) {
+        for line in &plant.lines {
+            for group in &line.redundancy {
+                for sensor in &group.sensors {
+                    let corr = group.corresponding(sensor);
+                    prop_assert_eq!(corr.len(), group.size() - 1);
+                    prop_assert!(!corr.contains(&sensor.as_str()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_nest_upward(plant in plant_strategy()) {
+        for line in &plant.lines {
+            for job in &line.jobs {
+                let Some((j0, j1)) = job.span() else { continue };
+                for phase in &job.phases {
+                    if let Some((p0, p1)) = phase.span() {
+                        prop_assert!(p0 >= j0 && p1 <= j1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Ground-truth labels for generated scenarios.
+
+use std::collections::BTreeSet;
+
+use hierod_hierarchy::PhaseKind;
+
+use crate::inject::{OutlierType, Scope};
+
+/// One injected anomaly, fully located in the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// Machine id.
+    pub machine: String,
+    /// Job id.
+    pub job: String,
+    /// Phase the injection landed in.
+    pub phase: PhaseKind,
+    /// Primary afflicted sensor.
+    pub sensor: String,
+    /// All sensors that received the effect (== redundancy group for
+    /// process anomalies, just `sensor` for measurement errors).
+    pub affected_sensors: Vec<String>,
+    /// Outlier shape.
+    pub outlier: OutlierType,
+    /// Fault vs. process event.
+    pub scope: Scope,
+    /// Sample index (within the phase series) where the event starts.
+    pub start_idx: usize,
+    /// Number of effectively anomalous samples.
+    pub len: usize,
+    /// Peak magnitude.
+    pub magnitude: f64,
+}
+
+impl InjectionRecord {
+    /// `true` if this injection is a genuine process anomaly.
+    pub fn is_process_anomaly(&self) -> bool {
+        self.scope == Scope::ProcessAnomaly
+    }
+}
+
+/// An injected anomaly on an environment-level series (no job/phase
+/// structure: ambient series span the machine's whole timeline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvInjectionRecord {
+    /// Machine id.
+    pub machine: String,
+    /// Environment sensor name.
+    pub sensor: String,
+    /// Outlier shape.
+    pub outlier: OutlierType,
+    /// Sample index in the environment series where the event starts.
+    pub start_idx: usize,
+    /// Number of effectively anomalous samples.
+    pub len: usize,
+    /// Peak magnitude.
+    pub magnitude: f64,
+}
+
+/// Ground truth of one generated scenario.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// All phase-level injections, in generation order.
+    pub injections: Vec<InjectionRecord>,
+    /// Environment-level injections (HVAC excursions etc.).
+    pub environment_injections: Vec<EnvInjectionRecord>,
+}
+
+impl GroundTruth {
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// `true` if nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Injections affecting the given sensor series (machine + job + phase +
+    /// sensor).
+    pub fn for_series<'a>(
+        &'a self,
+        machine: &'a str,
+        job: &'a str,
+        phase: PhaseKind,
+        sensor: &'a str,
+    ) -> impl Iterator<Item = &'a InjectionRecord> {
+        self.injections.iter().filter(move |r| {
+            r.machine == machine
+                && r.job == job
+                && r.phase == phase
+                && r.affected_sensors.iter().any(|s| s == sensor)
+        })
+    }
+
+    /// Point-level boolean labels for one sensor series of length `n`
+    /// (all injection scopes).
+    pub fn point_labels(
+        &self,
+        machine: &str,
+        job: &str,
+        phase: PhaseKind,
+        sensor: &str,
+        n: usize,
+    ) -> Vec<bool> {
+        self.point_labels_scoped(machine, job, phase, sensor, n, None)
+    }
+
+    /// Point-level boolean labels restricted to one injection scope
+    /// (`None` = all scopes). The process-anomaly restriction is what the
+    /// detection-quality experiment uses as ground truth: a sensor glitch
+    /// is not a process event.
+    pub fn point_labels_scoped(
+        &self,
+        machine: &str,
+        job: &str,
+        phase: PhaseKind,
+        sensor: &str,
+        n: usize,
+        scope: Option<Scope>,
+    ) -> Vec<bool> {
+        let mut labels = vec![false; n];
+        for r in self.for_series(machine, job, phase, sensor) {
+            if let Some(s) = scope {
+                if r.scope != s {
+                    continue;
+                }
+            }
+            let end = (r.start_idx + r.len).min(n);
+            for l in &mut labels[r.start_idx.min(n)..end] {
+                *l = true;
+            }
+        }
+        labels
+    }
+
+    /// Ids `(machine, job)` of jobs containing at least one **process**
+    /// anomaly — the job-level ground truth (measurement errors do not make
+    /// a job anomalous).
+    pub fn anomalous_jobs(&self) -> BTreeSet<(String, String)> {
+        self.injections
+            .iter()
+            .filter(|r| r.is_process_anomaly())
+            .map(|r| (r.machine.clone(), r.job.clone()))
+            .collect()
+    }
+
+    /// Machines containing at least one process anomaly.
+    pub fn anomalous_machines(&self) -> BTreeSet<String> {
+        self.injections
+            .iter()
+            .filter(|r| r.is_process_anomaly())
+            .map(|r| r.machine.clone())
+            .collect()
+    }
+
+    /// Count of injections with the given scope.
+    pub fn count_scope(&self, scope: Scope) -> usize {
+        self.injections.iter().filter(|r| r.scope == scope).count()
+    }
+
+    /// Count of injections with the given outlier type.
+    pub fn count_type(&self, outlier: OutlierType) -> usize {
+        self.injections
+            .iter()
+            .filter(|r| r.outlier == outlier)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scope: Scope, sensor: &str, start: usize, len: usize) -> InjectionRecord {
+        InjectionRecord {
+            machine: "m0".into(),
+            job: "j0".into(),
+            phase: PhaseKind::Printing,
+            sensor: sensor.into(),
+            affected_sensors: vec![sensor.into()],
+            outlier: OutlierType::Additive,
+            scope,
+            start_idx: start,
+            len,
+            magnitude: 5.0,
+        }
+    }
+
+    #[test]
+    fn point_labels_mark_event_window() {
+        let gt = GroundTruth {
+            injections: vec![record(Scope::ProcessAnomaly, "s0", 2, 3)],
+            environment_injections: vec![],
+        };
+        let labels = gt.point_labels("m0", "j0", PhaseKind::Printing, "s0", 8);
+        assert_eq!(
+            labels,
+            vec![false, false, true, true, true, false, false, false]
+        );
+        // Other sensor: no labels.
+        let other = gt.point_labels("m0", "j0", PhaseKind::Printing, "s1", 8);
+        assert!(other.iter().all(|&l| !l));
+        // Other phase: no labels.
+        let other = gt.point_labels("m0", "j0", PhaseKind::WarmUp, "s0", 8);
+        assert!(other.iter().all(|&l| !l));
+    }
+
+    #[test]
+    fn labels_clamp_to_series_length() {
+        let gt = GroundTruth {
+            injections: vec![record(Scope::ProcessAnomaly, "s0", 6, 10)],
+            environment_injections: vec![],
+        };
+        let labels = gt.point_labels("m0", "j0", PhaseKind::Printing, "s0", 8);
+        assert!(labels[6]);
+        assert!(labels[7]);
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn affected_sensors_drive_series_lookup() {
+        let mut r = record(Scope::ProcessAnomaly, "s0", 0, 1);
+        r.affected_sensors = vec!["s0".into(), "s1".into()];
+        let gt = GroundTruth {
+            injections: vec![r],
+            environment_injections: vec![],
+        };
+        assert_eq!(
+            gt.for_series("m0", "j0", PhaseKind::Printing, "s1").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn job_level_truth_ignores_measurement_errors() {
+        let gt = GroundTruth {
+            injections: vec![
+                record(Scope::MeasurementError, "s0", 0, 1),
+                {
+                    let mut r = record(Scope::ProcessAnomaly, "s1", 0, 1);
+                    r.job = "j1".into();
+                    r
+                },
+            ],
+            environment_injections: vec![],
+        };
+        let jobs = gt.anomalous_jobs();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs.contains(&("m0".to_string(), "j1".to_string())));
+        assert_eq!(gt.anomalous_machines().len(), 1);
+        assert_eq!(gt.count_scope(Scope::MeasurementError), 1);
+        assert_eq!(gt.count_type(OutlierType::Additive), 2);
+    }
+
+    #[test]
+    fn empty_truth() {
+        let gt = GroundTruth::default();
+        assert!(gt.is_empty());
+        assert_eq!(gt.len(), 0);
+        assert!(gt.anomalous_jobs().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests over the generator's structural guarantees.
+
+use hierod_hierarchy::{Level, LevelView, PhaseKind};
+use hierod_synth::{Injection, OutlierType, ScenarioBuilder, Scope};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scenario_structure_matches_builder(
+        seed in 0_u64..500,
+        machines in 1_usize..4,
+        jobs in 1_usize..6,
+        redundancy in 1_usize..4,
+    ) {
+        let s = ScenarioBuilder::new(seed)
+            .machines(machines)
+            .jobs_per_machine(jobs)
+            .redundancy(redundancy)
+            .phase_samples(20)
+            .anomaly_rate(0.5)
+            .build();
+        prop_assert_eq!(s.plant.machine_count(), machines);
+        prop_assert_eq!(s.plant.job_count(), machines * jobs);
+        for line in &s.plant.lines {
+            // 2 redundant temperature groups + 3 singleton quantities.
+            prop_assert_eq!(line.sensors.len(), 2 * redundancy + 3);
+            prop_assert_eq!(line.redundancy.len(), 5);
+            for job in &line.jobs {
+                prop_assert_eq!(job.phases.len(), PhaseKind::ALL.len());
+                prop_assert_eq!(job.config.dims(), 5);
+                prop_assert_eq!(job.caq.dims(), 4);
+            }
+            prop_assert_eq!(line.environment.series.len(), 2);
+        }
+    }
+
+    #[test]
+    fn truth_records_point_into_valid_series(
+        seed in 0_u64..500,
+        me_fraction in 0.0_f64..1.0,
+    ) {
+        let s = ScenarioBuilder::new(seed)
+            .machines(2)
+            .jobs_per_machine(4)
+            .redundancy(2)
+            .phase_samples(24)
+            .anomaly_rate(1.0)
+            .measurement_error_fraction(me_fraction)
+            .build();
+        for r in &s.truth.injections {
+            let line = s.plant.line(&r.machine).expect("machine");
+            let job = line.job(&r.job).expect("job");
+            let phase = job.phase(r.phase).expect("phase");
+            // Primary sensor series exists and the event window fits.
+            let series = phase.sensor_series(&r.sensor).expect("sensor");
+            prop_assert!(r.start_idx < series.len());
+            prop_assert!(r.len >= 1);
+            // Scope consistency.
+            match r.scope {
+                Scope::MeasurementError => prop_assert_eq!(r.affected_sensors.len(), 1),
+                Scope::ProcessAnomaly => {
+                    let group = line.group_of(&r.sensor).expect("group");
+                    for member in &group.sensors {
+                        prop_assert!(
+                            r.affected_sensors.contains(member),
+                            "group member {} missing from affected set",
+                            member
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_views_extract_without_panicking(seed in 0_u64..200) {
+        let s = ScenarioBuilder::new(seed)
+            .machines(1)
+            .jobs_per_machine(3)
+            .phase_samples(16)
+            .build();
+        for level in Level::ALL {
+            let v = LevelView::extract(&s.plant, level);
+            prop_assert!(v.volume() > 0);
+        }
+    }
+
+    #[test]
+    fn injection_effect_shapes(
+        magnitude in -50.0_f64..50.0,
+        at in 0_usize..40,
+        n in 1_usize..64,
+    ) {
+        prop_assume!(magnitude.abs() > 1e-6);
+        for outlier in OutlierType::ALL {
+            let inj = Injection::new(outlier, Scope::ProcessAnomaly, magnitude);
+            let mut values = vec![0.0_f64; n];
+            let effective = inj.apply(&mut values, at);
+            // Everything before `at` is untouched.
+            for v in &values[..at.min(n)] {
+                prop_assert_eq!(*v, 0.0);
+            }
+            if at < n {
+                prop_assert!(effective >= 1);
+                // Peak magnitude at onset.
+                prop_assert!((values[at] - magnitude).abs() < 1e-12);
+                prop_assert!(effective <= n - at);
+            } else {
+                prop_assert_eq!(effective, 0);
+            }
+            // Decay monotonicity for the decaying shapes.
+            if at + 2 < n
+                && matches!(
+                    outlier,
+                    OutlierType::Innovative | OutlierType::TemporaryChange
+                )
+            {
+                prop_assert!(values[at].abs() >= values[at + 1].abs());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed(seed in 0_u64..200) {
+        let build = || {
+            ScenarioBuilder::new(seed)
+                .machines(1)
+                .jobs_per_machine(2)
+                .phase_samples(16)
+                .anomaly_rate(0.7)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.plant, b.plant);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+}

@@ -1,0 +1,439 @@
+//! Core containers: [`TimeSeries`], [`DiscreteSequence`], [`MultiSeries`].
+//!
+//! The paper's phase level (its Fig. 2, level ①) delivers "either time series
+//! data or discrete value sequences": numeric samples over time, or label
+//! sequences. These two containers, plus an aligned multivariate bundle,
+//! are the inputs every detector in `hierod-detect` consumes.
+
+use crate::error::{Error, Result};
+
+/// A regularly/irregularly sampled univariate numeric time series.
+///
+/// Timestamps are `u64` ticks (the unit is defined by the producer — the
+/// additive-manufacturing simulator uses milliseconds). Values are `f64`.
+/// Timestamps must be strictly increasing; constructors enforce this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    timestamps: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from parallel timestamp/value vectors.
+    ///
+    /// # Errors
+    /// Returns an error if the vectors differ in length or timestamps are
+    /// not strictly increasing.
+    pub fn new(
+        name: impl Into<String>,
+        timestamps: Vec<u64>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if timestamps.len() != values.len() {
+            return Err(Error::LengthMismatch {
+                what: "TimeSeries::new",
+                left: timestamps.len(),
+                right: values.len(),
+            });
+        }
+        if timestamps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::invalid(
+                "timestamps",
+                "must be strictly increasing",
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            timestamps,
+            values,
+        })
+    }
+
+    /// Creates a regularly sampled series starting at `start` with the given
+    /// sampling period (`step` ticks per sample).
+    ///
+    /// # Errors
+    /// Returns an error if `step == 0`.
+    pub fn regular(
+        name: impl Into<String>,
+        start: u64,
+        step: u64,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if step == 0 {
+            return Err(Error::invalid("step", "must be > 0"));
+        }
+        let timestamps = (0..values.len() as u64).map(|i| start + i * step).collect();
+        Ok(Self {
+            name: name.into(),
+            timestamps,
+            values,
+        })
+    }
+
+    /// Creates a series from values only, with timestamps `0..n`.
+    pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
+        let timestamps = (0..values.len() as u64).collect();
+        Self {
+            name: name.into(),
+            timestamps,
+            values,
+        }
+    }
+
+    /// The series name (usually the producing sensor id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The sample timestamps (strictly increasing).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// Returns `(timestamp, value)` at `idx`, if in bounds.
+    pub fn get(&self, idx: usize) -> Option<(u64, f64)> {
+        Some((*self.timestamps.get(idx)?, *self.values.get(idx)?))
+    }
+
+    /// Time span `(first, last)` covered by the series, if non-empty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        Some((*self.timestamps.first()?, *self.timestamps.last()?))
+    }
+
+    /// Extracts the sub-series with indices in `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors slice semantics).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            timestamps: self.timestamps[range.clone()].to_vec(),
+            values: self.values[range].to_vec(),
+        }
+    }
+
+    /// Extracts the sub-series whose timestamps fall in `[t0, t1)`.
+    pub fn between(&self, t0: u64, t1: u64) -> TimeSeries {
+        let start = self.timestamps.partition_point(|&t| t < t0);
+        let end = self.timestamps.partition_point(|&t| t < t1);
+        self.slice(start..end)
+    }
+
+    /// Applies `f` to every value, producing a new series with the same
+    /// timestamps.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            timestamps: self.timestamps.clone(),
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Returns a renamed copy of this series.
+    pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+
+    /// Mutable access to values (for in-place injection by the simulator).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterator over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.timestamps
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+}
+
+/// A discrete label sequence (the paper's "discrete value sequences" at the
+/// phase level, e.g. machine state codes or CAQ event labels).
+///
+/// Symbols are small integers; the producer maintains the mapping from
+/// domain labels to symbol ids via [`DiscreteSequence::with_alphabet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscreteSequence {
+    name: String,
+    symbols: Vec<u16>,
+    /// Optional human-readable alphabet: `alphabet[sym as usize]` is the label.
+    alphabet: Vec<String>,
+}
+
+impl DiscreteSequence {
+    /// Creates a sequence from raw symbol ids with an empty alphabet.
+    pub fn new(name: impl Into<String>, symbols: Vec<u16>) -> Self {
+        Self {
+            name: name.into(),
+            symbols,
+            alphabet: Vec::new(),
+        }
+    }
+
+    /// Creates a sequence with an explicit alphabet.
+    ///
+    /// # Errors
+    /// Returns an error if any symbol id is out of range for the alphabet.
+    pub fn with_alphabet(
+        name: impl Into<String>,
+        symbols: Vec<u16>,
+        alphabet: Vec<String>,
+    ) -> Result<Self> {
+        if let Some(&bad) = symbols.iter().find(|&&s| (s as usize) >= alphabet.len()) {
+            return Err(Error::invalid(
+                "symbols",
+                format!("symbol {bad} out of range for alphabet of size {}", alphabet.len()),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            symbols,
+            alphabet,
+        })
+    }
+
+    /// The sequence name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The raw symbol ids.
+    pub fn symbols(&self) -> &[u16] {
+        &self.symbols
+    }
+
+    /// Label for a symbol id, if an alphabet was attached.
+    pub fn label(&self, sym: u16) -> Option<&str> {
+        self.alphabet.get(sym as usize).map(String::as_str)
+    }
+
+    /// Number of distinct symbols actually used.
+    pub fn distinct(&self) -> usize {
+        let mut seen: Vec<u16> = self.symbols.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Size of the declared alphabet (0 when none was attached).
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet.len()
+    }
+}
+
+/// A bundle of time-aligned univariate series (multivariate view).
+///
+/// All members must have identical timestamps; this is the form the
+/// phase-level detectors consume when a phase carries several sensors of the
+/// same physical quantity (the redundancy groups of the paper's support
+/// mechanism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSeries {
+    series: Vec<TimeSeries>,
+}
+
+impl MultiSeries {
+    /// Builds a bundle, verifying time alignment.
+    ///
+    /// # Errors
+    /// Returns an error on an empty bundle or mismatched timestamps.
+    pub fn new(series: Vec<TimeSeries>) -> Result<Self> {
+        let first = series.first().ok_or(Error::Empty {
+            what: "MultiSeries::new",
+        })?;
+        for s in &series[1..] {
+            if s.timestamps() != first.timestamps() {
+                return Err(Error::invalid(
+                    "series",
+                    format!(
+                        "series `{}` is not time-aligned with `{}`",
+                        s.name(),
+                        first.name()
+                    ),
+                ));
+            }
+        }
+        Ok(Self { series })
+    }
+
+    /// Number of member series (dimensionality).
+    pub fn dims(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.series[0].len()
+    }
+
+    /// `true` if there are no time points.
+    pub fn is_empty(&self) -> bool {
+        self.series[0].is_empty()
+    }
+
+    /// Member series.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// The sample at time index `idx` as a vector across dimensions.
+    pub fn row(&self, idx: usize) -> Vec<f64> {
+        self.series.iter().map(|s| s.values()[idx]).collect()
+    }
+
+    /// All samples as row vectors (n × d).
+    pub fn rows(&self) -> Vec<Vec<f64>> {
+        (0..self.len()).map(|i| self.row(i)).collect()
+    }
+
+    /// Looks up a member series by name.
+    pub fn by_name(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values("t", vals.to_vec())
+    }
+
+    #[test]
+    fn new_rejects_length_mismatch() {
+        let err = TimeSeries::new("x", vec![0, 1], vec![1.0]).unwrap_err();
+        assert!(matches!(err, Error::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_rejects_non_increasing_timestamps() {
+        let err = TimeSeries::new("x", vec![0, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+        let err = TimeSeries::new("x", vec![5, 3], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn regular_builds_arithmetic_timestamps() {
+        let s = TimeSeries::regular("x", 10, 5, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.timestamps(), &[10, 15, 20]);
+        assert_eq!(s.span(), Some((10, 20)));
+    }
+
+    #[test]
+    fn regular_rejects_zero_step() {
+        assert!(TimeSeries::regular("x", 0, 0, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_values_uses_unit_timestamps() {
+        let s = ts(&[4.0, 5.0]);
+        assert_eq!(s.timestamps(), &[0, 1]);
+        assert_eq!(s.get(1), Some((1, 5.0)));
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn between_selects_half_open_interval() {
+        let s = TimeSeries::regular("x", 0, 10, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let sub = s.between(10, 30);
+        assert_eq!(sub.values(), &[1.0, 2.0]);
+        assert_eq!(sub.timestamps(), &[10, 20]);
+        // Empty window.
+        assert!(s.between(100, 200).is_empty());
+    }
+
+    #[test]
+    fn slice_preserves_name() {
+        let s = ts(&[1.0, 2.0, 3.0]);
+        let sub = s.slice(1..3);
+        assert_eq!(sub.name(), "t");
+        assert_eq!(sub.values(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn map_transforms_values_only() {
+        let s = ts(&[1.0, 2.0]);
+        let m = s.map(|v| v * 2.0);
+        assert_eq!(m.values(), &[2.0, 4.0]);
+        assert_eq!(m.timestamps(), s.timestamps());
+    }
+
+    #[test]
+    fn discrete_sequence_alphabet_roundtrip() {
+        let seq = DiscreteSequence::with_alphabet(
+            "states",
+            vec![0, 1, 1, 2],
+            vec!["idle".into(), "warm".into(), "print".into()],
+        )
+        .unwrap();
+        assert_eq!(seq.label(2), Some("print"));
+        assert_eq!(seq.distinct(), 3);
+        assert_eq!(seq.alphabet_size(), 3);
+    }
+
+    #[test]
+    fn discrete_sequence_rejects_out_of_range_symbol() {
+        let err =
+            DiscreteSequence::with_alphabet("s", vec![0, 7], vec!["a".into()]).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn multiseries_requires_alignment() {
+        let a = TimeSeries::regular("a", 0, 1, vec![1.0, 2.0]).unwrap();
+        let b = TimeSeries::regular("b", 0, 2, vec![1.0, 2.0]).unwrap();
+        assert!(MultiSeries::new(vec![a.clone(), b]).is_err());
+        let b2 = TimeSeries::regular("b", 0, 1, vec![3.0, 4.0]).unwrap();
+        let m = MultiSeries::new(vec![a, b2]).unwrap();
+        assert_eq!(m.dims(), 2);
+        assert_eq!(m.row(1), vec![2.0, 4.0]);
+        assert_eq!(m.by_name("b").unwrap().values(), &[3.0, 4.0]);
+        assert!(m.by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn multiseries_rejects_empty() {
+        assert!(MultiSeries::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rows_materializes_matrix() {
+        let a = TimeSeries::from_values("a", vec![1.0, 2.0]);
+        let b = TimeSeries::from_values("b", vec![3.0, 4.0]);
+        let m = MultiSeries::new(vec![a, b]).unwrap();
+        assert_eq!(m.rows(), vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for the time-series substrate invariants.
+
+use hierod_timeseries::distance::{cosine, dtw, euclidean, lcs_len, lcs_similarity};
+use hierod_timeseries::fft::{fft_in_place, Complex};
+use hierod_timeseries::histogram::{v_optimal_sse, VOptimalHistogram};
+use hierod_timeseries::normalize::z_normalize;
+use hierod_timeseries::sax::{paa, SaxEncoder};
+use hierod_timeseries::stats;
+use hierod_timeseries::window::{window_scores_to_point_scores, windows, WindowSpec};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3_f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn mean_lies_between_min_and_max(xs in finite_vec(1..64)) {
+        let m = stats::mean(&xs).unwrap();
+        let lo = stats::min(&xs).unwrap();
+        let hi = stats::max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_non_negative(xs in finite_vec(1..64)) {
+        prop_assert!(stats::variance(&xs).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in finite_vec(1..64), q1 in 0.0_f64..1.0, q2 in 0.0_f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&xs, lo).unwrap();
+        let b = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_bounded(xs in finite_vec(2..64), lag in 0_usize..8) {
+        prop_assume!(lag < xs.len());
+        let r = stats::autocorrelation(&xs, lag).unwrap();
+        prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&r));
+    }
+
+    #[test]
+    fn euclidean_is_symmetric_and_nonneg(
+        (a, b) in (1_usize..32).prop_flat_map(|n| (
+            prop::collection::vec(-1e3_f64..1e3, n),
+            prop::collection::vec(-1e3_f64..1e3, n),
+        )),
+    ) {
+        let d1 = euclidean(&a, &b).unwrap();
+        let d2 = euclidean(&b, &a).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in prop::collection::vec(-100.0_f64..100.0, 8),
+        b in prop::collection::vec(-100.0_f64..100.0, 8),
+        c in prop::collection::vec(-100.0_f64..100.0, 8),
+    ) {
+        let ab = euclidean(&a, &b).unwrap();
+        let bc = euclidean(&b, &c).unwrap();
+        let ac = euclidean(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn dtw_identity_and_bound(a in prop::collection::vec(-50.0_f64..50.0, 2..24)) {
+        prop_assert!(dtw(&a, &a, None).unwrap() < 1e-9);
+        // Unconstrained DTW never exceeds Euclidean on equal lengths.
+        let shifted: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let d = dtw(&a, &shifted, None).unwrap();
+        let e = euclidean(&a, &shifted).unwrap();
+        prop_assert!(d <= e + 1e-9);
+    }
+
+    #[test]
+    fn dtw_symmetric(
+        a in prop::collection::vec(-50.0_f64..50.0, 2..16),
+        b in prop::collection::vec(-50.0_f64..50.0, 2..16),
+    ) {
+        let d1 = dtw(&a, &b, None).unwrap();
+        let d2 = dtw(&b, &a, None).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_in_unit_range(
+        (a, b) in (1_usize..16).prop_flat_map(|n| (
+            prop::collection::vec(-1e3_f64..1e3, n),
+            prop::collection::vec(-1e3_f64..1e3, n),
+        )),
+    ) {
+        let d = cosine(&a, &b).unwrap();
+        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d));
+    }
+
+    #[test]
+    fn lcs_len_bounded_by_shorter(
+        a in prop::collection::vec(0_u16..5, 0..20),
+        b in prop::collection::vec(0_u16..5, 0..20),
+    ) {
+        let l = lcs_len(&a, &b);
+        prop_assert!(l <= a.len().min(b.len()));
+        let sim = lcs_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn lcs_of_self_is_full_length(a in prop::collection::vec(0_u16..5, 0..20)) {
+        prop_assert_eq!(lcs_len(&a, &a), a.len());
+    }
+
+    #[test]
+    fn z_normalize_idempotent_shape(xs in finite_vec(2..32)) {
+        let z = z_normalize(&xs).unwrap();
+        let zz = z_normalize(&z).unwrap();
+        for (a, b) in z.iter().zip(&zz) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paa_conserves_mean(xs in finite_vec(1..64), segs in 1_usize..16) {
+        prop_assume!(segs <= xs.len());
+        let p = paa(&xs, segs).unwrap();
+        // Fractional PAA conserves total mass exactly.
+        let mean_in = stats::mean(&xs).unwrap();
+        let mean_out = stats::mean(&p).unwrap();
+        prop_assert!((mean_in - mean_out).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sax_mindist_lower_bounds_euclidean(
+        a in prop::collection::vec(-10.0_f64..10.0, 16),
+        b in prop::collection::vec(-10.0_f64..10.0, 16),
+    ) {
+        let enc = SaxEncoder::new(4, 5).unwrap();
+        let wa = enc.encode(&a).unwrap();
+        let wb = enc.encode(&b).unwrap();
+        let za = z_normalize(&a).unwrap();
+        let zb = z_normalize(&b).unwrap();
+        let true_d = euclidean(&za, &zb).unwrap();
+        let lb = enc.mindist(&wa, &wb).unwrap();
+        prop_assert!(lb <= true_d + 1e-6, "MINDIST {} > Euclid {}", lb, true_d);
+    }
+
+    #[test]
+    fn fft_roundtrip(xs in prop::collection::vec(-100.0_f64..100.0, 16)) {
+        let mut buf: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_in_place(&mut buf, false).unwrap();
+        fft_in_place(&mut buf, true).unwrap();
+        for (c, &x) in buf.iter().zip(&xs) {
+            prop_assert!((c.re - x).abs() < 1e-6);
+            prop_assert!(c.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn v_optimal_monotone_and_bounded(xs in finite_vec(2..24), b in 1_usize..6) {
+        let sse_b = v_optimal_sse(&xs, b).unwrap();
+        let sse_b1 = v_optimal_sse(&xs, b + 1).unwrap();
+        prop_assert!(sse_b1 <= sse_b + 1e-6);
+        // One bucket equals n * variance.
+        let one = v_optimal_sse(&xs, 1).unwrap();
+        let nvar = stats::variance(&xs).unwrap() * xs.len() as f64;
+        prop_assert!((one - nvar).abs() < 1e-5 * (1.0 + nvar));
+    }
+
+    #[test]
+    fn v_optimal_buckets_tile(xs in finite_vec(1..24), b in 1_usize..6) {
+        let h = VOptimalHistogram::fit(&xs, b).unwrap();
+        let bs = h.buckets();
+        prop_assert_eq!(bs.first().unwrap().start, 0);
+        prop_assert_eq!(bs.last().unwrap().end, xs.len());
+        for w in bs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn window_count_matches_iterator(n in 0_usize..200, len in 1_usize..20, stride in 1_usize..10) {
+        let data = vec![0.0; n];
+        let spec = WindowSpec::new(len, stride).unwrap();
+        prop_assert_eq!(windows(&data, spec).count(), spec.count(n));
+    }
+
+    #[test]
+    fn window_point_spread_max_bounded(
+        scores in prop::collection::vec(0.0_f64..10.0, 1..20),
+        len in 1_usize..8,
+        stride in 1_usize..4,
+    ) {
+        let spec = WindowSpec::new(len, stride).unwrap();
+        let n = (scores.len() - 1) * stride + len;
+        let pts = window_scores_to_point_scores(n, spec, &scores);
+        let max_w = scores.iter().copied().fold(0.0_f64, f64::max);
+        for p in &pts {
+            prop_assert!(*p <= max_w + 1e-12);
+            prop_assert!(*p >= 0.0);
+        }
+        // The max window score must appear somewhere.
+        let max_p = pts.iter().copied().fold(0.0_f64, f64::max);
+        prop_assert!((max_p - max_w).abs() < 1e-12);
+    }
+}

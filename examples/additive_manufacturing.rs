@@ -1,0 +1,104 @@
+//! The paper's motivating use case: industrial 3D printing.
+//!
+//! Two faults occur during a production campaign:
+//! * a **recoater fault** — a *process* anomaly: the bed-temperature
+//!   excursion is physical, so every redundant sensor sees it and the job's
+//!   CAQ quality degrades;
+//! * a **thermocouple glitch** — a *measurement error*: one sensor
+//!   misreports while the process is fine.
+//!
+//! Both look identical on a single sensor trace. The example shows how the
+//! triple ⟨global score, outlierness, support⟩ separates them.
+//!
+//! ```sh
+//! cargo run --release --example additive_manufacturing
+//! ```
+
+use hierod::core::{find_hierarchical_outliers, FindOptions};
+use hierod::hierarchy::Level;
+use hierod::synth::{Scope, ScenarioBuilder};
+
+fn main() {
+    // 100 % anomaly rate and a 50/50 scope split guarantees both fault
+    // kinds occur; the seed fixes which jobs get which.
+    let scenario = ScenarioBuilder::new(58)
+        .machines(3)
+        .jobs_per_machine(12)
+        .redundancy(3)
+        .phase_samples(60)
+        .anomaly_rate(0.5)
+        .measurement_error_fraction(0.5)
+        .magnitude_sigmas(14.0)
+        .build();
+
+    println!("ground truth injections:");
+    for rec in &scenario.truth.injections {
+        println!(
+            "  {:<18} {:<20} on {}/{} ({} sensors affected)",
+            rec.scope.label(),
+            rec.outlier.label(),
+            rec.job,
+            rec.phase.label(),
+            rec.affected_sensors.len()
+        );
+    }
+
+    let report = find_hierarchical_outliers(
+        &scenario.plant,
+        Level::Phase,
+        &FindOptions::default(),
+    )
+    .expect("detection");
+
+    // Match detections back to ground truth and summarize the triples per
+    // fault kind.
+    let mut process_triples = Vec::new();
+    let mut glitch_triples = Vec::new();
+    for o in &report.outliers {
+        let (Some(job), Some(phase), Some(sensor), Some(idx)) =
+            (o.job.as_deref(), o.phase, o.sensor.as_deref(), o.index)
+        else {
+            continue;
+        };
+        let hit = scenario.truth.injections.iter().find(|r| {
+            r.machine == o.machine
+                && r.job == job
+                && r.phase == phase
+                && r.affected_sensors.iter().any(|a| a == sensor)
+                && idx + 2 >= r.start_idx
+                && idx <= r.start_idx + r.len + 2
+        });
+        match hit.map(|r| r.scope) {
+            Some(Scope::ProcessAnomaly) => process_triples.push(o),
+            Some(Scope::MeasurementError) => glitch_triples.push(o),
+            None => {}
+        }
+    }
+
+    let mean =
+        |v: &[&hierod::core::HierOutlier], f: fn(&hierod::core::HierOutlier) -> f64| -> f64 {
+            if v.is_empty() {
+                return 0.0;
+            }
+            v.iter().map(|o| f(o)).sum::<f64>() / v.len() as f64
+        };
+
+    println!("\ndetected & matched outliers:");
+    println!(
+        "  recoater-fault class (process): {:>3} detections | mean support {:.2} | mean global score {:.2}",
+        process_triples.len(),
+        mean(&process_triples, |o| o.support),
+        mean(&process_triples, |o| f64::from(o.global_score))
+    );
+    println!(
+        "  thermocouple-glitch class (ME): {:>3} detections | mean support {:.2} | mean global score {:.2}",
+        glitch_triples.len(),
+        mean(&glitch_triples, |o| o.support),
+        mean(&glitch_triples, |o| f64::from(o.global_score))
+    );
+    println!(
+        "\nreading: both classes have similar outlierness on the afflicted sensor,\n\
+         but the physical fault is confirmed by the redundant sensors (support)\n\
+         and echoes up the hierarchy (global score); the glitch is not."
+    );
+}

@@ -1,0 +1,27 @@
+//! # hierod — Hierarchical Outlier Detection for Industrial Production Settings
+//!
+//! Facade crate re-exporting the full `hierod` workspace: a reproduction of
+//! Hoppenstedt et al., *Towards a Hierarchical Approach for Outlier Detection
+//! in Industrial Production Settings* (EDBT 2019 workshops).
+//!
+//! * [`timeseries`] — series containers, statistics, distances, SAX, FFT,
+//!   histograms.
+//! * [`olap`] — minimal OLAP cube substrate.
+//! * [`detect`] — one working detector per row of the paper's Table 1.
+//! * [`hierarchy`] — the five-level production data model of the paper's
+//!   Fig. 2.
+//! * [`synth`] — additive-manufacturing workload generator with Fig.-1
+//!   anomaly injection and ground truth.
+//! * [`eval`] — evaluation metrics.
+//! * [`corpus`] — bibliographic corpus substrate used to regenerate Fig. 3.
+//! * [`core`] — Algorithm 1: `FindHierarchicalOutlier` with the
+//!   ⟨global score, outlierness, support⟩ triple.
+
+pub use hierod_core as core;
+pub use hierod_corpus as corpus;
+pub use hierod_detect as detect;
+pub use hierod_eval as eval;
+pub use hierod_hierarchy as hierarchy;
+pub use hierod_olap as olap;
+pub use hierod_synth as synth;
+pub use hierod_timeseries as timeseries;

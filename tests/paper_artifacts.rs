@@ -1,0 +1,101 @@
+//! Integration tests pinning the reproduced paper artifacts (the checks the
+//! `repro_*` binaries print, asserted so CI catches drift).
+
+use hierod::corpus::{CorpusGenerator, QueryEngine, FIG3_FIELDS};
+use hierod::detect::registry::{registry, render_table1};
+use hierod::detect::{PointScorer, TechniqueClass};
+use hierod::eval::roc_auc;
+use hierod::synth::scenario::fig1_example;
+use hierod::synth::OutlierType;
+
+#[test]
+fn table1_has_paper_structure() {
+    // 21 rows, class populations as printed in the paper.
+    let reg = registry();
+    assert_eq!(reg.len(), 21);
+    let count = |c: TechniqueClass| reg.iter().filter(|e| e.info.class == c).count();
+    assert_eq!(count(TechniqueClass::DA), 10);
+    assert_eq!(count(TechniqueClass::SA), 3);
+    assert_eq!(count(TechniqueClass::UPA), 2);
+    // Total check marks across the table: sum of per-row counts
+    // (1+1+2+3+1+2+3+1+3+3 + 2+2 + 2 + 2+3+1 + 1 + 1 + 2 + 2 + 1 = 39).
+    let marks: usize = reg.iter().map(|e| e.info.capabilities.count()).sum();
+    assert_eq!(marks, 39);
+    let rendered = render_table1();
+    assert_eq!(rendered.lines().count(), 23);
+}
+
+#[test]
+fn fig1_additive_outlier_is_detected_perfectly_by_point_scorers() {
+    let (series, labels) = fig1_example(OutlierType::Additive, 400, 7);
+    let det = hierod::detect::pm::AutoregressiveModel::new(3).unwrap();
+    let scores = det.score_points(series.values()).unwrap();
+    assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+}
+
+#[test]
+fn fig1_all_types_place_top_score_inside_event() {
+    let det = hierod::detect::pm::AutoregressiveModel::new(3).unwrap();
+    for outlier in OutlierType::ALL {
+        let (series, labels) = fig1_example(outlier, 400, 7);
+        let scores = det.score_points(series.values()).unwrap();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(labels[best], "{outlier}: top score at {best} outside event");
+    }
+}
+
+#[test]
+fn fig3_counts_and_ordering_match_calibration() {
+    // Small scale for test speed; counts must match the calibrated targets
+    // exactly and preserve the paper's bar ordering.
+    let generator = CorpusGenerator::new(2019).with_scale(0.1);
+    let index = generator.build_index();
+    let engine = QueryEngine::new(&index);
+    for field in &FIG3_FIELDS {
+        assert_eq!(
+            engine.count(&QueryEngine::fig3_query(field.term)),
+            generator.expected_count(field),
+            "field {}",
+            field.term
+        );
+    }
+    let count = |t: &str| engine.count(&QueryEngine::fig3_query(t));
+    assert!(count("fault detection") >= count("anomaly detection"));
+    assert!(count("anomaly detection") > count("outlier detection"));
+    assert!(count("outlier detection") > count("event detection"));
+    assert!(count("event detection") > count("change point detection"));
+    assert!(count("change point detection") > count("novelty detection"));
+    assert!(count("novelty detection") >= count("deviant discovery"));
+}
+
+#[test]
+fn fig2_all_levels_populated_with_expected_shapes() {
+    use hierod::hierarchy::{Level, LevelView};
+    let scenario = hierod::synth::ScenarioBuilder::new(42)
+        .machines(3)
+        .jobs_per_machine(5)
+        .redundancy(3)
+        .phase_samples(40)
+        .build();
+    let plant = &scenario.plant;
+    let phase = LevelView::extract(plant, Level::Phase);
+    // 3 machines × 5 jobs × 5 phases × 9 sensors.
+    assert_eq!(phase.series.len(), 3 * 5 * 5 * 9);
+    assert_eq!(phase.sequences.len(), 3 * 5 * 5);
+    let job = LevelView::extract(plant, Level::Job);
+    assert_eq!(job.vectors.len(), 15);
+    assert_eq!(job.vectors[0].features.len(), 9); // 5 setup + 4 CAQ
+    let env = LevelView::extract(plant, Level::Environment);
+    assert_eq!(env.series.len(), 6); // room temp + humidity per machine
+    let line = LevelView::extract(plant, Level::ProductionLine);
+    assert_eq!(line.series.len(), 3 * 9); // one series per job feature
+    let prod = LevelView::extract(plant, Level::Production);
+    assert_eq!(prod.series.len(), 3); // one summary per machine
+    // Resolution ordering: phase level dominates the volume.
+    assert!(phase.volume() > 10 * (job.volume() + line.volume() + prod.volume()));
+}
