@@ -85,10 +85,19 @@ fn bench_policy_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase_policy_ablation_3x10");
     group.sample_size(20);
     let policies = [
-        ("ar3", PhaseChoice::PerSeries(PointAlgo::Autoregressive { order: 3 })),
+        (
+            "ar3",
+            PhaseChoice::PerSeries(PointAlgo::Autoregressive { order: 3 }),
+        ),
         ("profile_similarity", PhaseChoice::ProfileAcrossJobs),
-        ("sliding_z", PhaseChoice::PerSeries(PointAlgo::SlidingZ { window: 48 })),
-        ("deviants", PhaseChoice::PerSeries(PointAlgo::Deviants { buckets: 8 })),
+        (
+            "sliding_z",
+            PhaseChoice::PerSeries(PointAlgo::SlidingZ { window: 48 }),
+        ),
+        (
+            "deviants",
+            PhaseChoice::PerSeries(PointAlgo::Deviants { buckets: 8 }),
+        ),
     ];
     for (name, phase) in policies {
         let policy = AlgorithmPolicy {
@@ -96,9 +105,7 @@ fn bench_policy_ablation(c: &mut Criterion) {
             ..AlgorithmPolicy::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| {
-                detect_level(black_box(&s.plant), Level::Phase, &policy).unwrap()
-            })
+            b.iter(|| detect_level(black_box(&s.plant), Level::Phase, &policy).unwrap())
         });
     }
     group.finish();

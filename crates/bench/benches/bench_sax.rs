@@ -23,7 +23,9 @@ fn bench_sax(c: &mut Criterion) {
             b.iter(|| enc.encode(black_box(&xs)).unwrap())
         });
         let wa = enc.encode(&xs).unwrap();
-        let wb = enc.encode(&series(n).iter().map(|v| v * -1.0).collect::<Vec<_>>()).unwrap();
+        let wb = enc
+            .encode(&series(n).iter().map(|v| v * -1.0).collect::<Vec<_>>())
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("mindist", n), &n, |b, _| {
             b.iter(|| enc.mindist(black_box(&wa), black_box(&wb)).unwrap())
         });

@@ -30,20 +30,35 @@ fn main() {
     // (a) + (c): fusion rules, including support-blind variants.
     println!("== fusion rule (a, c) ==");
     let rules = [
-        ("outlierness only (flat baseline)", FusionRule::OutliernessOnly),
+        (
+            "outlierness only (flat baseline)",
+            FusionRule::OutliernessOnly,
+        ),
         (
             "weighted product (alpha=1, beta=0.5)",
-            FusionRule::WeightedProduct { alpha: 1.0, beta: 0.5 },
+            FusionRule::WeightedProduct {
+                alpha: 1.0,
+                beta: 0.5,
+            },
         ),
         (
             "weighted product, support off (beta=0)",
-            FusionRule::WeightedProduct { alpha: 1.0, beta: 0.0 },
+            FusionRule::WeightedProduct {
+                alpha: 1.0,
+                beta: 0.0,
+            },
         ),
         (
             "weighted product, global off (alpha=0)",
-            FusionRule::WeightedProduct { alpha: 0.0, beta: 0.5 },
+            FusionRule::WeightedProduct {
+                alpha: 0.0,
+                beta: 0.5,
+            },
         ),
-        ("support gate (min 0.5)", FusionRule::SupportGated { min_support: 0.5 }),
+        (
+            "support gate (min 0.5)",
+            FusionRule::SupportGated { min_support: 0.5 },
+        ),
         ("lexicographic", FusionRule::Lexicographic),
     ];
     for (name, rule) in rules {

@@ -7,9 +7,7 @@
 //!   process anomalies, and how does that scale with sensor redundancy?
 
 use hierod_bench::{fmt_opt, standard_scenario};
-use hierod_core::experiment::{
-    job_level_eval, point_level_eval, redundancy_sweep, triage_eval,
-};
+use hierod_core::experiment::{job_level_eval, point_level_eval, redundancy_sweep, triage_eval};
 use hierod_core::{
     find_hierarchical_outliers, AlgorithmPolicy, FindOptions, FusionRule, PhaseChoice,
 };
@@ -115,10 +113,12 @@ fn main() {
     println!("support ROC-AUC: {}", fmt_opt(triage.support_auc));
 
     println!("\nredundancy sweep (support AUC as redundancy grows):");
-    println!("{:<12} {:>12} {:>10} {:>10}", "redundancy", "support-AUC", "PA", "ME");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "redundancy", "support-AUC", "PA", "ME"
+    );
     let base = standard_scenario(1).anomaly_rate(0.5);
-    let sweep =
-        redundancy_sweep(&base, &[1, 2, 3, 4, 5], &policy).expect("sweep");
+    let sweep = redundancy_sweep(&base, &[1, 2, 3, 4, 5], &policy).expect("sweep");
     for (r, t) in &sweep {
         println!(
             "{:<12} {:>12} {:>10} {:>10}",
@@ -131,12 +131,8 @@ fn main() {
 
     // ---------------- the paper's triple, rendered ----------------
     println!("\n== FindHierarchicalOutlier: top outliers by fused score ==\n");
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .expect("report");
+    let report = find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default())
+        .expect("report");
     for o in report.ranked_by(|o| fusion.score(o)).into_iter().take(10) {
         println!("  {}", o.summary());
     }

@@ -18,10 +18,19 @@ fn main() {
     println!("Fig. 1: Outlier Types (Fox 1972) — synthetic AR(1) base with one");
     println!("injected event at t = {}:\n", N / 2);
     let detectors: Vec<(&str, Box<dyn PointScorer>)> = vec![
-        ("AR prediction error (PM)", Box::new(AutoregressiveModel::new(3).unwrap())),
-        ("sliding z-score (baseline)", Box::new(SlidingZScore::new(48).unwrap())),
+        (
+            "AR prediction error (PM)",
+            Box::new(AutoregressiveModel::new(3).unwrap()),
+        ),
+        (
+            "sliding z-score (baseline)",
+            Box::new(SlidingZScore::new(48).unwrap()),
+        ),
         ("global z-score (baseline)", Box::new(GlobalZScore)),
-        ("histogram deviants (ITM)", Box::new(HistogramDeviants::new(8).unwrap())),
+        (
+            "histogram deviants (ITM)",
+            Box::new(HistogramDeviants::new(8).unwrap()),
+        ),
     ];
     type Row = Vec<(Option<f64>, bool)>;
     let mut table: Vec<(OutlierType, Row)> = Vec::new();
@@ -63,7 +72,11 @@ fn main() {
         for (auc, hit) in row {
             print!(
                 " | {:<26}",
-                format!("{} (top-1 {})", fmt_opt(*auc), if *hit { "hit" } else { "miss" })
+                format!(
+                    "{} (top-1 {})",
+                    fmt_opt(*auc),
+                    if *hit { "hit" } else { "miss" }
+                )
             );
         }
         println!();

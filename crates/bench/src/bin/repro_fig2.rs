@@ -17,10 +17,7 @@ fn main() {
         plant.job_count(),
         plant.sample_count()
     );
-    println!(
-        "{:<28} {:<44} {:>10}",
-        "level", "data shape", "volume"
-    );
+    println!("{:<28} {:<44} {:>10}", "level", "data shape", "volume");
     println!("{}", "-".repeat(84));
     for level in Level::ALL.into_iter().rev() {
         let view = LevelView::extract(plant, level);
@@ -74,7 +71,10 @@ fn main() {
         "  job `{}`: setup {:?} -> phases {:?} -> CAQ {:?} (passed: {})",
         job.id,
         job.config.names,
-        job.phases.iter().map(|p| p.kind.label()).collect::<Vec<_>>(),
+        job.phases
+            .iter()
+            .map(|p| p.kind.label())
+            .collect::<Vec<_>>(),
         job.caq.names,
         job.caq.passed
     );

@@ -27,8 +27,7 @@ fn main() {
     print!("{}", ascii_bars(&rows, 48));
     println!();
     // Shape assertions the experiment records (see EXPERIMENTS.md E6).
-    let count =
-        |term: &str| engine.count(&QueryEngine::fig3_query(term)) as f64;
+    let count = |term: &str| engine.count(&QueryEngine::fig3_query(term)) as f64;
     let ordered = count("fault detection") >= count("anomaly detection")
         && count("anomaly detection") > count("outlier detection")
         && count("outlier detection") > count("event detection")

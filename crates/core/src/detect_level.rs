@@ -4,12 +4,26 @@
 //! the raw scores are standardized into robust z-units (so one threshold
 //! scale works across algorithms), and everything above the level's
 //! threshold becomes a [`LevelOutlier`].
+//!
+//! ## Scheduling
+//!
+//! A plant run decomposes into independent **scoring tasks** at
+//! (level × machine × sensor/group) granularity: one task per series at the
+//! point-scored levels, one per profile group in profile mode, one per
+//! collective (job vectors, machine summaries) at the job and production
+//! levels. [`detect_all_levels`] feeds the full task list of all five
+//! levels into a work-stealing [`TaskPool`], so a wide plant saturates
+//! every core instead of being capped at one thread per level; fragments
+//! are merged back **in task order**, which keeps results identical to the
+//! serial path. The legacy one-thread-per-level scheduling is kept as
+//! [`detect_all_levels_per_level_threads`] for comparison (see
+//! `bench_engine`).
 
 use std::collections::BTreeMap;
 
+use hierod_detect::engine::{Standardizer, Task, TaskPool};
 use hierod_detect::related::ProfileSimilarity;
-use hierod_hierarchy::{Level, LevelView, PhaseKind, Plant};
-use hierod_timeseries::stats;
+use hierod_hierarchy::{Level, LevelView, PhaseKind, Plant, SeriesAt};
 
 use hierod_detect::Result;
 
@@ -81,6 +95,21 @@ pub struct LevelDetections {
 }
 
 impl LevelDetections {
+    fn empty(level: Level) -> Self {
+        Self {
+            level,
+            outliers: Vec::new(),
+            series_scores: Vec::new(),
+            vector_scores: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, fragment: LevelDetections) {
+        self.outliers.extend(fragment.outliers);
+        self.series_scores.extend(fragment.series_scores);
+        self.vector_scores.extend(fragment.vector_scores);
+    }
+
     /// `true` if an outlier at this level is associated with the given
     /// machine (and, when given, job).
     pub fn has_outlier_for(&self, machine: &str, job: Option<&str>) -> bool {
@@ -97,97 +126,112 @@ impl LevelDetections {
     /// interval `[t0, t1]` (outliers without timestamps never match).
     pub fn has_outlier_in_span(&self, machine: &str, t0: u64, t1: u64) -> bool {
         self.outliers.iter().any(|o| {
-            o.machine == machine
-                && o.timestamp.map(|t| t >= t0 && t <= t1).unwrap_or(false)
+            o.machine == machine && o.timestamp.map(|t| t >= t0 && t <= t1).unwrap_or(false)
         })
     }
 }
 
 /// Standardizes raw scores into robust z-units (0 when the spread is zero).
+///
+/// Thin wrapper over the engine's [`RobustZ`](hierod_detect::engine::RobustZ)
+/// standardizer, kept for callers of the original free function.
 pub fn standardize_scores(scores: &[f64]) -> Vec<f64> {
-    if scores.is_empty() {
-        return Vec::new();
-    }
-    let med = stats::median(scores).expect("non-empty");
-    let mad = stats::mad(scores).expect("non-empty");
-    let spread = if mad > 1e-12 {
-        mad
-    } else {
-        // MAD collapses when most scores are identical (e.g. IQR-fence
-        // zeros); fall back to the standard deviation.
-        let sd = stats::std_dev(scores).expect("non-empty");
-        if sd > 1e-12 {
-            sd
-        } else {
-            return vec![0.0; scores.len()];
-        }
-    };
-    scores.iter().map(|s| (s - med) / spread).collect()
+    hierod_detect::engine::RobustZ.standardize(scores)
 }
 
-/// Runs `CalculateOutlier` for one level of the plant.
-///
-/// # Errors
-/// Propagates algorithm construction/scoring failures. Series too short for
-/// the chosen algorithm are skipped silently (phases shorter than the AR
-/// warm-up would otherwise poison whole-plant runs).
-pub fn detect_level(
+/// Scores one series' raw output into a detections fragment: thresholded
+/// outliers plus the full standardized score vector.
+fn emit_series(
     plant: &Plant,
     level: Level,
-    policy: &AlgorithmPolicy,
-) -> Result<LevelDetections> {
-    let view = LevelView::extract(plant, level);
-    let threshold = policy.threshold(level);
-    let mut outliers = Vec::new();
-    let mut series_scores = Vec::new();
-    let mut vector_scores = Vec::new();
-    // Shared emission of one scored series: thresholded outliers + the full
-    // standardized score vector.
-    let emit_series = |at: &hierod_hierarchy::SeriesAt,
-                       raw: &[f64],
-                       already_standardized: bool,
-                       outliers: &mut Vec<LevelOutlier>,
-                       series_scores: &mut Vec<SeriesScores>| {
-        // Profile-similarity scores are already expressed in MAD units
-        // against the learned template; re-standardizing them per series
-        // would amplify the near-zero spread of clean executions into
-        // false positives.
-        let z = if already_standardized {
-            raw.to_vec()
-        } else {
-            standardize_scores(raw)
-        };
-        for (idx, (&zs, &rs)) in z.iter().zip(raw).enumerate() {
-            if zs >= threshold {
-                outliers.push(LevelOutlier {
-                    level,
-                    machine: at.machine.clone(),
-                    job: job_for(plant, level, at, idx),
-                    phase: at.phase,
-                    sensor: Some(at.series.name().to_string()),
-                    index: Some(idx),
-                    timestamp: Some(at.series.timestamps()[idx]),
-                    outlierness: zs,
-                    raw_score: rs,
-                });
-            }
-        }
-        series_scores.push(SeriesScores {
-            machine: at.machine.clone(),
-            job: at.job.clone(),
-            phase: at.phase,
-            sensor: at.series.name().to_string(),
-            timestamps: at.series.timestamps().to_vec(),
-            z,
-        });
+    threshold: f64,
+    at: &SeriesAt,
+    raw: &[f64],
+    already_standardized: bool,
+    into: &mut LevelDetections,
+) {
+    // Profile-similarity scores are already expressed in MAD units
+    // against the learned template; re-standardizing them per series
+    // would amplify the near-zero spread of clean executions into
+    // false positives.
+    let z = if already_standardized {
+        raw.to_vec()
+    } else {
+        standardize_scores(raw)
     };
+    for (idx, (&zs, &rs)) in z.iter().zip(raw).enumerate() {
+        if zs >= threshold {
+            into.outliers.push(LevelOutlier {
+                level,
+                machine: at.machine.clone(),
+                job: job_for(plant, level, at, idx),
+                phase: at.phase,
+                sensor: Some(at.series.name().to_string()),
+                index: Some(idx),
+                timestamp: Some(at.series.timestamps()[idx]),
+                outlierness: zs,
+                raw_score: rs,
+            });
+        }
+    }
+    into.series_scores.push(SeriesScores {
+        machine: at.machine.clone(),
+        job: at.job.clone(),
+        phase: at.phase,
+        sensor: at.series.name().to_string(),
+        timestamps: at.series.timestamps().to_vec(),
+        z,
+    });
+}
+
+/// A point scorer shared by all of one level's per-series tasks (the
+/// scorers are stateless after construction, so one instance serves every
+/// worker).
+type SharedPointScorer = Box<dyn hierod_detect::PointScorer + Send + Sync>;
+
+/// The point algorithm a level scores its series with, if it is
+/// point-scored (phase-per-series, environment, production line).
+fn point_algo_for(level: Level, policy: &AlgorithmPolicy) -> Option<crate::policy::PointAlgo> {
+    match level {
+        Level::Phase => match policy.phase {
+            PhaseChoice::PerSeries(a) => Some(a),
+            PhaseChoice::ProfileAcrossJobs => None,
+        },
+        Level::Environment => Some(policy.environment),
+        Level::ProductionLine => Some(policy.line),
+        Level::Job | Level::Production => None,
+    }
+}
+
+/// Builds the shared per-series scorer for a level, failing fast on an
+/// invalid policy (before any task runs).
+fn build_point_scorer(level: Level, policy: &AlgorithmPolicy) -> Result<Option<SharedPointScorer>> {
+    point_algo_for(level, policy).map(|a| a.build()).transpose()
+}
+
+/// Decomposes one level into independent scoring tasks over `view`.
+///
+/// Granularities: one task per series at the point-scored levels
+/// (phase-per-series, environment, production line); one per
+/// (machine, phase, sensor, length) group in profile mode; one collective
+/// task at the job and production levels. Fragments merged in task order
+/// reproduce the serial result exactly.
+fn level_tasks<'env>(
+    plant: &'env Plant,
+    level: Level,
+    view: &'env LevelView,
+    policy: &'env AlgorithmPolicy,
+    point_scorer: Option<&'env SharedPointScorer>,
+) -> Vec<Task<'env, Result<LevelDetections>>> {
+    let threshold = policy.threshold(level);
+    let mut tasks: Vec<Task<'env, Result<LevelDetections>>> = Vec::new();
     match level {
         Level::Phase if matches!(policy.phase, PhaseChoice::ProfileAcrossJobs) => {
             // Profile similarity: group executions of the same
-            // (machine, phase, sensor, length) across jobs, learn the
-            // profile, score every execution against it.
-            let mut groups: BTreeMap<(String, u8, String, usize), Vec<usize>> =
-                BTreeMap::new();
+            // (machine, phase, sensor, length) across jobs; each group is
+            // one task that learns the profile and scores every execution
+            // against it.
+            let mut groups: BTreeMap<(String, u8, String, usize), Vec<usize>> = BTreeMap::new();
             for (i, at) in view.series.iter().enumerate() {
                 let Some(phase) = at.phase else { continue };
                 groups
@@ -200,128 +244,203 @@ pub fn detect_level(
                     .or_default()
                     .push(i);
             }
-            for idxs in groups.values() {
+            for idxs in groups.into_values() {
                 if idxs.len() < 2 {
                     continue; // no profile evidence from one execution
                 }
-                let refs: Vec<&[f64]> = idxs
-                    .iter()
-                    .map(|&i| view.series[i].series.values())
-                    .collect();
-                let Ok(profile) = ProfileSimilarity::fit(&refs) else {
-                    continue;
-                };
-                for &i in idxs {
-                    let at = &view.series[i];
-                    let Ok(raw) = profile.score_points(at.series.values()) else {
-                        continue;
+                tasks.push(Box::new(move || {
+                    let mut frag = LevelDetections::empty(level);
+                    let refs: Vec<&[f64]> = idxs
+                        .iter()
+                        .map(|&i| view.series[i].series.values())
+                        .collect();
+                    let Ok(profile) = ProfileSimilarity::fit(&refs) else {
+                        return Ok(frag);
                     };
-                    emit_series(at, &raw, true, &mut outliers, &mut series_scores);
-                }
+                    for &i in &idxs {
+                        let at = &view.series[i];
+                        let Ok(raw) = profile.score_points(at.series.values()) else {
+                            continue;
+                        };
+                        emit_series(plant, level, threshold, at, &raw, true, &mut frag);
+                    }
+                    Ok(frag)
+                }));
             }
         }
         Level::Phase | Level::Environment | Level::ProductionLine => {
-            let algo = match level {
-                Level::Phase => match policy.phase {
-                    PhaseChoice::PerSeries(a) => a,
-                    PhaseChoice::ProfileAcrossJobs => unreachable!("handled above"),
-                },
-                Level::Environment => policy.environment,
-                _ => policy.line,
-            };
-            let scorer = algo.build()?;
+            let scorer = point_scorer.expect("point-scored levels get a prebuilt scorer");
             for at in &view.series {
-                let values = at.series.values();
-                let Ok(raw) = scorer.score_points(values) else {
-                    continue; // series too short for this algorithm
-                };
-                emit_series(at, &raw, false, &mut outliers, &mut series_scores);
+                tasks.push(Box::new(move || {
+                    let mut frag = LevelDetections::empty(level);
+                    let values = at.series.values();
+                    let Ok(raw) = scorer.score_points(values) else {
+                        return Ok(frag); // series too short for this algorithm
+                    };
+                    emit_series(plant, level, threshold, at, &raw, false, &mut frag);
+                    Ok(frag)
+                }));
             }
         }
         Level::Job => {
             if !view.vectors.is_empty() {
-                let scorer = policy.job.build()?;
-                let rows: Vec<Vec<f64>> =
-                    view.vectors.iter().map(|v| v.features.clone()).collect();
-                let raw = scorer.score_rows(&rows)?;
-                let z = standardize_scores(&raw);
-                for (v, &zs) in view.vectors.iter().zip(&z) {
-                    vector_scores.push(VectorScore {
-                        machine: v.machine.clone(),
-                        job: v.job.clone(),
-                        z: zs,
-                    });
-                }
-                for ((v, &zs), &rs) in view.vectors.iter().zip(&z).zip(&raw) {
-                    if zs >= threshold {
-                        outliers.push(LevelOutlier {
-                            level,
+                tasks.push(Box::new(move || {
+                    let mut frag = LevelDetections::empty(level);
+                    let scorer = policy.job.build()?;
+                    let rows: Vec<Vec<f64>> =
+                        view.vectors.iter().map(|v| v.features.clone()).collect();
+                    let raw = scorer.score_rows(&rows)?;
+                    let z = standardize_scores(&raw);
+                    for (v, &zs) in view.vectors.iter().zip(&z) {
+                        frag.vector_scores.push(VectorScore {
                             machine: v.machine.clone(),
-                            job: Some(v.job.clone()),
-                            phase: None,
-                            sensor: None,
-                            index: None,
-                            timestamp: Some(v.start),
-                            outlierness: zs,
-                            raw_score: rs,
+                            job: v.job.clone(),
+                            z: zs,
                         });
                     }
-                }
-            }
-        }
-        Level::Production => {
-            if view.series.len() >= 2 {
-                let collection: Vec<&[f64]> =
-                    view.series.iter().map(|s| s.series.values()).collect();
-                if let Ok(raw) = policy.production.score(&collection) {
-                    let z = standardize_scores(&raw);
-                    for ((at, &zs), &rs) in view.series.iter().zip(&z).zip(&raw) {
+                    for ((v, &zs), &rs) in view.vectors.iter().zip(&z).zip(&raw) {
                         if zs >= threshold {
-                            outliers.push(LevelOutlier {
+                            frag.outliers.push(LevelOutlier {
                                 level,
-                                machine: at.machine.clone(),
-                                job: None,
+                                machine: v.machine.clone(),
+                                job: Some(v.job.clone()),
                                 phase: None,
-                                sensor: Some(at.series.name().to_string()),
+                                sensor: None,
                                 index: None,
-                                timestamp: None,
+                                timestamp: Some(v.start),
                                 outlierness: zs,
                                 raw_score: rs,
                             });
                         }
                     }
-                }
+                    Ok(frag)
+                }));
+            }
+        }
+        Level::Production => {
+            if view.series.len() >= 2 {
+                tasks.push(Box::new(move || {
+                    let mut frag = LevelDetections::empty(level);
+                    let collection: Vec<&[f64]> =
+                        view.series.iter().map(|s| s.series.values()).collect();
+                    if let Ok(raw) = policy.production.score(&collection) {
+                        let z = standardize_scores(&raw);
+                        for ((at, &zs), &rs) in view.series.iter().zip(&z).zip(&raw) {
+                            if zs >= threshold {
+                                frag.outliers.push(LevelOutlier {
+                                    level,
+                                    machine: at.machine.clone(),
+                                    job: None,
+                                    phase: None,
+                                    sensor: Some(at.series.name().to_string()),
+                                    index: None,
+                                    timestamp: None,
+                                    outlierness: zs,
+                                    raw_score: rs,
+                                });
+                            }
+                        }
+                    }
+                    Ok(frag)
+                }));
             }
         }
     }
-    Ok(LevelDetections {
-        level,
-        outliers,
-        series_scores,
-        vector_scores,
-    })
+    tasks
 }
 
-/// Runs `CalculateOutlier` for all five levels in parallel (the levels are
-/// independent; crossbeam scoped threads), returning them in level order.
+/// Runs `CalculateOutlier` for one level of the plant (serial).
 ///
 /// # Errors
-/// Propagates the first per-level failure.
+/// Propagates algorithm construction/scoring failures. Series too short for
+/// the chosen algorithm are skipped silently (phases shorter than the AR
+/// warm-up would otherwise poison whole-plant runs).
+pub fn detect_level(
+    plant: &Plant,
+    level: Level,
+    policy: &AlgorithmPolicy,
+) -> Result<LevelDetections> {
+    let view = LevelView::extract(plant, level);
+    let scorer = build_point_scorer(level, policy)?;
+    let mut det = LevelDetections::empty(level);
+    for task in level_tasks(plant, level, &view, policy, scorer.as_ref()) {
+        det.absorb(task()?);
+    }
+    Ok(det)
+}
+
+/// Runs `CalculateOutlier` for all five levels on a work-stealing task
+/// pool sized to the machine, returning them in level order.
+///
+/// # Errors
+/// Propagates the first per-level failure (in deterministic task order).
 pub fn detect_all_levels(
     plant: &Plant,
     policy: &AlgorithmPolicy,
 ) -> Result<BTreeMap<Level, LevelDetections>> {
-    let results = crossbeam::thread::scope(|s| {
+    detect_all_levels_with_pool(plant, policy, &TaskPool::with_default_parallelism())
+}
+
+/// [`detect_all_levels`] on a caller-provided pool: decomposes all five
+/// levels into one flat task list and lets the pool's workers steal across
+/// level boundaries, so a wide level cannot serialize behind a narrow one.
+///
+/// # Errors
+/// Propagates the first per-level failure (in deterministic task order).
+pub fn detect_all_levels_with_pool(
+    plant: &Plant,
+    policy: &AlgorithmPolicy,
+    pool: &TaskPool,
+) -> Result<BTreeMap<Level, LevelDetections>> {
+    let views: Vec<(Level, LevelView)> = Level::ALL
+        .into_iter()
+        .map(|level| (level, LevelView::extract(plant, level)))
+        .collect();
+    let scorers: Vec<Option<SharedPointScorer>> = Level::ALL
+        .into_iter()
+        .map(|level| build_point_scorer(level, policy))
+        .collect::<Result<_>>()?;
+    let mut tasks = Vec::new();
+    let mut task_level = Vec::new();
+    for ((level, view), scorer) in views.iter().zip(&scorers) {
+        for task in level_tasks(plant, *level, view, policy, scorer.as_ref()) {
+            tasks.push(task);
+            task_level.push(*level);
+        }
+    }
+    let fragments = pool.run(tasks);
+    let mut out: BTreeMap<Level, LevelDetections> = Level::ALL
+        .into_iter()
+        .map(|level| (level, LevelDetections::empty(level)))
+        .collect();
+    for (level, fragment) in task_level.into_iter().zip(fragments) {
+        out.get_mut(&level)
+            .expect("all levels seeded")
+            .absorb(fragment?);
+    }
+    Ok(out)
+}
+
+/// The pre-engine scheduling: one OS thread per level, serial scoring
+/// inside each. Kept as the baseline for `bench_engine`; prefer
+/// [`detect_all_levels`].
+///
+/// # Errors
+/// Propagates the first per-level failure.
+pub fn detect_all_levels_per_level_threads(
+    plant: &Plant,
+    policy: &AlgorithmPolicy,
+) -> Result<BTreeMap<Level, LevelDetections>> {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = Level::ALL
             .into_iter()
-            .map(|level| s.spawn(move |_| (level, detect_level(plant, level, policy))))
+            .map(|level| s.spawn(move || (level, detect_level(plant, level, policy))))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("detection thread panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    });
     let mut out = BTreeMap::new();
     for (level, det) in results {
         out.insert(level, det?);
@@ -331,12 +450,7 @@ pub fn detect_all_levels(
 
 /// Resolves the job an outlier belongs to. Phase-level series carry their
 /// job directly; line-level feature series are indexed by job position.
-fn job_for(
-    plant: &Plant,
-    level: Level,
-    at: &hierod_hierarchy::SeriesAt,
-    idx: usize,
-) -> Option<String> {
+fn job_for(plant: &Plant, level: Level, at: &SeriesAt, idx: usize) -> Option<String> {
     match level {
         Level::Phase => at.job.clone(),
         Level::ProductionLine => plant
@@ -350,7 +464,7 @@ fn job_for(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hierod_synth::{Scope, ScenarioBuilder};
+    use hierod_synth::{ScenarioBuilder, Scope};
 
     fn scenario() -> hierod_synth::Scenario {
         ScenarioBuilder::new(77)
@@ -428,9 +542,7 @@ mod tests {
         let hits = det
             .outliers
             .iter()
-            .filter(|o| {
-                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
-            })
+            .filter(|o| truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default())))
             .count();
         assert!(
             hits > 0,
@@ -448,6 +560,25 @@ mod tests {
             let job = o.job.as_ref().expect("line outliers carry job ids");
             assert!(s.plant.line(&o.machine).unwrap().job(job).is_some());
         }
+    }
+
+    #[test]
+    fn pooled_run_matches_serial_run_exactly() {
+        // The same task list merged in task order must make scheduling
+        // invisible: serial, single-worker, wide pool, and the legacy
+        // per-level-thread path all agree.
+        let s = scenario();
+        let policy = AlgorithmPolicy::default();
+        let serial: BTreeMap<Level, LevelDetections> = Level::ALL
+            .into_iter()
+            .map(|l| (l, detect_level(&s.plant, l, &policy).unwrap()))
+            .collect();
+        let pooled = detect_all_levels_with_pool(&s.plant, &policy, &TaskPool::new(8)).unwrap();
+        let single = detect_all_levels_with_pool(&s.plant, &policy, &TaskPool::new(1)).unwrap();
+        let legacy = detect_all_levels_per_level_threads(&s.plant, &policy).unwrap();
+        assert_eq!(serial, pooled);
+        assert_eq!(serial, single);
+        assert_eq!(serial, legacy);
     }
 
     #[test]
@@ -505,8 +636,7 @@ mod tests {
             .jobs_per_machine(3)
             .phase_samples(40)
             .build();
-        let det =
-            detect_level(&s.plant, Level::Production, &AlgorithmPolicy::default()).unwrap();
+        let det = detect_level(&s.plant, Level::Production, &AlgorithmPolicy::default()).unwrap();
         assert!(det.outliers.is_empty());
     }
 
@@ -520,6 +650,19 @@ mod tests {
         let t = o.timestamp.unwrap();
         assert!(det.has_outlier_in_span(&o.machine, t.saturating_sub(1), t + 1));
         assert!(!det.has_outlier_in_span(&o.machine, t + 1_000_000, t + 1_000_001));
+    }
+
+    #[test]
+    fn invalid_policy_surfaces_as_an_error_not_a_panic() {
+        let s = scenario();
+        let policy = AlgorithmPolicy {
+            phase: crate::policy::PhaseChoice::PerSeries(
+                crate::policy::PointAlgo::Autoregressive { order: 0 },
+            ),
+            ..AlgorithmPolicy::default()
+        };
+        assert!(detect_level(&s.plant, Level::Phase, &policy).is_err());
+        assert!(detect_all_levels(&s.plant, &policy).is_err());
     }
 
     #[test]
@@ -540,8 +683,13 @@ mod tests {
             .truth
             .injections
             .iter()
-            .find(|r| r.scope == Scope::MeasurementError && r.outlier == hierod_synth::OutlierType::Additive)
-            .expect("an additive measurement error");
+            .find(|r| {
+                r.scope == Scope::MeasurementError
+                    && r.outlier == hierod_synth::OutlierType::Additive
+                    // Only temperature sensors carry redundant siblings.
+                    && r.sensor.contains("temp")
+            })
+            .expect("an additive measurement error on a redundant group");
         let siblings: Vec<&SeriesScores> = det
             .series_scores
             .iter()

@@ -356,12 +356,10 @@ pub fn drift_eval(scenario: &Scenario, policy: &AlgorithmPolicy) -> Result<Drift
     let detections = evaluate_levels(scenario, policy)?;
     // Production level: full ranking from the raw series scores is not
     // retained, so recompute from the production view directly.
-    let view =
-        hierod_hierarchy::LevelView::extract(&scenario.plant, Level::Production);
+    let view = hierod_hierarchy::LevelView::extract(&scenario.plant, Level::Production);
     let mut production_ranking: Vec<(String, f64)> = Vec::new();
     if view.series.len() >= 2 {
-        let collection: Vec<&[f64]> =
-            view.series.iter().map(|s| s.series.values()).collect();
+        let collection: Vec<&[f64]> = view.series.iter().map(|s| s.series.values()).collect();
         if let Ok(raw) = policy.production.score(&collection) {
             let z = crate::detect_level::standardize_scores(&raw);
             production_ranking = view
@@ -370,8 +368,7 @@ pub fn drift_eval(scenario: &Scenario, policy: &AlgorithmPolicy) -> Result<Drift
                 .zip(z)
                 .map(|(s, z)| (s.machine.clone(), z))
                 .collect();
-            production_ranking
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            production_ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
         }
     }
     let drift_rank = production_ranking
@@ -467,7 +464,10 @@ mod tests {
         let auc3 = t3.support_auc.expect("classes present");
         assert!(auc3 > 0.7);
         if let Some(auc1) = t1.support_auc {
-            assert!(auc3 > auc1, "redundancy must improve triage ({auc1} -> {auc3})");
+            assert!(
+                auc3 > auc1,
+                "redundancy must improve triage ({auc1} -> {auc3})"
+            );
         }
     }
 

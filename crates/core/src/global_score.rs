@@ -38,28 +38,21 @@ use crate::detect_level::{LevelDetections, LevelOutlier};
 ///   within the time span of the outlier's job (environment data has no job
 ///   structure of its own).
 /// * **production** — same machine.
-pub fn associated(
-    plant: &Plant,
-    outlier: &LevelOutlier,
-    detections: &LevelDetections,
-) -> bool {
+pub fn associated(plant: &Plant, outlier: &LevelOutlier, detections: &LevelDetections) -> bool {
     match detections.level {
         Level::Environment => {
             // Match through the job's time span when known, else through
             // the outlier's own timestamp.
-            if let (Some(job), Some(line)) =
-                (outlier.job.as_deref(), plant.line(&outlier.machine))
+            if let (Some(job), Some(line)) = (outlier.job.as_deref(), plant.line(&outlier.machine))
             {
                 if let Some(span) = line.job(job).and_then(|j| j.span()) {
                     return detections.has_outlier_in_span(&outlier.machine, span.0, span.1);
                 }
             }
             match outlier.timestamp {
-                Some(t) => detections.has_outlier_in_span(
-                    &outlier.machine,
-                    t.saturating_sub(512),
-                    t + 512,
-                ),
+                Some(t) => {
+                    detections.has_outlier_in_span(&outlier.machine, t.saturating_sub(512), t + 512)
+                }
                 None => detections.has_outlier_for(&outlier.machine, None),
             }
         }
@@ -79,7 +72,9 @@ pub fn upward_global_score(
     let mut score = 1_u8;
     let mut level = outlier.level;
     while let Some(up) = level.up() {
-        let Some(det) = detections.get(&up) else { break };
+        let Some(det) = detections.get(&up) else {
+            break;
+        };
         if associated(plant, outlier, det) {
             score += 1;
             level = up;
@@ -119,10 +114,7 @@ mod tests {
     use crate::policy::AlgorithmPolicy;
     use hierod_synth::ScenarioBuilder;
 
-    fn all_detections(
-        plant: &Plant,
-        policy: &AlgorithmPolicy,
-    ) -> BTreeMap<Level, LevelDetections> {
+    fn all_detections(plant: &Plant, policy: &AlgorithmPolicy) -> BTreeMap<Level, LevelDetections> {
         Level::ALL
             .into_iter()
             .map(|l| (l, detect_level(plant, l, policy).unwrap()))
@@ -195,17 +187,13 @@ mod tests {
         let confirmed = dets[&Level::Job]
             .outliers
             .iter()
-            .filter(|o| {
-                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
-            })
+            .filter(|o| truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default())))
             .filter(|o| downward_missing_level(&s.plant, o, &dets).is_none())
             .count();
         let total = dets[&Level::Job]
             .outliers
             .iter()
-            .filter(|o| {
-                truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default()))
-            })
+            .filter(|o| truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default())))
             .count();
         if total > 0 {
             assert!(

@@ -34,9 +34,12 @@ pub mod pipeline;
 pub mod policy;
 pub mod support;
 
-pub use detect_level::{detect_level, LevelDetections, LevelOutlier};
+pub use detect_level::{
+    detect_all_levels, detect_all_levels_per_level_threads, detect_all_levels_with_pool,
+    detect_level, LevelDetections, LevelOutlier,
+};
 pub use fusion::FusionRule;
-pub use outlier::{HierOutlier, HierReport, Warning};
 pub use monitor::{JobAssessment, PlantMonitor, Urgency};
+pub use outlier::{HierOutlier, HierReport, Warning};
 pub use pipeline::{find_hierarchical_outliers, FindOptions};
 pub use policy::{AlgorithmPolicy, PhaseChoice, PointAlgo, SeriesAlgo, VectorAlgo};

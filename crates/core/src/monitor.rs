@@ -23,6 +23,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hierod_detect::engine::AlgoSpec;
 use hierod_detect::related::ProfileSimilarity;
 use hierod_detect::Result;
 use hierod_hierarchy::{Job, RedundancyGroup};
@@ -128,7 +129,11 @@ impl PlantMonitor {
 
     /// Registers a machine with its redundancy groups (the "corresponding
     /// sensors" used for support).
-    pub fn register_machine(&mut self, machine_id: impl Into<String>, redundancy: Vec<RedundancyGroup>) {
+    pub fn register_machine(
+        &mut self,
+        machine_id: impl Into<String>,
+        redundancy: Vec<RedundancyGroup>,
+    ) {
         self.machines.insert(
             machine_id.into(),
             MachineHistory {
@@ -217,7 +222,9 @@ impl PlantMonitor {
         for phase in &job.phases {
             for series in &phase.series {
                 let key = (phase.kind as u8, series.name().to_string());
-                let Some((scores, n_refs)) = scored.get(&key) else { continue };
+                let Some((scores, n_refs)) = scored.get(&key) else {
+                    continue;
+                };
                 let threshold = self.phase_threshold * (1.0 + 8.0 / *n_refs as f64);
                 for (idx, &s) in scores.iter().enumerate() {
                     if s < threshold {
@@ -265,14 +272,13 @@ impl PlantMonitor {
         });
 
         // --- job level: vector vs history (upward confirmation) ---
-        let mut vectors: Vec<Vec<f64>> =
-            history.jobs.iter().map(Job::feature_vector).collect();
+        let mut vectors: Vec<Vec<f64>> = history.jobs.iter().map(Job::feature_vector).collect();
         vectors.push(job.feature_vector());
         let widths_match = vectors
             .iter()
             .all(|v| v.len() == vectors[0].len() && !v.is_empty());
         let job_level_confirmed = if widths_match && vectors.len() >= 4 {
-            let scorer = crate::policy::VectorAlgo::Pca { components: 2 }.build()?;
+            let scorer = hierod_detect::engine::build(&AlgoSpec::new("pca").with("components", 2))?;
             let raw = scorer.score_rows(&vectors)?;
             let z = standardize_scores(&raw);
             z.last().map(|&v| v >= self.job_threshold).unwrap_or(false)
@@ -338,7 +344,7 @@ mod tests {
 
     #[test]
     fn warmup_then_assessment() {
-        let s = scenario(0.0, 3);
+        let s = scenario(0.0, 2);
         let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
         let assessments = feed(&mut monitor, &s);
         assert_eq!(assessments.len(), 16);
@@ -353,7 +359,7 @@ mod tests {
 
     #[test]
     fn anomalous_jobs_raise_alerts_with_support() {
-        let s = scenario(0.5, 9);
+        let s = scenario(0.5, 6);
         let mut monitor = PlantMonitor::new(FusionRule::default_weighted());
         let assessments = feed(&mut monitor, &s);
         let truth = s.truth.anomalous_jobs();

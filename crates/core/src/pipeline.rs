@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use hierod_hierarchy::{Level, Plant};
 
-use hierod_detect::Result;
+use hierod_detect::{DetectError, Result};
 
 use crate::detect_level::LevelDetections;
 use crate::global_score::{downward_missing_level, upward_global_score};
@@ -54,6 +54,11 @@ pub fn find_hierarchical_outliers(
 
 /// Builds the report from precomputed level detections (shared with the
 /// experiment harness, which reuses detections across configurations).
+///
+/// # Errors
+/// [`DetectError::Missing`] when `detections` lacks the start level or the
+/// phase level (the downward pass needs phase evidence); callers composing
+/// partial detection maps get an error instead of a panic.
 pub fn build_report(
     plant: &Plant,
     start_level: Level,
@@ -62,9 +67,15 @@ pub fn build_report(
 ) -> Result<HierReport> {
     let start = detections
         .get(&start_level)
-        .expect("all levels evaluated");
+        .ok_or_else(|| DetectError::Missing {
+            what: format!("detections for start level {start_level:?}"),
+        })?;
     let env = detections.get(&Level::Environment);
-    let phase = detections.get(&Level::Phase).expect("all levels evaluated");
+    let phase = detections
+        .get(&Level::Phase)
+        .ok_or_else(|| DetectError::Missing {
+            what: "detections for level Phase (required by the downward pass)".into(),
+        })?;
     let mut report = HierReport::default();
     for o in &start.outliers {
         let support = if start_level == Level::Phase || start_level == Level::Environment {
@@ -100,7 +111,7 @@ pub fn build_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hierod_synth::{Scope, ScenarioBuilder};
+    use hierod_synth::{ScenarioBuilder, Scope};
 
     #[test]
     fn end_to_end_phase_start() {
@@ -113,8 +124,7 @@ mod tests {
             .magnitude_sigmas(15.0)
             .build();
         let report =
-            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default())
-                .unwrap();
+            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default()).unwrap();
         assert!(!report.is_empty());
         for o in &report.outliers {
             assert_eq!(o.level, Level::Phase);
@@ -133,8 +143,7 @@ mod tests {
             .anomaly_rate(0.0)
             .build();
         let report =
-            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default())
-                .unwrap();
+            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default()).unwrap();
         // A handful of noise crossings may survive the threshold; the bulk
         // must be silent.
         assert!(report.len() < 10, "clean plant reported {}", report.len());
@@ -168,6 +177,28 @@ mod tests {
     }
 
     #[test]
+    fn partial_detection_maps_error_instead_of_panicking() {
+        let s = ScenarioBuilder::new(56)
+            .machines(1)
+            .jobs_per_machine(3)
+            .phase_samples(40)
+            .build();
+        let policy = AlgorithmPolicy::default();
+        // Empty map: the start level is missing.
+        let empty = BTreeMap::new();
+        let err = build_report(&s.plant, Level::Phase, &empty, &policy).unwrap_err();
+        assert!(matches!(err, hierod_detect::DetectError::Missing { .. }));
+        // Map holding only the job level: phase evidence is missing.
+        let job_only: BTreeMap<_, _> = crate::detect_level::detect_all_levels(&s.plant, &policy)
+            .unwrap()
+            .into_iter()
+            .filter(|(l, _)| *l == Level::Job)
+            .collect();
+        let err = build_report(&s.plant, Level::Job, &job_only, &policy).unwrap_err();
+        assert!(matches!(err, hierod_detect::DetectError::Missing { .. }));
+    }
+
+    #[test]
     fn process_anomalies_outscore_measurement_errors_on_support() {
         let s = ScenarioBuilder::new(58)
             .machines(3)
@@ -179,14 +210,15 @@ mod tests {
             .magnitude_sigmas(15.0)
             .build();
         let report =
-            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default())
-                .unwrap();
+            find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default()).unwrap();
         // Split detected outliers by ground-truth scope via affected sensor
         // + index match.
         let mut pa_support = Vec::new();
         let mut me_support = Vec::new();
         for o in &report.outliers {
-            let Some(sensor) = o.sensor.as_deref() else { continue };
+            let Some(sensor) = o.sensor.as_deref() else {
+                continue;
+            };
             let Some(idx) = o.index else { continue };
             let hit = s.truth.injections.iter().find(|r| {
                 r.machine == o.machine

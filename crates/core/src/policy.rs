@@ -12,22 +12,24 @@
 //! | job | PCA reconstruction error (DA) | high-dimensional setup + CAQ vectors |
 //! | environment | sliding-window z-score | slow ambient drift, cheap streaming check |
 //! | production line | robust z over job-feature series | short series (one point per job) |
-//! | production | phased k-means over machine summaries | whole-series comparison across machines |
+//! | production | cross-machine profile over machine summaries | whole-series comparison across machines |
+//!
+//! The enums here are a **facade**: each variant is a typed, documented
+//! shorthand that lowers to an [`AlgoSpec`] (a registry key plus named
+//! parameters) via its `spec()` method. All scorer construction goes
+//! through [`hierod_detect::engine::build`], which resolves specs against
+//! the Table-1 registry and the supplemental catalog — there are no
+//! per-algorithm construction match arms in this crate, so a new detector
+//! only needs a registry entry, not a policy change. Callers that want an
+//! algorithm outside the enums can bypass them entirely and hand the
+//! engine a spec such as `"som(width=6, height=6)"`.
 //!
 //! Detection thresholds are expressed in **robust z-units of the score
 //! distribution** (MADs above the median score), which makes one threshold
 //! scale work across algorithms with different raw score scales.
 
-use hierod_detect::da::{
-    DynamicClustering, GaussianMixture, OneClassSvm, PhasedKMeans, PrincipalComponentSpace,
-    SelfOrganizingMap, SingleLinkage, VibrationSignature,
-};
-use hierod_detect::itm::HistogramDeviants;
-use hierod_detect::pm::AutoregressiveModel;
-use hierod_detect::related::{KnnDistance, LocalOutlierFactor, ReverseKnn};
-use hierod_detect::stat::{GlobalZScore, IqrFence, RobustZScore, SlidingZScore};
-use hierod_detect::uoa::OlapCubeDetector;
-use hierod_detect::{PointScorer, Result, SeriesScorer, VectorScorer};
+use hierod_detect::engine::{self, AlgoSpec};
+use hierod_detect::{PointScorer, Result, VectorScorer};
 use hierod_hierarchy::Level;
 
 /// Point-granularity algorithm choices (phase / environment / line levels).
@@ -57,19 +59,24 @@ pub enum PointAlgo {
 }
 
 impl PointAlgo {
-    /// Builds the scorer.
+    /// Lowers the choice to its engine spec.
+    pub fn spec(&self) -> AlgoSpec {
+        match *self {
+            PointAlgo::Autoregressive { order } => AlgoSpec::new("ar").with("order", order),
+            PointAlgo::SlidingZ { window } => AlgoSpec::new("sliding-z").with("window", window),
+            PointAlgo::GlobalZ => AlgoSpec::new("global-z"),
+            PointAlgo::RobustZ => AlgoSpec::new("robust-z"),
+            PointAlgo::Iqr => AlgoSpec::new("iqr"),
+            PointAlgo::Deviants { buckets } => AlgoSpec::new("deviants").with("buckets", buckets),
+        }
+    }
+
+    /// Builds the scorer through the engine registry.
     ///
     /// # Errors
     /// Propagates invalid hyper-parameters.
-    pub fn build(&self) -> Result<Box<dyn PointScorer>> {
-        Ok(match *self {
-            PointAlgo::Autoregressive { order } => Box::new(AutoregressiveModel::new(order)?),
-            PointAlgo::SlidingZ { window } => Box::new(SlidingZScore::new(window)?),
-            PointAlgo::GlobalZ => Box::new(GlobalZScore),
-            PointAlgo::RobustZ => Box::new(RobustZScore),
-            PointAlgo::Iqr => Box::new(IqrFence),
-            PointAlgo::Deviants { buckets } => Box::new(HistogramDeviants::new(buckets)?),
-        })
+    pub fn build(&self) -> Result<Box<dyn PointScorer + Send + Sync>> {
+        engine::build(&self.spec())?.into_point()
     }
 
     /// Short label for reports.
@@ -155,25 +162,28 @@ pub enum VectorAlgo {
 }
 
 impl VectorAlgo {
-    /// Builds the scorer.
+    /// Lowers the choice to its engine spec.
+    pub fn spec(&self) -> AlgoSpec {
+        match *self {
+            VectorAlgo::Pca { components } => AlgoSpec::new("pca").with("components", components),
+            VectorAlgo::Gmm { components } => AlgoSpec::new("gmm").with("components", components),
+            VectorAlgo::Ocsvm { nu } => AlgoSpec::new("ocsvm").with("nu", nu),
+            VectorAlgo::Som => AlgoSpec::new("som"),
+            VectorAlgo::SingleLinkage => AlgoSpec::new("single-linkage"),
+            VectorAlgo::DynamicClustering => AlgoSpec::new("dynamic-clustering"),
+            VectorAlgo::OlapCube { buckets } => AlgoSpec::new("olap-cube").with("buckets", buckets),
+            VectorAlgo::Lof { k } => AlgoSpec::new("lof").with("k", k),
+            VectorAlgo::ReverseKnn { k } => AlgoSpec::new("rknn").with("k", k),
+            VectorAlgo::KnnDistance { k } => AlgoSpec::new("knn").with("k", k),
+        }
+    }
+
+    /// Builds the scorer through the engine registry.
     ///
     /// # Errors
     /// Propagates invalid hyper-parameters.
-    pub fn build(&self) -> Result<Box<dyn VectorScorer>> {
-        Ok(match *self {
-            VectorAlgo::Pca { components } => {
-                Box::new(PrincipalComponentSpace::new(components)?)
-            }
-            VectorAlgo::Gmm { components } => Box::new(GaussianMixture::new(components)?),
-            VectorAlgo::Ocsvm { nu } => Box::new(OneClassSvm::new(nu)?),
-            VectorAlgo::Som => Box::new(SelfOrganizingMap::default()),
-            VectorAlgo::SingleLinkage => Box::new(SingleLinkage::default()),
-            VectorAlgo::DynamicClustering => Box::new(DynamicClustering::default()),
-            VectorAlgo::OlapCube { buckets } => Box::new(OlapCubeDetector::new(buckets)?),
-            VectorAlgo::Lof { k } => Box::new(LocalOutlierFactor::new(k)?),
-            VectorAlgo::ReverseKnn { k } => Box::new(ReverseKnn::new(k)?),
-            VectorAlgo::KnnDistance { k } => Box::new(KnnDistance::new(k)?),
-        })
+    pub fn build(&self) -> Result<Box<dyn VectorScorer + Send + Sync>> {
+        engine::build(&self.spec())?.into_vector()
     }
 
     /// Short label for reports.
@@ -205,48 +215,35 @@ pub enum SeriesAlgo {
     },
     /// Spectral vibration signatures (Table-1 DA row).
     Vibration,
-    /// Cross-machine profile: a per-position median/MAD template across the
-    /// machines' summary series (truncated to the shortest); each machine
-    /// is scored by its mean deviation from the fleet profile. This is the
-    /// §3 profile-similarity idea applied across machines rather than
-    /// across jobs, and it is what surfaces slow per-machine concept drift
-    /// (experiment E8).
+    /// Cross-machine profile similarity: the §3 profile idea applied across
+    /// machines rather than across jobs (see
+    /// [`hierod_detect::related::CrossMachineProfile`]); surfaces slow
+    /// per-machine concept drift (experiment E8).
     CrossMachineProfile,
 }
 
 impl SeriesAlgo {
-    /// Scores a collection of whole series.
+    /// Lowers the choice to its engine spec.
+    pub fn spec(&self) -> AlgoSpec {
+        match *self {
+            SeriesAlgo::PhasedKMeans { k, segments } => AlgoSpec::new("phased-kmeans")
+                .with("k", k)
+                .with("segments", segments),
+            SeriesAlgo::Vibration => AlgoSpec::new("vibration"),
+            SeriesAlgo::CrossMachineProfile => AlgoSpec::new("cross-machine-profile"),
+        }
+    }
+
+    /// Scores a collection of whole series through the engine.
     ///
     /// # Errors
     /// Propagates scorer errors (e.g. too few series).
     pub fn score(&self, collection: &[&[f64]]) -> Result<Vec<f64>> {
-        match *self {
-            SeriesAlgo::PhasedKMeans { k, segments } => {
-                let scorer = PhasedKMeans::new(k)?;
-                hierod_detect::adapt::score_series_with(&scorer, collection, segments)
-            }
-            SeriesAlgo::Vibration => {
-                VibrationSignature::default().score_series(collection)
-            }
-            SeriesAlgo::CrossMachineProfile => {
-                let min_len = collection
-                    .iter()
-                    .map(|s| s.len())
-                    .min()
-                    .unwrap_or(0);
-                if min_len == 0 || collection.len() < 2 {
-                    return Ok(vec![0.0; collection.len()]);
-                }
-                let truncated: Vec<&[f64]> =
-                    collection.iter().map(|s| &s[..min_len]).collect();
-                let profile =
-                    hierod_detect::related::ProfileSimilarity::fit(&truncated)?;
-                truncated
-                    .iter()
-                    .map(|s| profile.score_execution(s))
-                    .collect()
-            }
-        }
+        let segments = match *self {
+            SeriesAlgo::PhasedKMeans { segments, .. } => segments,
+            _ => 8,
+        };
+        engine::build(&self.spec())?.score_collection(collection, segments)
     }
 
     /// Short label for reports.
@@ -375,6 +372,18 @@ mod tests {
     }
 
     #[test]
+    fn specs_roundtrip_through_the_engine_display_form() {
+        // The facade's spec and its textual form resolve identically —
+        // the enums are pure sugar over the engine's data path.
+        let algo = VectorAlgo::OlapCube { buckets: 5 };
+        let text = algo.spec().to_string();
+        assert_eq!(text, "olap-cube(buckets=5)");
+        let reparsed: AlgoSpec = text.parse().unwrap();
+        assert_eq!(reparsed, algo.spec());
+        assert!(engine::build(&reparsed).is_ok());
+    }
+
+    #[test]
     fn thresholds_indexed_by_level() {
         let p = AlgorithmPolicy::default();
         assert_eq!(p.threshold(Level::Phase), 6.0);
@@ -386,7 +395,10 @@ mod tests {
         let p = AlgorithmPolicy::default();
         assert_eq!(p.algorithm_label(Level::Phase), "AR prediction error");
         assert_eq!(p.algorithm_label(Level::Job), "PCA reconstruction error");
-        assert_eq!(p.algorithm_label(Level::Production), "cross-machine profile");
+        assert_eq!(
+            p.algorithm_label(Level::Production),
+            "cross-machine profile"
+        );
     }
 
     #[test]

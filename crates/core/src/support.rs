@@ -81,14 +81,9 @@ pub fn support_for(
                     let tol = (window as u64).saturating_mul(16).max(64);
                     env.series_scores.iter().any(|ss| {
                         ss.sensor == *corr
-                            && ss
-                                .timestamps
-                                .iter()
-                                .zip(&ss.z)
-                                .any(|(&t, &z)| {
-                                    t.abs_diff(ts) <= tol
-                                        && z >= policy.threshold(env.level)
-                                })
+                            && ss.timestamps.iter().zip(&ss.z).any(|(&t, &z)| {
+                                t.abs_diff(ts) <= tol && z >= policy.threshold(env.level)
+                            })
                     })
                 }
                 _ => false,
@@ -100,14 +95,9 @@ pub fn support_for(
                     && ss.machine == outlier.machine
                     && ss.job == outlier.job
                     && ss.phase == outlier.phase
-                    && ss
-                        .z
-                        .iter()
-                        .enumerate()
-                        .any(|(i, &z)| {
-                            i.abs_diff(idx) <= window
-                                && z >= policy.threshold(phase_detections.level)
-                        })
+                    && ss.z.iter().enumerate().any(|(i, &z)| {
+                        i.abs_diff(idx) <= window && z >= policy.threshold(phase_detections.level)
+                    })
             })
         };
         if confirmed {
@@ -122,7 +112,7 @@ mod tests {
     use super::*;
     use crate::detect_level::detect_level;
     use hierod_hierarchy::Level;
-    use hierod_synth::{Scope, ScenarioBuilder};
+    use hierod_synth::{ScenarioBuilder, Scope};
 
     #[test]
     fn corresponding_includes_group_siblings() {
@@ -174,7 +164,7 @@ mod tests {
     fn process_anomalies_gain_support_measurement_errors_do_not() {
         let policy = AlgorithmPolicy::default();
         // Process anomalies on redundancy-3 temperature groups.
-        let pa = ScenarioBuilder::new(3)
+        let pa = ScenarioBuilder::new(4)
             .machines(2)
             .jobs_per_machine(8)
             .redundancy(3)
@@ -187,7 +177,12 @@ mod tests {
         let temp_outliers: Vec<_> = det
             .outliers
             .iter()
-            .filter(|o| o.sensor.as_deref().map(|s| s.contains("bed_temp")).unwrap_or(false))
+            .filter(|o| {
+                o.sensor
+                    .as_deref()
+                    .map(|s| s.contains("bed_temp"))
+                    .unwrap_or(false)
+            })
             .collect();
         assert!(!temp_outliers.is_empty());
         let mean_support: f64 = temp_outliers
@@ -201,7 +196,7 @@ mod tests {
         );
 
         // Measurement errors on the same setup.
-        let me = ScenarioBuilder::new(3)
+        let me = ScenarioBuilder::new(4)
             .machines(2)
             .jobs_per_machine(8)
             .redundancy(3)
@@ -221,7 +216,12 @@ mod tests {
         let me_outliers: Vec<_> = det_me
             .outliers
             .iter()
-            .filter(|o| o.sensor.as_deref().map(|s| s.contains("bed_temp")).unwrap_or(false))
+            .filter(|o| {
+                o.sensor
+                    .as_deref()
+                    .map(|s| s.contains("bed_temp"))
+                    .unwrap_or(false)
+            })
             .collect();
         if !me_outliers.is_empty() {
             let mean_me: f64 = me_outliers

@@ -4,9 +4,7 @@
 //! space.
 
 use hierod_core::detect_level::standardize_scores;
-use hierod_core::{
-    find_hierarchical_outliers, FindOptions, FusionRule, HierOutlier,
-};
+use hierod_core::{find_hierarchical_outliers, FindOptions, FusionRule, HierOutlier};
 use hierod_hierarchy::Level;
 use hierod_synth::ScenarioBuilder;
 use proptest::prelude::*;

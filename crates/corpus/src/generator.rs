@@ -70,9 +70,22 @@ pub const FIG3_FIELDS: [FieldSpec; 8] = [
 ];
 
 const FILLER: &[&str] = &[
-    "robust", "adaptive", "online", "distributed", "industrial", "sensor", "streaming",
-    "multivariate", "probabilistic", "spectral", "wavelet", "deep", "statistical",
-    "data-driven", "real-time", "scalable",
+    "robust",
+    "adaptive",
+    "online",
+    "distributed",
+    "industrial",
+    "sensor",
+    "streaming",
+    "multivariate",
+    "probabilistic",
+    "spectral",
+    "wavelet",
+    "deep",
+    "statistical",
+    "data-driven",
+    "real-time",
+    "scalable",
 ];
 
 const DOMAINS: &[&str] = &[
@@ -193,9 +206,7 @@ impl CorpusGenerator {
             // but never adjacent).
             1 => Document {
                 title: format!("{f1} {term} with series models over time in {dom}"),
-                abstract_text: format!(
-                    "This {term} work studies series data where time matters."
-                ),
+                abstract_text: format!("This {term} work studies series data where time matters."),
                 keywords: vec![term.to_string()],
                 year: rng.gen_range(1995..=2018),
                 categories: vec![Category::AutomationControlSystems],
@@ -271,8 +282,7 @@ mod tests {
         let g = CorpusGenerator::new(3).with_scale(0.05);
         let idx = g.build_index();
         let eng = QueryEngine::new(&idx);
-        let count =
-            |t: &str| eng.count(&QueryEngine::fig3_query(t));
+        let count = |t: &str| eng.count(&QueryEngine::fig3_query(t));
         // Fault & anomaly dominate; deviant discovery is (near) zero.
         assert!(count("fault detection") > count("outlier detection"));
         assert!(count("anomaly detection") > count("outlier detection"));

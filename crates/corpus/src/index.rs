@@ -115,15 +115,12 @@ impl InvertedIndex {
                         let Some(plist) = self.postings.get(term) else {
                             continue 'docs;
                         };
-                        let Ok(pos_idx) =
-                            plist.binary_search_by_key(&posting.doc, |p| p.doc)
+                        let Ok(pos_idx) = plist.binary_search_by_key(&posting.doc, |p| p.doc)
                         else {
                             continue 'docs;
                         };
                         let positions = &plist[pos_idx].positions;
-                        starts.retain(|&s| {
-                            positions.binary_search(&(s + offset as u32)).is_ok()
-                        });
+                        starts.retain(|&s| positions.binary_search(&(s + offset as u32)).is_ok());
                         if starts.is_empty() {
                             continue 'docs;
                         }
@@ -137,10 +134,7 @@ impl InvertedIndex {
 
     /// Document ids tagged with `cat`.
     pub fn category_docs(&self, cat: Category) -> &[DocId] {
-        self.by_category
-            .get(&cat)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_category.get(&cat).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -182,7 +176,10 @@ mod tests {
                 "Anomaly detection in time series",
                 &[Category::AutomationControlSystems],
             ),
-            doc("Outlier detection for sensor data", &[Category::ComputerScience]),
+            doc(
+                "Outlier detection for sensor data",
+                &[Category::ComputerScience],
+            ),
             doc(
                 "Time series forecasting of series time",
                 &[Category::Statistics],

@@ -131,7 +131,10 @@ mod tests {
                 "Anomaly detection in time series for genomes",
                 &[Category::LifeSciences],
             ),
-            doc("Fault detection in time series", &[Category::AutomationControlSystems]),
+            doc(
+                "Fault detection in time series",
+                &[Category::AutomationControlSystems],
+            ),
         ])
     }
 
@@ -195,7 +198,9 @@ mod tests {
 
     #[test]
     fn query_builder_flattens_ands() {
-        let q = Query::phrase("a").and(Query::phrase("b")).and(Query::phrase("c"));
+        let q = Query::phrase("a")
+            .and(Query::phrase("b"))
+            .and(Query::phrase("c"));
         if let Query::And(parts) = &q {
             assert_eq!(parts.len(), 3);
         } else {

@@ -4,8 +4,16 @@ use hierod_corpus::{Category, Document, InvertedIndex, Query, QueryEngine};
 use proptest::prelude::*;
 
 const WORDS: [&str; 10] = [
-    "anomaly", "detection", "time", "series", "fault", "control", "sensor", "industrial",
-    "outlier", "process",
+    "anomaly",
+    "detection",
+    "time",
+    "series",
+    "fault",
+    "control",
+    "sensor",
+    "industrial",
+    "outlier",
+    "process",
 ];
 
 fn doc_strategy() -> impl Strategy<Value = Document> {
@@ -14,7 +22,11 @@ fn doc_strategy() -> impl Strategy<Value = Document> {
         prop::collection::vec(0_usize..6, 1..3),
     )
         .prop_map(|(word_idx, cats)| Document {
-            title: word_idx.iter().map(|&i| WORDS[i]).collect::<Vec<_>>().join(" "),
+            title: word_idx
+                .iter()
+                .map(|&i| WORDS[i])
+                .collect::<Vec<_>>()
+                .join(" "),
             abstract_text: String::new(),
             keywords: vec![],
             year: 2018,

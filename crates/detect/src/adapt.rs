@@ -12,9 +12,9 @@
 //!   numeric sensor data.
 
 use hierod_timeseries::normalize::z_normalize;
-use hierod_timeseries::MultiSeries;
 use hierod_timeseries::sax::{paa, SaxEncoder};
 use hierod_timeseries::window::{window_scores_to_point_scores, windows, WindowSpec};
+use hierod_timeseries::MultiSeries;
 
 use crate::api::{DetectError, DiscreteScorer, Result, VectorScorer};
 
@@ -306,8 +306,7 @@ mod tests {
         let normal1: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
         let normal2: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4 + 0.1).sin()).collect();
         let weird: Vec<f64> = (0..32).map(|i| i as f64).collect();
-        let scores =
-            score_series_with(&MeanDist, &[&normal1, &normal2, &weird], 8).unwrap();
+        let scores = score_series_with(&MeanDist, &[&normal1, &normal2, &weird], 8).unwrap();
         assert!(scores[2] > scores[0]);
         assert!(scores[2] > scores[1]);
     }

@@ -52,6 +52,12 @@ pub enum DetectError {
     NotFitted,
     /// An error bubbled up from the time-series substrate.
     Substrate(String),
+    /// An expected intermediate result was absent (e.g. a level missing
+    /// from a detection map while assembling a report).
+    Missing {
+        /// What was expected but absent.
+        what: String,
+    },
 }
 
 impl DetectError {
@@ -77,6 +83,7 @@ impl fmt::Display for DetectError {
             DetectError::Numeric { message } => write!(f, "numeric error: {message}"),
             DetectError::NotFitted => write!(f, "detector must be fitted before scoring"),
             DetectError::Substrate(m) => write!(f, "substrate error: {m}"),
+            DetectError::Missing { what } => write!(f, "missing result: {what}"),
         }
     }
 }
@@ -194,7 +201,11 @@ impl Capabilities {
     /// Render as the table's check-mark triple.
     pub fn checkmarks(self) -> [&'static str; 3] {
         let mark = |b: bool| if b { "x" } else { " " };
-        [mark(self.points), mark(self.subsequences), mark(self.series)]
+        [
+            mark(self.points),
+            mark(self.subsequences),
+            mark(self.series),
+        ]
     }
 }
 
@@ -316,7 +327,10 @@ mod tests {
     #[test]
     fn class_metadata() {
         assert_eq!(TechniqueClass::DA.abbrev(), "DA");
-        assert_eq!(TechniqueClass::ITM.expansion(), "Information-Theoretic Model");
+        assert_eq!(
+            TechniqueClass::ITM.expansion(),
+            "Information-Theoretic Model"
+        );
         assert_eq!(TechniqueClass::NPD.to_string(), "NPD");
     }
 

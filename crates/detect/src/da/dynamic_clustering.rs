@@ -176,8 +176,14 @@ mod tests {
     #[test]
     fn radius_factor_controls_fragmentation() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let tight = DynamicClustering::new(0.2).unwrap().score_rows(&rows).unwrap();
-        let loose = DynamicClustering::new(50.0).unwrap().score_rows(&rows).unwrap();
+        let tight = DynamicClustering::new(0.2)
+            .unwrap()
+            .score_rows(&rows)
+            .unwrap();
+        let loose = DynamicClustering::new(50.0)
+            .unwrap()
+            .score_rows(&rows)
+            .unwrap();
         // Tight radius: many small clusters -> high scores everywhere.
         let tight_mean: f64 = tight.iter().sum::<f64>() / 20.0;
         let loose_mean: f64 = loose.iter().sum::<f64>() / 20.0;

@@ -116,7 +116,9 @@ impl GaussianMixture {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| {
-                    dist_sq(a.1, r).partial_cmp(&dist_sq(b.1, r)).expect("finite")
+                    dist_sq(a.1, r)
+                        .partial_cmp(&dist_sq(b.1, r))
+                        .expect("finite")
                 })
                 .expect("k >= 1")
                 .0;

@@ -362,9 +362,8 @@ mod tests {
     fn phased_kmeans_ignores_amplitude() {
         // Same shape at different amplitudes => after phasing, one cluster;
         // a different shape stands out.
-        let shape_a = |amp: f64| -> Vec<f64> {
-            (0..16).map(|i| amp * (i as f64 * 0.5).sin()).collect()
-        };
+        let shape_a =
+            |amp: f64| -> Vec<f64> { (0..16).map(|i| amp * (i as f64 * 0.5).sin()).collect() };
         let mut rows: Vec<Vec<f64>> = (1..=8).map(|a| shape_a(a as f64)).collect();
         rows.push((0..16).map(|i| i as f64).collect()); // ramp: different shape
         let scores = PhasedKMeans::new(1).unwrap().score_rows(&rows).unwrap();

@@ -56,13 +56,11 @@ impl LcsCluster {
             .expect("non-empty");
         medoids.push(first);
         while medoids.len() < k {
-            let next = (0..n)
-                .filter(|i| !medoids.contains(i))
-                .min_by(|&a, &b| {
-                    let ca = medoids.iter().map(|&m| sim[a][m]).fold(f64::MIN, f64::max);
-                    let cb = medoids.iter().map(|&m| sim[b][m]).fold(f64::MIN, f64::max);
-                    ca.partial_cmp(&cb).expect("finite")
-                });
+            let next = (0..n).filter(|i| !medoids.contains(i)).min_by(|&a, &b| {
+                let ca = medoids.iter().map(|&m| sim[a][m]).fold(f64::MIN, f64::max);
+                let cb = medoids.iter().map(|&m| sim[b][m]).fold(f64::MIN, f64::max);
+                ca.partial_cmp(&cb).expect("finite")
+            });
             match next {
                 Some(i) => medoids.push(i),
                 None => break,
@@ -117,10 +115,7 @@ impl DiscreteScorer for LcsCluster {
                         .fold(f64::MIN, f64::max);
                     1.0 - best
                 } else {
-                    let best = medoids
-                        .iter()
-                        .map(|&m| sim[i][m])
-                        .fold(f64::MIN, f64::max);
+                    let best = medoids.iter().map(|&m| sim[i][m]).fold(f64::MIN, f64::max);
                     1.0 - best
                 }
             })
@@ -183,7 +178,11 @@ mod tests {
         let b: Vec<u16> = vec![3, 4];
         let all: Vec<&[u16]> = vec![&a, &b];
         assert_eq!(
-            LcsCluster::new(10).unwrap().score_sequences(&all).unwrap().len(),
+            LcsCluster::new(10)
+                .unwrap()
+                .score_sequences(&all)
+                .unwrap()
+                .len(),
             2
         );
     }

@@ -149,9 +149,7 @@ mod tests {
         let a = vec![1_u16, 2];
         assert!(MatchCount::default().score_sequences(&[&a]).is_err());
         let b = vec![1_u16];
-        assert!(MatchCount::default()
-            .score_sequences(&[&a, &b])
-            .is_err());
+        assert!(MatchCount::default().score_sequences(&[&a, &b]).is_err());
         let empty: Vec<u16> = vec![];
         assert!(MatchCount::default()
             .score_sequences(&[&empty, &empty])

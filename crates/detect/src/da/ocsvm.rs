@@ -177,7 +177,10 @@ mod tests {
         let loose = OneClassSvm::new(0.05).unwrap().score_rows(&rows).unwrap();
         let tight_out = tight.iter().filter(|&&s| s > 1e-12).count();
         let loose_out = loose.iter().filter(|&&s| s > 1e-12).count();
-        assert!(tight_out >= loose_out, "tight {tight_out} loose {loose_out}");
+        assert!(
+            tight_out >= loose_out,
+            "tight {tight_out} loose {loose_out}"
+        );
         // nu ≈ 0.3 leaves roughly a third outside.
         assert!(tight_out >= rows.len() / 5);
     }
@@ -197,7 +200,10 @@ mod tests {
     fn deterministic() {
         let rows = cluster_with_outlier();
         let svm = OneClassSvm::default();
-        assert_eq!(svm.score_rows(&rows).unwrap(), svm.score_rows(&rows).unwrap());
+        assert_eq!(
+            svm.score_rows(&rows).unwrap(),
+            svm.score_rows(&rows).unwrap()
+        );
     }
 
     #[test]

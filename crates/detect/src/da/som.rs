@@ -67,9 +67,8 @@ impl SelfOrganizingMap {
         let units = self.width * self.height;
         // Initialize codebook by cycling through the data (deterministic,
         // data-spanning).
-        let mut codebook: Vec<Vec<f64>> = (0..units)
-            .map(|u| rows[u % rows.len()].clone())
-            .collect();
+        let mut codebook: Vec<Vec<f64>> =
+            (0..units).map(|u| rows[u % rows.len()].clone()).collect();
         let total_steps = (self.epochs * rows.len()).max(1);
         let init_radius = (self.width.max(self.height) as f64) / 2.0;
         let mut step = 0_usize;
@@ -91,8 +90,7 @@ impl SelfOrganizingMap {
                 // Gaussian neighborhood update.
                 for u in 0..units {
                     let (ux, uy) = (u % self.width, u / self.width);
-                    let grid_d2 = (ux as f64 - bx as f64).powi(2)
-                        + (uy as f64 - by as f64).powi(2);
+                    let grid_d2 = (ux as f64 - bx as f64).powi(2) + (uy as f64 - by as f64).powi(2);
                     let h = (-grid_d2 / (2.0 * radius * radius)).exp();
                     if h < 1e-4 {
                         continue;
@@ -191,7 +189,10 @@ mod tests {
     fn deterministic() {
         let rows = ring_with_outlier();
         let som = SelfOrganizingMap::default();
-        assert_eq!(som.score_rows(&rows).unwrap(), som.score_rows(&rows).unwrap());
+        assert_eq!(
+            som.score_rows(&rows).unwrap(),
+            som.score_rows(&rows).unwrap()
+        );
     }
 
     #[test]

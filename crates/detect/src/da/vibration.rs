@@ -61,11 +61,7 @@ impl VibrationSignature {
     ///
     /// # Errors
     /// Rejects series shorter than one window.
-    pub fn score_windows(
-        &self,
-        values: &[f64],
-        spec: WindowSpec,
-    ) -> Result<(Vec<f64>, Vec<f64>)> {
+    pub fn score_windows(&self, values: &[f64], spec: WindowSpec) -> Result<(Vec<f64>, Vec<f64>)> {
         if values.len() < spec.len {
             return Err(DetectError::NotEnoughData {
                 what: "VibrationSignature",

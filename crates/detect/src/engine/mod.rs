@@ -1,0 +1,35 @@
+//! The detection engine: specs, resolution, standardization, scheduling.
+//!
+//! This module turns "run detector X with parameters P over data D" from a
+//! per-call-site `match` into data flowing through one pipeline:
+//!
+//! 1. [`AlgoSpec`] — the selection as data: a registry key plus named
+//!    parameters (`"ar"`, `"pca(components=2)"`).
+//! 2. [`build`] — resolves a spec against the Table-1 registry and the
+//!    supplemental catalog ([`all_entries`]) into a [`BoxedScorer`],
+//!    validating parameter names and values with
+//!    [`DetectError::InvalidParameter`](crate::api::DetectError).
+//! 3. [`BoxedScorer`] — one runnable handle over every scorer trait, with
+//!    drivers that bridge granularities (windows, PAA, SAX) where the
+//!    underlying trait differs from the data at hand.
+//! 4. [`Standardizer`] — turns raw, detector-specific score scales into
+//!    comparable robust z-scores ([`RobustZ`]) so one threshold works
+//!    across all 21+ detectors.
+//! 5. [`TaskPool`] — a work-stealing scheduler running the per-(level ×
+//!    machine × sensor/job-group) scoring tasks that the hierarchy layer
+//!    (`hierod-core`) decomposes a plant into.
+//!
+//! The `hierod-core` policy types are thin facades that construct specs;
+//! nothing above this module matches on algorithm enums to build scorers.
+
+pub(crate) mod boxed;
+mod catalog;
+mod scheduler;
+mod spec;
+mod standardize;
+
+pub use boxed::{BoxedScorer, ScorerKind};
+pub use catalog::{all_entries, build, find, supplemental};
+pub use scheduler::{Task, TaskPool};
+pub use spec::{AlgoSpec, ParamValue};
+pub use standardize::{Identity, RobustZ, Standardizer};

@@ -1,0 +1,101 @@
+//! Pluggable score standardization.
+//!
+//! Raw detector scores live on wildly different scales (AR residuals,
+//! reconstruction errors, negative log-likelihoods, …). The hierarchy's
+//! per-level thresholds are expressed in **robust z-units of the score
+//! distribution** so that one threshold scale works across algorithms;
+//! [`Standardizer`] makes that final normalization stage explicit and
+//! swappable instead of hard-wiring it into the level-detection loop.
+
+use hierod_timeseries::stats;
+
+/// Maps a raw score vector onto a common comparable scale.
+pub trait Standardizer: Send + Sync {
+    /// Standardizes the raw scores (same length as the input).
+    fn standardize(&self, raw: &[f64]) -> Vec<f64>;
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Robust z-units: `(s - median) / MAD`, with a standard-deviation fallback
+/// when the MAD collapses (e.g. a score vector that is mostly zeros), and
+/// all-zeros when the distribution is fully degenerate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobustZ;
+
+impl Standardizer for RobustZ {
+    fn standardize(&self, raw: &[f64]) -> Vec<f64> {
+        if raw.is_empty() {
+            return Vec::new();
+        }
+        let med = stats::median(raw).expect("non-empty");
+        let mad = stats::mad(raw).expect("non-empty");
+        let spread = if mad > 1e-12 {
+            mad
+        } else {
+            // MAD collapses when most scores are identical (e.g. IQR-fence
+            // zeros); fall back to the standard deviation.
+            let sd = stats::std_dev(raw).expect("non-empty");
+            if sd > 1e-12 {
+                sd
+            } else {
+                return vec![0.0; raw.len()];
+            }
+        };
+        raw.iter().map(|s| (s - med) / spread).collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "robust z"
+    }
+}
+
+/// No-op standardizer for scores that are already on the threshold scale
+/// (e.g. profile-similarity scores, which are MAD-units against the learned
+/// template — re-standardizing them per series would amplify the near-zero
+/// spread of clean executions into false positives).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Standardizer for Identity {
+    fn standardize(&self, raw: &[f64]) -> Vec<f64> {
+        raw.to_vec()
+    }
+
+    fn label(&self) -> &'static str {
+        "identity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_z_flags_spike() {
+        let z = RobustZ.standardize(&[1.0, 1.1, 0.9, 1.0, 9.0]);
+        assert!(z[4] > 5.0);
+        assert!(z[0].abs() < 2.0);
+    }
+
+    #[test]
+    fn robust_z_degenerate_inputs() {
+        assert_eq!(RobustZ.standardize(&[]), Vec::<f64>::new());
+        assert_eq!(RobustZ.standardize(&[2.0, 2.0]), vec![0.0, 0.0]);
+        // MAD zero but variance nonzero: one extreme among many identical.
+        let mut v = vec![0.0; 9];
+        v.push(100.0);
+        let z = RobustZ.standardize(&v);
+        assert!(z[9] > 1.0);
+        assert!(z.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let raw = [0.5, 3.0, -1.0];
+        assert_eq!(Identity.standardize(&raw), raw.to_vec());
+        assert_eq!(Identity.label(), "identity");
+        assert_eq!(RobustZ.label(), "robust z");
+    }
+}

@@ -41,6 +41,7 @@
 pub mod adapt;
 pub mod api;
 pub mod da;
+pub mod engine;
 pub mod itm;
 pub mod nmd;
 pub mod npd;

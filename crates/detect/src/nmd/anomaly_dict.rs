@@ -8,9 +8,7 @@
 //! logic). Matching is soft: the score of a sequence is the best
 //! subsequence similarity to any dictionary entry.
 
-use crate::api::{
-    Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
-};
+use crate::api::{Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass};
 
 /// Dictionary of known-anomalous symbol patterns.
 #[derive(Debug, Clone, Default)]
@@ -78,20 +76,12 @@ impl AnomalyDictionary {
         for entry in &self.entries {
             if entry.len() > seq.len() {
                 // Partial alignment: compare the overlapping prefix.
-                let matches = entry
-                    .iter()
-                    .zip(seq)
-                    .filter(|(a, b)| a == b)
-                    .count();
+                let matches = entry.iter().zip(seq).filter(|(a, b)| a == b).count();
                 best = best.max(matches as f64 / entry.len() as f64);
                 continue;
             }
             for window in seq.windows(entry.len()) {
-                let matches = entry
-                    .iter()
-                    .zip(window)
-                    .filter(|(a, b)| a == b)
-                    .count();
+                let matches = entry.iter().zip(window).filter(|(a, b)| a == b).count();
                 best = best.max(matches as f64 / entry.len() as f64);
                 if best == 1.0 {
                     return Ok(1.0);

@@ -104,11 +104,7 @@ impl WindowSequenceDb {
         // Hamming distance.
         let mut best = 1.0_f64;
         for (stored, &count) in db {
-            let mismatches = stored
-                .iter()
-                .zip(window)
-                .filter(|(a, b)| a != b)
-                .count();
+            let mismatches = stored.iter().zip(window).filter(|(a, b)| a != b).count();
             let soft = mismatches as f64 / self.window_len as f64;
             // Frequent patterns vouch more strongly: damp by frequency.
             let freq = count as f64 / self.total as f64;
@@ -230,9 +226,7 @@ mod tests {
 
     #[test]
     fn leave_one_out_discrete_scoring() {
-        let normals: Vec<Vec<u16>> = (0..5)
-            .map(|_| vec![0_u16, 1, 2, 3, 0, 1, 2, 3])
-            .collect();
+        let normals: Vec<Vec<u16>> = (0..5).map(|_| vec![0_u16, 1, 2, 3, 0, 1, 2, 3]).collect();
         let anomaly: Vec<u16> = vec![9, 8, 7, 6, 9, 8, 7, 6];
         let mut all: Vec<&[u16]> = normals.iter().map(Vec::as_slice).collect();
         all.push(&anomaly);
@@ -251,7 +245,10 @@ mod tests {
     fn validation() {
         assert!(WindowSequenceDb::new(0).is_err());
         let db = WindowSequenceDb::default();
-        assert!(matches!(db.window_score(&[1, 2, 3, 4]), Err(DetectError::NotFitted)));
+        assert!(matches!(
+            db.window_score(&[1, 2, 3, 4]),
+            Err(DetectError::NotFitted)
+        ));
         assert!(matches!(
             db.score_sequence_windows(&[1, 2, 3, 4]),
             Err(DetectError::NotFitted)

@@ -16,9 +16,7 @@ use hierod_timeseries::normalize::z_normalize;
 use hierod_timeseries::sax::SaxEncoder;
 use hierod_timeseries::window::{window_scores_to_point_scores, windows, WindowSpec};
 
-use crate::api::{
-    Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
-};
+use crate::api::{Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass};
 
 /// SAX discord scorer for numeric series.
 #[derive(Debug, Clone)]

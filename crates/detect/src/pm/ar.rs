@@ -125,11 +125,7 @@ impl PointScorer for AutoregressiveModel {
             });
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
-            / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         // Constant series (up to rounding dust) carry no prediction errors.
         if var <= 1e-20 * (1.0 + mean * mean) {
             if values.len() < self.order * 3 {

@@ -10,9 +10,7 @@
 //! breaking its usual relationship to the others) surfaces as a VAR
 //! residual.
 
-use crate::api::{
-    Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
-};
+use crate::api::{Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass};
 
 /// VAR(1) prediction-error scorer over a multivariate series
 /// (rows = time points, columns = channels).
@@ -234,9 +232,7 @@ mod tests {
     #[test]
     fn cross_channel_break_scores_high() {
         let rows = coupled(200, Some(120));
-        let scores = VectorAutoregressive
-            .score_rows_over_time(&rows)
-            .unwrap();
+        let scores = VectorAutoregressive.score_rows_over_time(&rows).unwrap();
         // Mean score inside the 20-sample break window far exceeds the
         // clean region.
         let clean: f64 = scores[10..110].iter().sum::<f64>() / 100.0;

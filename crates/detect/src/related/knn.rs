@@ -214,7 +214,14 @@ mod tests {
         );
         // k clamps to n - 1.
         let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
-        assert_eq!(KnnDistance::new(10).unwrap().score_rows(&rows).unwrap().len(), 3);
+        assert_eq!(
+            KnnDistance::new(10)
+                .unwrap()
+                .score_rows(&rows)
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]

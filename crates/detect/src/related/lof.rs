@@ -64,7 +64,9 @@ impl VectorScorer for LocalOutlierFactor {
         let mut dist = vec![vec![0.0_f64; n]; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = sq_euclidean(&rows[i], &rows[j]).expect("checked dims").sqrt();
+                let d = sq_euclidean(&rows[i], &rows[j])
+                    .expect("checked dims")
+                    .sqrt();
                 dist[i][j] = d;
                 dist[j][i] = d;
             }
@@ -130,7 +132,10 @@ mod tests {
         }
         rows.push(vec![1.5, 0.0]); // local outlier near the dense cluster
         let idx = rows.len() - 1;
-        let scores = LocalOutlierFactor::new(3).unwrap().score_rows(&rows).unwrap();
+        let scores = LocalOutlierFactor::new(3)
+            .unwrap()
+            .score_rows(&rows)
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -159,7 +164,10 @@ mod tests {
     fn duplicates_do_not_divide_by_zero() {
         let mut rows = vec![vec![1.0, 1.0]; 6];
         rows.push(vec![9.0, 9.0]);
-        let scores = LocalOutlierFactor::new(3).unwrap().score_rows(&rows).unwrap();
+        let scores = LocalOutlierFactor::new(3)
+            .unwrap()
+            .score_rows(&rows)
+            .unwrap();
         assert!(scores.iter().all(|s| s.is_finite()));
         let best = scores
             .iter()

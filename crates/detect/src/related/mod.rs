@@ -15,4 +15,4 @@ mod profile;
 
 pub use knn::{KnnDistance, ReverseKnn};
 pub use lof::LocalOutlierFactor;
-pub use profile::ProfileSimilarity;
+pub use profile::{CrossMachineProfile, ProfileSimilarity};

@@ -9,8 +9,8 @@
 //! New executions are scored per point by their standardized deviation
 //! from the profile.
 
-use crate::api::{DetectError, Detector, DetectorInfo, Result};
 use crate::api::{Capabilities, TechniqueClass};
+use crate::api::{DetectError, Detector, DetectorInfo, Result};
 
 /// A fitted per-position profile.
 #[derive(Debug, Clone)]
@@ -136,6 +136,43 @@ impl Detector for ProfileSimilarity {
     }
 }
 
+/// Cross-machine profile similarity: a per-position median/MAD template
+/// learned across a fleet's summary series (truncated to the shortest);
+/// each machine is scored by its mean deviation from the fleet profile.
+/// This is the §3 profile-similarity idea applied across machines rather
+/// than across jobs, and it is what surfaces slow per-machine concept
+/// drift (experiment E8). Collections of fewer than two series (no fleet
+/// to compare against) score zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossMachineProfile;
+
+impl Detector for CrossMachineProfile {
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: "Cross-Machine Profile",
+            citation: "§3 (PS)",
+            class: TechniqueClass::Baseline,
+            capabilities: Capabilities::new(false, false, true),
+            supervised: false,
+        }
+    }
+}
+
+impl crate::api::SeriesScorer for CrossMachineProfile {
+    fn score_series(&self, collection: &[&[f64]]) -> Result<Vec<f64>> {
+        let min_len = collection.iter().map(|s| s.len()).min().unwrap_or(0);
+        if min_len == 0 || collection.len() < 2 {
+            return Ok(vec![0.0; collection.len()]);
+        }
+        let truncated: Vec<&[f64]> = collection.iter().map(|s| &s[..min_len]).collect();
+        let profile = ProfileSimilarity::fit(&truncated)?;
+        truncated
+            .iter()
+            .map(|s| profile.score_execution(s))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,8 +217,7 @@ mod tests {
             .0;
         assert_eq!(best, 25);
         assert!(
-            profile.score_execution(&bad).unwrap()
-                > profile.score_execution(&ramp(98)).unwrap()
+            profile.score_execution(&bad).unwrap() > profile.score_execution(&ramp(98)).unwrap()
         );
     }
 
@@ -211,6 +247,36 @@ mod tests {
         let profile = ProfileSimilarity::fit(&[&a]).unwrap();
         assert!(profile.score_points(&b).is_err());
         assert!(!profile.is_empty());
+    }
+
+    #[test]
+    fn cross_machine_profile_ranks_the_divergent_series() {
+        use crate::api::SeriesScorer;
+        let fleet: Vec<Vec<f64>> = (1..=5).map(ramp).collect();
+        let mut drifting = ramp(6);
+        for v in drifting.iter_mut() {
+            *v += 15.0;
+        }
+        let mut refs: Vec<&[f64]> = fleet.iter().map(Vec::as_slice).collect();
+        refs.push(&drifting);
+        let scores = CrossMachineProfile.score_series(&refs).unwrap();
+        assert_eq!(scores.len(), 6);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 5, "the offset machine must rank first: {scores:?}");
+        // Degenerate collections score zero instead of erroring.
+        assert_eq!(
+            CrossMachineProfile.score_series(&refs[..1]).unwrap(),
+            vec![0.0]
+        );
+        assert_eq!(
+            CrossMachineProfile.score_series(&[]).unwrap(),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]

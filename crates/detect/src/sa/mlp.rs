@@ -67,18 +67,15 @@ impl NeuralNetwork {
     }
 
     fn forward(f: &Fitted, x: &[f64]) -> (Vec<f64>, f64) {
-        let h: Vec<f64> = f
-            .w1
-            .iter()
-            .zip(&f.b1)
-            .map(|(w, b)| {
-                let z: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
-                z.tanh()
-            })
-            .collect();
-        let out = sigmoid(
-            f.w2.iter().zip(&h).map(|(w, hv)| w * hv).sum::<f64>() + f.b2,
-        );
+        let h: Vec<f64> =
+            f.w1.iter()
+                .zip(&f.b1)
+                .map(|(w, b)| {
+                    let z: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                    z.tanh()
+                })
+                .collect();
+        let out = sigmoid(f.w2.iter().zip(&h).map(|(w, hv)| w * hv).sum::<f64>() + f.b2);
         (h, out)
     }
 }

@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use crate::api::{
-    Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
-};
+use crate::api::{Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass};
 
 /// Motif log-likelihood-ratio classifier over symbol sequences.
 #[derive(Debug, Clone)]
@@ -102,10 +100,10 @@ impl MotifRuleClassifier {
         let weights = vocab
             .into_iter()
             .map(|motif| {
-                let p_pos = (pos_counts.get(&motif).copied().unwrap_or(0.0) + s)
-                    / (pos_total + s * v);
-                let p_neg = (neg_counts.get(&motif).copied().unwrap_or(0.0) + s)
-                    / (neg_total + s * v);
+                let p_pos =
+                    (pos_counts.get(&motif).copied().unwrap_or(0.0) + s) / (pos_total + s * v);
+                let p_neg =
+                    (neg_counts.get(&motif).copied().unwrap_or(0.0) + s) / (neg_total + s * v);
                 (motif, (p_pos / p_neg).ln())
             })
             .collect();
@@ -211,9 +209,7 @@ mod tests {
         clf.fit_sequences(&refs, &labels).unwrap();
         let novel_anom: Vec<u16> = vec![0, 1, 7, 7, 7, 7, 2, 3];
         let novel_norm: Vec<u16> = vec![0, 1, 2, 3, 4, 0, 1, 2];
-        let scores = clf
-            .predict_sequences(&[&novel_anom, &novel_norm])
-            .unwrap();
+        let scores = clf.predict_sequences(&[&novel_anom, &novel_norm]).unwrap();
         assert!(scores[0] > scores[1]);
     }
 

@@ -221,11 +221,7 @@ impl SupervisedScorer for RuleLearner {
                 break;
             }
             rules.push(rule);
-            if labels
-                .iter()
-                .zip(&active)
-                .all(|(&l, &a)| !l || !a)
-            {
+            if labels.iter().zip(&active).all(|(&l, &a)| !l || !a) {
                 break; // all positives covered
             }
         }
@@ -326,9 +322,7 @@ mod tests {
         let (rows, labels) = labeled_data();
         let mut rl = RuleLearner::default();
         rl.fit(&rows, &labels).unwrap();
-        let scores = rl
-            .predict(&[vec![9.0, 0.5], vec![1.0, 3.0]])
-            .unwrap();
+        let scores = rl.predict(&[vec![9.0, 0.5], vec![1.0, 3.0]]).unwrap();
         assert!(scores[0] > scores[1]);
         assert_eq!(scores[1], 0.0);
     }

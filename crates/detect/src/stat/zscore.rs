@@ -221,8 +221,16 @@ mod tests {
     #[test]
     fn constant_series_scores_zero_everywhere() {
         let v = vec![5.0; 20];
-        assert!(GlobalZScore.score_points(&v).unwrap().iter().all(|&s| s == 0.0));
-        assert!(RobustZScore.score_points(&v).unwrap().iter().all(|&s| s == 0.0));
+        assert!(GlobalZScore
+            .score_points(&v)
+            .unwrap()
+            .iter()
+            .all(|&s| s == 0.0));
+        assert!(RobustZScore
+            .score_points(&v)
+            .unwrap()
+            .iter()
+            .all(|&s| s == 0.0));
         assert!(SlidingZScore::default()
             .score_points(&v)
             .unwrap()

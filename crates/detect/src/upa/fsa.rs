@@ -38,7 +38,10 @@ impl FiniteStateAutomaton {
     /// Rejects an empty order list or an order of 0.
     pub fn new(orders: Vec<usize>) -> Result<Self> {
         if orders.is_empty() || orders.contains(&0) {
-            return Err(DetectError::invalid("orders", "need at least one order >= 1"));
+            return Err(DetectError::invalid(
+                "orders",
+                "need at least one order >= 1",
+            ));
         }
         Ok(Self { orders })
     }

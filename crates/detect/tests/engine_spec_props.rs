@@ -1,0 +1,165 @@
+//! Property tests over the engine's spec-resolution contract: every
+//! registry/catalog entry is buildable by name through an [`AlgoSpec`],
+//! malformed specs are rejected with `InvalidParameter` (never a panic),
+//! and every built scorer yields finite robust-z standardized scores on
+//! synthetic data when driven through the [`BoxedScorer`] bridges.
+
+use hierod_detect::engine::{self, AlgoSpec, RobustZ, ScorerKind, Standardizer};
+use hierod_detect::registry::registry;
+use hierod_detect::DetectError;
+use proptest::prelude::*;
+
+#[test]
+fn all_21_registry_rows_build_by_key_and_by_table1_name() {
+    let rows = registry();
+    assert_eq!(rows.len(), 21);
+    for e in &rows {
+        let by_key = engine::build(&AlgoSpec::new(e.key))
+            .unwrap_or_else(|err| panic!("{} by key: {err}", e.key));
+        let by_name = engine::build(&AlgoSpec::new(e.info.name))
+            .unwrap_or_else(|err| panic!("{} by row name: {err}", e.info.name));
+        assert_eq!(by_key.info().name, e.info.name);
+        assert_eq!(by_name.info().name, e.info.name);
+        assert_eq!(by_key.kind(), by_name.kind());
+    }
+}
+
+#[test]
+fn supplemental_catalog_builds_by_key() {
+    for e in engine::supplemental() {
+        engine::build(&AlgoSpec::new(e.key)).unwrap_or_else(|err| panic!("{}: {err}", e.key));
+    }
+}
+
+/// Deterministic pseudo-random series (SplitMix64) so the non-proptest
+/// drivers below stay reproducible.
+fn synth_series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1_u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.21).sin() * 3.0 + noise
+        })
+        .collect()
+}
+
+#[test]
+fn every_entry_scores_synthetic_data_to_finite_standardized_scores() {
+    let values = synth_series(7, 128);
+    let collection: Vec<Vec<f64>> = (0..6).map(|m| synth_series(m + 10, 64)).collect();
+    let refs: Vec<&[f64]> = collection.iter().map(Vec::as_slice).collect();
+    let mut rows: Vec<Vec<f64>> = (0..24).map(|i| synth_series(i + 40, 5)).collect();
+    let mut labels = vec![false; 24];
+    for i in 0..6 {
+        rows.push(synth_series(i + 90, 5).iter().map(|v| v + 8.0).collect());
+        labels.push(true);
+    }
+
+    for e in engine::all_entries() {
+        let mut scorer = engine::build(&AlgoSpec::new(e.key)).expect(e.key);
+        let raw = match scorer.kind() {
+            // Point natively; vector/discrete through the window and SAX
+            // bridges respectively.
+            ScorerKind::Point | ScorerKind::Vector | ScorerKind::Discrete => scorer
+                .score_points(&values)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.key)),
+            ScorerKind::Series => scorer
+                .score_collection(&refs, 8)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.key)),
+            ScorerKind::Supervised => {
+                scorer
+                    .fit(&rows, &labels)
+                    .unwrap_or_else(|err| panic!("{}: {err}", e.key));
+                scorer
+                    .predict(&rows)
+                    .unwrap_or_else(|err| panic!("{}: {err}", e.key))
+            }
+        };
+        assert!(!raw.is_empty(), "{} returned no scores", e.key);
+        let z = RobustZ.standardize(&raw);
+        assert_eq!(z.len(), raw.len());
+        for v in &z {
+            assert!(v.is_finite(), "{}: non-finite standardized score", e.key);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn unknown_names_are_rejected_with_invalid_parameter(
+        letters in prop::collection::vec(0u8..26, 8..16),
+    ) {
+        let name: String = letters.iter().map(|&c| (b'a' + c) as char).collect();
+        let known = engine::all_entries()
+            .iter()
+            .any(|e| e.key == name || e.info.name.to_lowercase() == name);
+        prop_assume!(!known);
+        prop_assert!(matches!(
+            engine::build(&AlgoSpec::new(&name)),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn undeclared_parameters_are_rejected(i in 0usize..30, v in -10i64..10) {
+        let entries = engine::all_entries();
+        let e = &entries[i % entries.len()];
+        let spec = AlgoSpec::new(e.key).with("definitely_not_a_param", v);
+        prop_assert!(matches!(
+            engine::build(&spec),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_parameter_values_are_rejected(i in 0usize..30) {
+        // Negative and NaN values are invalid for every declared parameter
+        // in the catalog (counts/orders/windows must be non-negative
+        // integers; fractions/factors must be finite and positive).
+        let entries = engine::all_entries();
+        let e = &entries[i % entries.len()];
+        prop_assume!(!e.params.is_empty());
+        let param = e.params[0].to_string();
+        let negative = AlgoSpec::new(e.key).with(param.clone(), -1);
+        prop_assert!(
+            matches!(
+                engine::build(&negative),
+                Err(DetectError::InvalidParameter { .. })
+            ),
+            "{}({}=-1) must be rejected",
+            e.key,
+            param
+        );
+        let nan = AlgoSpec::new(e.key).with(param.clone(), f64::NAN);
+        prop_assert!(
+            matches!(engine::build(&nan), Err(DetectError::InvalidParameter { .. })),
+            "{}({}=NaN) must be rejected",
+            e.key,
+            param
+        );
+    }
+
+    #[test]
+    fn point_capable_entries_score_random_series_finitely(
+        values in prop::collection::vec(-50.0_f64..50.0, 64..128),
+    ) {
+        for e in engine::all_entries() {
+            let scorer = engine::build(&AlgoSpec::new(e.key)).expect(e.key);
+            let raw = match scorer.kind() {
+                ScorerKind::Point | ScorerKind::Vector | ScorerKind::Discrete => {
+                    scorer.score_points(&values).unwrap_or_else(|err| panic!("{}: {err}", e.key))
+                }
+                _ => continue,
+            };
+            prop_assert_eq!(raw.len(), values.len(), "{}", e.key);
+            for z in RobustZ.standardize(&raw) {
+                prop_assert!(z.is_finite(), "{}: {}", e.key, z);
+            }
+        }
+    }
+}

@@ -4,8 +4,8 @@
 //! structure (translation invariance where the method promises it).
 
 use hierod_detect::da::{
-    DynamicClustering, GaussianMixture, KMeans, OneClassSvm, PhasedKMeans,
-    PrincipalComponentSpace, SelfOrganizingMap, SingleLinkage,
+    DynamicClustering, GaussianMixture, KMeans, OneClassSvm, PhasedKMeans, PrincipalComponentSpace,
+    SelfOrganizingMap, SingleLinkage,
 };
 use hierod_detect::itm::HistogramDeviants;
 use hierod_detect::pm::AutoregressiveModel;

@@ -4,9 +4,7 @@ use hierod_eval::confusion::{best_f1_threshold, ConfusionMatrix};
 use hierod_eval::{average_precision, precision_at_k, rank_normalize, roc_auc};
 use proptest::prelude::*;
 
-fn scored_labeled(
-    n: std::ops::Range<usize>,
-) -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+fn scored_labeled(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
     n.prop_flat_map(|len| {
         (
             prop::collection::vec(-100.0_f64..100.0, len),

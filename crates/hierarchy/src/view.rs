@@ -205,7 +205,11 @@ impl LevelView {
     /// inventory report): number of scalar values.
     pub fn volume(&self) -> usize {
         self.series.iter().map(|s| s.series.len()).sum::<usize>()
-            + self.sequences.iter().map(DiscreteSequence::len).sum::<usize>()
+            + self
+                .sequences
+                .iter()
+                .map(DiscreteSequence::len)
+                .sum::<usize>()
             + self.vectors.iter().map(|v| v.features.len()).sum::<usize>()
     }
 }

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 
 fn plant_strategy() -> impl Strategy<Value = Plant> {
     (
-        1_usize..4,                           // machines
-        1_usize..4,                           // jobs per machine
-        1_usize..4,                           // sensors per job phase
-        2_usize..12,                          // samples per phase
+        1_usize..4,                                // machines
+        1_usize..4,                                // jobs per machine
+        1_usize..4,                                // sensors per job phase
+        2_usize..12,                               // samples per phase
         prop::collection::vec(-50.0_f64..50.0, 4), // caq values
     )
         .prop_map(|(machines, jobs, sensors, samples, caq)| {
@@ -31,9 +31,7 @@ fn plant_strategy() -> impl Strategy<Value = Plant> {
                                                 format!("{machine}.sensor.{s}"),
                                                 tick,
                                                 1,
-                                                (0..samples)
-                                                    .map(|i| (i + s) as f64)
-                                                    .collect(),
+                                                (0..samples).map(|i| (i + s) as f64).collect(),
                                             )
                                             .expect("regular")
                                         })

@@ -105,7 +105,11 @@ mod tests {
         for m in 0..3 {
             for s in 0..4 {
                 // Baseline measure ~ 10, except machine 1 / shift 2 spikes.
-                let v = if (m, s) == (1, 2) { 100.0 } else { 10.0 + (m + s) as f64 * 0.1 };
+                let v = if (m, s) == (1, 2) {
+                    100.0
+                } else {
+                    10.0 + (m + s) as f64 * 0.1
+                };
                 cube.insert(&[m, s], v).unwrap();
             }
         }

@@ -67,10 +67,7 @@ impl Dimension {
     ///
     /// # Errors
     /// Returns an error if no members are given.
-    pub fn new(
-        name: impl Into<String>,
-        members: Vec<String>,
-    ) -> Result<Self, OlapError> {
+    pub fn new(name: impl Into<String>, members: Vec<String>) -> Result<Self, OlapError> {
         if members.is_empty() {
             return Err(OlapError::InvalidSchema {
                 message: "dimension must have at least one member".into(),
@@ -221,7 +218,10 @@ mod tests {
         assert!(s.validate(&[1, 2]).is_ok());
         assert!(matches!(
             s.validate(&[1]),
-            Err(OlapError::ArityMismatch { expected: 2, got: 1 })
+            Err(OlapError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.validate(&[2, 0]),

@@ -3,9 +3,7 @@
 use hierod_olap::{cell_outlierness, Cube, CubeSchema, Dimension};
 use proptest::prelude::*;
 
-fn facts(
-    max: usize,
-) -> impl Strategy<Value = Vec<([usize; 3], f64)>> {
+fn facts(max: usize) -> impl Strategy<Value = Vec<([usize; 3], f64)>> {
     prop::collection::vec(
         ((0_usize..4, 0_usize..5, 0_usize..3), -100.0_f64..100.0)
             .prop_map(|((a, b, c), v)| ([a, b, c], v)),

@@ -236,14 +236,11 @@ mod tests {
     #[test]
     fn job_level_truth_ignores_measurement_errors() {
         let gt = GroundTruth {
-            injections: vec![
-                record(Scope::MeasurementError, "s0", 0, 1),
-                {
-                    let mut r = record(Scope::ProcessAnomaly, "s1", 0, 1);
-                    r.job = "j1".into();
-                    r
-                },
-            ],
+            injections: vec![record(Scope::MeasurementError, "s0", 0, 1), {
+                let mut r = record(Scope::ProcessAnomaly, "s1", 0, 1);
+                r.job = "j1".into();
+                r
+            }],
             environment_injections: vec![],
         };
         let jobs = gt.anomalous_jobs();

@@ -70,7 +70,11 @@ impl SignalModel {
     /// `setpoint` scales the process targets (bed temperature setpoint,
     /// laser power setpoint, …) and comes from the job configuration.
     pub fn nominal(&self, i: usize, n: usize, setpoint: f64) -> f64 {
-        let t = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+        let t = if n <= 1 {
+            0.0
+        } else {
+            i as f64 / (n - 1) as f64
+        };
         let ambient = 22.0;
         match (self.kind, self.phase) {
             // ---- temperatures ----
@@ -211,7 +215,10 @@ mod tests {
         let start = m.nominal(0, 100, 180.0);
         let end = m.nominal(99, 100, 180.0);
         assert!((start - 22.0).abs() < 1.0);
-        assert!(end > 170.0, "end of warm-up should approach setpoint, got {end}");
+        assert!(
+            end > 170.0,
+            "end of warm-up should approach setpoint, got {end}"
+        );
         // Monotone non-decreasing ramp.
         let mut prev = f64::NEG_INFINITY;
         for i in 0..100 {
@@ -236,12 +243,19 @@ mod tests {
         assert!((mean - 1.5).abs() < 0.2);
         let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1.5, "oscillation should be visible, spread={spread}");
+        assert!(
+            spread > 1.5,
+            "oscillation should be visible, spread={spread}"
+        );
     }
 
     #[test]
     fn laser_off_outside_active_phases() {
-        for phase in [PhaseKind::Preparation, PhaseKind::WarmUp, PhaseKind::Cooling] {
+        for phase in [
+            PhaseKind::Preparation,
+            PhaseKind::WarmUp,
+            PhaseKind::Cooling,
+        ] {
             let m = SignalModel::new(SensorKind::LaserPower, phase);
             assert_eq!(m.nominal(5, 10, 200.0), 0.0, "phase {phase:?}");
         }
@@ -275,7 +289,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let obs = m.observe(&latent, 2.0, &mut rng);
         let mean = obs.iter().sum::<f64>() / obs.len() as f64;
-        assert!((mean - 182.0).abs() < 0.5, "bias should shift mean, got {mean}");
+        assert!(
+            (mean - 182.0).abs() < 0.5,
+            "bias should shift mean, got {mean}"
+        );
         // Noise present: not all equal.
         assert!(obs.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
     }
@@ -289,12 +306,7 @@ mod tests {
         let b = m.observe(&latent, 0.0, &mut rng);
         assert_ne!(a, b);
         // Correlated through the latent: both track the same trajectory.
-        let diff_mean = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            / a.len() as f64;
+        let diff_mean = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
         assert!(diff_mean < 2.0);
     }
 

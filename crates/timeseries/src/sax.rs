@@ -386,7 +386,9 @@ mod tests {
     fn mindist_lower_bounds_euclidean_on_fixed_cases() {
         let enc = SaxEncoder::new(4, 6).unwrap();
         let a: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.3).sin()).collect();
-        let b: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.3 + 1.0).cos() * 2.0).collect();
+        let b: Vec<f64> = (0..32)
+            .map(|i| ((i as f64) * 0.3 + 1.0).cos() * 2.0)
+            .collect();
         let wa = enc.encode(&a).unwrap();
         let wb = enc.encode(&b).unwrap();
         let za = normalize::z_normalize(&a).unwrap();

@@ -25,11 +25,7 @@ impl TimeSeries {
     /// # Errors
     /// Returns an error if the vectors differ in length or timestamps are
     /// not strictly increasing.
-    pub fn new(
-        name: impl Into<String>,
-        timestamps: Vec<u64>,
-        values: Vec<f64>,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, timestamps: Vec<u64>, values: Vec<f64>) -> Result<Self> {
         if timestamps.len() != values.len() {
             return Err(Error::LengthMismatch {
                 what: "TimeSeries::new",
@@ -38,10 +34,7 @@ impl TimeSeries {
             });
         }
         if timestamps.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(Error::invalid(
-                "timestamps",
-                "must be strictly increasing",
-            ));
+            return Err(Error::invalid("timestamps", "must be strictly increasing"));
         }
         Ok(Self {
             name: name.into(),
@@ -203,7 +196,10 @@ impl DiscreteSequence {
         if let Some(&bad) = symbols.iter().find(|&&s| (s as usize) >= alphabet.len()) {
             return Err(Error::invalid(
                 "symbols",
-                format!("symbol {bad} out of range for alphabet of size {}", alphabet.len()),
+                format!(
+                    "symbol {bad} out of range for alphabet of size {}",
+                    alphabet.len()
+                ),
             ));
         }
         Ok(Self {
@@ -406,8 +402,7 @@ mod tests {
 
     #[test]
     fn discrete_sequence_rejects_out_of_range_symbol() {
-        let err =
-            DiscreteSequence::with_alphabet("s", vec![0, 7], vec!["a".into()]).unwrap_err();
+        let err = DiscreteSequence::with_alphabet("s", vec![0, 7], vec!["a".into()]).unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { .. }));
     }
 

@@ -293,7 +293,10 @@ pub fn cross_correlation(xs: &[f64], ys: &[f64], lag: isize) -> Result<f64> {
     }
     let n = xs.len() as isize;
     if lag.abs() >= n - 1 {
-        return Err(Error::invalid("lag", "leaves fewer than 2 overlapping samples"));
+        return Err(Error::invalid(
+            "lag",
+            "leaves fewer than 2 overlapping samples",
+        ));
     }
     let (a, b): (&[f64], &[f64]) = if lag >= 0 {
         (&xs[..xs.len() - lag as usize], &ys[lag as usize..])
@@ -493,9 +496,7 @@ mod tests {
     fn cross_correlation_finds_the_shift() {
         // ys is xs delayed by 3 samples.
         let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
-        let ys: Vec<f64> = (0..40)
-            .map(|i| ((i as f64 - 3.0) * 0.7).sin())
-            .collect();
+        let ys: Vec<f64> = (0..40).map(|i| ((i as f64 - 3.0) * 0.7).sin()).collect();
         let at_lag3 = cross_correlation(&xs, &ys, 3).unwrap();
         let at_lag0 = cross_correlation(&xs, &ys, 0).unwrap();
         assert!(at_lag3 > 0.99, "lag-3 correlation {at_lag3}");

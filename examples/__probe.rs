@@ -1,12 +1,25 @@
 use hierod::hierarchy::{Level, LevelView};
 use hierod::synth::ScenarioBuilder;
 fn main() {
-    let s = ScenarioBuilder::new(7).machines(4).jobs_per_machine(16).redundancy(2)
-        .phase_samples(40).anomaly_rate(0.0).drift(1, 0.25).build();
+    let s = ScenarioBuilder::new(7)
+        .machines(4)
+        .jobs_per_machine(16)
+        .redundancy(2)
+        .phase_samples(40)
+        .anomaly_rate(0.0)
+        .drift(1, 0.25)
+        .build();
     let view = LevelView::extract(&s.plant, Level::Production);
     for at in &view.series {
         let v = at.series.values();
-        println!("{}: first {:.3} last {:.3} vals {:?}", at.machine, v[0], v[v.len()-1],
-            v.iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "{}: first {:.3} last {:.3} vals {:?}",
+            at.machine,
+            v[0],
+            v[v.len() - 1],
+            v.iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -16,7 +16,7 @@
 
 use hierod::core::{find_hierarchical_outliers, FindOptions};
 use hierod::hierarchy::Level;
-use hierod::synth::{Scope, ScenarioBuilder};
+use hierod::synth::{ScenarioBuilder, Scope};
 
 fn main() {
     // 100 % anomaly rate and a 50/50 scope split guarantees both fault
@@ -43,12 +43,8 @@ fn main() {
         );
     }
 
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .expect("detection");
+    let report = find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default())
+        .expect("detection");
 
     // Match detections back to ground truth and summarize the triples per
     // fault kind.

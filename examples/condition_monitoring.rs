@@ -31,13 +31,15 @@ fn main() {
     let policy = AlgorithmPolicy::default();
     let fusion = FusionRule::default_weighted();
     let detections = evaluate_levels(&scenario, &policy).expect("detection");
-    let report = build_report(&scenario.plant, Level::Phase, &detections, &policy)
-        .expect("report");
+    let report = build_report(&scenario.plant, Level::Phase, &detections, &policy).expect("report");
 
     // Fused severity per job = max fused score of its phase-level outliers
     // (0 when a job produced none).
     let line = &scenario.plant.lines[0];
-    println!("machine `{}` — per-job condition report:\n", line.machine_id);
+    println!(
+        "machine `{}` — per-job condition report:\n",
+        line.machine_id
+    );
     println!(
         "{:<8} {:>9} {:>9} {:>8} {:>6}  {:<12} note",
         "job", "severity", "support", "global", "CAQ", "urgency"
@@ -54,11 +56,7 @@ fn main() {
             .map(|o| fusion.score(o))
             .fold(0.0_f64, f64::max);
         let support = outliers.iter().map(|o| o.support).fold(0.0_f64, f64::max);
-        let global = outliers
-            .iter()
-            .map(|o| o.global_score)
-            .max()
-            .unwrap_or(1);
+        let global = outliers.iter().map(|o| o.global_score).max().unwrap_or(1);
         let urgency = match severity {
             s if s >= 30.0 => "IMMEDIATE",
             s if s >= 15.0 => "scheduled",

@@ -34,7 +34,10 @@ fn argmax(scores: &[f64]) -> usize {
 }
 
 fn main() {
-    println!("Table-1 detector tour ({} registered rows)\n", registry().len());
+    println!(
+        "Table-1 detector tour ({} registered rows)\n",
+        registry().len()
+    );
 
     // ---- Shared numeric workload: a sine with a burst at t = 300..308. ----
     let mut series: Vec<f64> = (0..512)
@@ -48,7 +51,9 @@ fn main() {
     let seqs: Vec<Vec<u16>> = (0..6)
         .map(|k| (0..24).map(|i| ((i + k) % 4) as u16).collect())
         .collect();
-    let alien: Vec<u16> = vec![9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8];
+    let alien: Vec<u16> = vec![
+        9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8, 9, 9, 8,
+    ];
     let mut all_seqs: Vec<&[u16]> = seqs.iter().map(Vec::as_slice).collect();
     all_seqs.push(&alien);
 
@@ -73,7 +78,10 @@ fn main() {
 
     println!("== point scorers (spike at 300 in a 512-sample sine) ==");
     let ar = AutoregressiveModel::new(3).unwrap();
-    println!("  AR prediction error [15]      -> argmax {}", argmax(&ar.score_points(&series).unwrap()));
+    println!(
+        "  AR prediction error [15]      -> argmax {}",
+        argmax(&ar.score_points(&series).unwrap())
+    );
     // Deviants are *isolated* points whose removal improves the optimal
     // histogram; a sustained burst is representable and hence not a
     // deviant, so the ITM row gets the single-spike variant.
@@ -83,13 +91,19 @@ fn main() {
     }
     spiked[300] += 9.0;
     let hd = HistogramDeviants::new(8).unwrap();
-    println!("  histogram deviants [27]       -> argmax {}", argmax(&hd.score_points(&spiked).unwrap()));
+    println!(
+        "  histogram deviants [27]       -> argmax {}",
+        argmax(&hd.score_points(&spiked).unwrap())
+    );
 
     println!("\n== windowed scorers on the same series ==");
     let spec = WindowSpec::new(32, 8).unwrap();
-    let (_, p) = score_windows_with(&GaussianMixture::new(2).unwrap(), &series, spec, true).unwrap();
+    let (_, p) =
+        score_windows_with(&GaussianMixture::new(2).unwrap(), &series, spec, true).unwrap();
     println!("  EM mixture [30] (windows)     -> argmax {}", argmax(&p));
-    let (_, p) = VibrationSignature::default().score_windows(&series, spec).unwrap();
+    let (_, p) = VibrationSignature::default()
+        .score_windows(&series, spec)
+        .unwrap();
     println!("  vibration signature [28]      -> argmax {}", argmax(&p));
     let (_, p) = SaxDiscord::new(32, 4, 4).unwrap().score(&series).unwrap();
     println!("  SAX discord [22]              -> argmax {}", argmax(&p));
@@ -97,37 +111,110 @@ fn main() {
     println!("  FSA via SAX symbols [25]      -> argmax {}", argmax(&p));
 
     println!("\n== discrete-sequence scorers (alien sequence at index 6) ==");
-    println!("  match count [16]              -> argmax {}", argmax(&MatchCount::default().score_sequences(&all_seqs).unwrap()));
-    println!("  LCS clustering [2]            -> argmax {}", argmax(&LcsCluster::default().score_sequences(&all_seqs).unwrap()));
-    println!("  hidden Markov model [7]       -> argmax {}", argmax(&HiddenMarkov::new(2).unwrap().score_sequences(&all_seqs).unwrap()));
-    println!("  window-sequence NPD [17]      -> argmax {}", argmax(&WindowSequenceDb::default().score_sequences(&all_seqs).unwrap()));
+    println!(
+        "  match count [16]              -> argmax {}",
+        argmax(&MatchCount::default().score_sequences(&all_seqs).unwrap())
+    );
+    println!(
+        "  LCS clustering [2]            -> argmax {}",
+        argmax(&LcsCluster::default().score_sequences(&all_seqs).unwrap())
+    );
+    println!(
+        "  hidden Markov model [7]       -> argmax {}",
+        argmax(
+            &HiddenMarkov::new(2)
+                .unwrap()
+                .score_sequences(&all_seqs)
+                .unwrap()
+        )
+    );
+    println!(
+        "  window-sequence NPD [17]      -> argmax {}",
+        argmax(
+            &WindowSequenceDb::default()
+                .score_sequences(&all_seqs)
+                .unwrap()
+        )
+    );
     let dict = AnomalyDictionary::from_patterns(&[&[9, 9, 8][..]]).unwrap();
-    println!("  anomaly dictionary [3]        -> argmax {}", argmax(&dict.score(&all_seqs).unwrap()));
+    println!(
+        "  anomaly dictionary [3]        -> argmax {}",
+        argmax(&dict.score(&all_seqs).unwrap())
+    );
 
     println!("\n== vector scorers (stray row at index 40) ==");
-    println!("  PCA space [13]                -> argmax {}", argmax(&PrincipalComponentSpace::new(1).unwrap().score_rows(&rows).unwrap()));
-    println!("  one-class SVM [6]             -> argmax {}", argmax(&OneClassSvm::default().score_rows(&rows).unwrap()));
-    println!("  self-organizing map [11]      -> argmax {}", argmax(&SelfOrganizingMap::default().score_rows(&rows).unwrap()));
-    println!("  single linkage [32]           -> argmax {}", argmax(&SingleLinkage::default().score_rows(&rows).unwrap()));
-    println!("  dynamic clustering [37]       -> argmax {}", argmax(&DynamicClustering::default().score_rows(&rows).unwrap()));
-    println!("  OLAP cube [20]                -> argmax {}", argmax(&OlapCubeDetector::default().score_rows(&rows).unwrap()));
+    println!(
+        "  PCA space [13]                -> argmax {}",
+        argmax(
+            &PrincipalComponentSpace::new(1)
+                .unwrap()
+                .score_rows(&rows)
+                .unwrap()
+        )
+    );
+    println!(
+        "  one-class SVM [6]             -> argmax {}",
+        argmax(&OneClassSvm::default().score_rows(&rows).unwrap())
+    );
+    println!(
+        "  self-organizing map [11]      -> argmax {}",
+        argmax(&SelfOrganizingMap::default().score_rows(&rows).unwrap())
+    );
+    println!(
+        "  single linkage [32]           -> argmax {}",
+        argmax(&SingleLinkage::default().score_rows(&rows).unwrap())
+    );
+    println!(
+        "  dynamic clustering [37]       -> argmax {}",
+        argmax(&DynamicClustering::default().score_rows(&rows).unwrap())
+    );
+    println!(
+        "  OLAP cube [20]                -> argmax {}",
+        argmax(&OlapCubeDetector::default().score_rows(&rows).unwrap())
+    );
 
     println!("\n== series scorers (trend among sines at index 5) ==");
-    println!("  phased k-means [36]           -> argmax {}", argmax(&hierod::detect::adapt::score_series_with(&PhasedKMeans::new(1).unwrap(), &collection, 8).unwrap()));
-    println!("  vibration signature [28]      -> argmax {}", argmax(&VibrationSignature::default().score_series(&collection).unwrap()));
+    println!(
+        "  phased k-means [36]           -> argmax {}",
+        argmax(
+            &hierod::detect::adapt::score_series_with(
+                &PhasedKMeans::new(1).unwrap(),
+                &collection,
+                8
+            )
+            .unwrap()
+        )
+    );
+    println!(
+        "  vibration signature [28]      -> argmax {}",
+        argmax(
+            &VibrationSignature::default()
+                .score_series(&collection)
+                .unwrap()
+        )
+    );
 
     println!("\n== supervised scorers (labels: stray = anomalous) ==");
     let labels: Vec<bool> = (0..rows.len()).map(|i| i == 40).collect();
     let mut rl = RuleLearner::default();
     rl.fit(&rows, &labels).unwrap();
-    println!("  rule learning [18]            -> argmax {}", argmax(&rl.predict(&rows).unwrap()));
+    println!(
+        "  rule learning [18]            -> argmax {}",
+        argmax(&rl.predict(&rows).unwrap())
+    );
     let mut nn = NeuralNetwork::default();
     nn.fit(&rows, &labels).unwrap();
-    println!("  neural network [10]           -> argmax {}", argmax(&nn.predict(&rows).unwrap()));
+    println!(
+        "  neural network [10]           -> argmax {}",
+        argmax(&nn.predict(&rows).unwrap())
+    );
     let seq_labels: Vec<bool> = (0..all_seqs.len()).map(|i| i == 6).collect();
     let mut mrc = MotifRuleClassifier::default();
     mrc.fit_sequences(&all_seqs, &seq_labels).unwrap();
-    println!("  motif rule classifier [19]    -> argmax {}", argmax(&mrc.predict_sequences(&all_seqs).unwrap()));
+    println!(
+        "  motif rule classifier [19]    -> argmax {}",
+        argmax(&mrc.predict_sequences(&all_seqs).unwrap())
+    );
 
     println!("\nEvery class of Table 1 localized its planted anomaly.");
 }

@@ -32,12 +32,8 @@ fn main() {
 
     // Algorithm 1, starting at the phase level (the paper's most detailed
     // view), with the default per-level algorithm policy.
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .expect("detection");
+    let report = find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default())
+        .expect("detection");
 
     let fusion = FusionRule::default_weighted();
     println!("top outliers by fused triple score:");

@@ -42,7 +42,9 @@ fn main() {
         .unwrap_or(0);
     for j in 0..max_jobs {
         for line in &scenario.plant.lines {
-            let Some(job) = line.jobs.get(j) else { continue };
+            let Some(job) = line.jobs.get(j) else {
+                continue;
+            };
             let assessment = monitor
                 .ingest_job(&line.machine_id, job.clone())
                 .expect("assessment");
@@ -53,14 +55,17 @@ fn main() {
                 Urgency::Scheduled => "scheduled",
                 Urgency::Immediate => "IMMEDIATE",
             };
-            let is_anomalous =
-                truth.contains(&(line.machine_id.clone(), job.id.clone()));
+            let is_anomalous = truth.contains(&(line.machine_id.clone(), job.id.clone()));
             println!(
                 "{:<10} {:>9.1} {:>7} {:>9} {:<11} {}",
                 assessment.job_id,
                 assessment.severity,
                 assessment.alerts.len(),
-                if assessment.job_level_confirmed { "yes" } else { "no" },
+                if assessment.job_level_confirmed {
+                    "yes"
+                } else {
+                    "no"
+                },
                 urgency,
                 if is_anomalous { "process anomaly" } else { "" }
             );

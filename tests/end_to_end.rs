@@ -1,13 +1,9 @@
 //! Cross-crate integration tests: scenario generation → level detection →
 //! Algorithm 1 → evaluation, through the public facade.
 
-use hierod::core::experiment::{
-    evaluate_levels, job_level_eval, point_level_eval, triage_eval,
-};
+use hierod::core::experiment::{evaluate_levels, job_level_eval, point_level_eval, triage_eval};
 use hierod::core::pipeline::build_report;
-use hierod::core::{
-    find_hierarchical_outliers, AlgorithmPolicy, FindOptions, FusionRule,
-};
+use hierod::core::{find_hierarchical_outliers, AlgorithmPolicy, FindOptions, FusionRule};
 use hierod::hierarchy::{Level, LevelView};
 use hierod::synth::{ScenarioBuilder, Scope};
 
@@ -26,12 +22,8 @@ fn standard() -> hierod::synth::Scenario {
 #[test]
 fn full_pipeline_produces_consistent_triples() {
     let scenario = standard();
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .expect("pipeline");
+    let report = find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default())
+        .expect("pipeline");
     assert!(!report.is_empty(), "injections must produce detections");
     for o in &report.outliers {
         // Triple invariants.
@@ -42,8 +34,7 @@ fn full_pipeline_produces_consistent_triples() {
         let line = scenario.plant.line(&o.machine).expect("machine exists");
         if let Some(job) = &o.job {
             let job = line.job(job).expect("job exists");
-            if let (Some(phase), Some(sensor), Some(idx)) =
-                (o.phase, o.sensor.as_deref(), o.index)
+            if let (Some(phase), Some(sensor), Some(idx)) = (o.phase, o.sensor.as_deref(), o.index)
             {
                 let phase = job.phase(phase).expect("phase exists");
                 let series = phase.sensor_series(sensor).expect("sensor exists");
@@ -56,18 +47,10 @@ fn full_pipeline_produces_consistent_triples() {
 
 #[test]
 fn deterministic_end_to_end() {
-    let a = find_hierarchical_outliers(
-        &standard().plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .unwrap();
-    let b = find_hierarchical_outliers(
-        &standard().plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .unwrap();
+    let a = find_hierarchical_outliers(&standard().plant, Level::Phase, &FindOptions::default())
+        .unwrap();
+    let b = find_hierarchical_outliers(&standard().plant, Level::Phase, &FindOptions::default())
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -75,9 +58,8 @@ fn deterministic_end_to_end() {
 fn every_start_level_works() {
     let scenario = standard();
     for level in Level::ALL {
-        let report =
-            find_hierarchical_outliers(&scenario.plant, level, &FindOptions::default())
-                .unwrap_or_else(|e| panic!("level {level}: {e}"));
+        let report = find_hierarchical_outliers(&scenario.plant, level, &FindOptions::default())
+            .unwrap_or_else(|e| panic!("level {level}: {e}"));
         for o in &report.outliers {
             assert_eq!(o.level, level);
         }
@@ -138,12 +120,8 @@ fn measurement_errors_never_reach_high_global_scores_with_high_support() {
         .measurement_error_fraction(1.0)
         .magnitude_sigmas(14.0)
         .build();
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .unwrap();
+    let report =
+        find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default()).unwrap();
     // Every injection is a measurement error; detected outliers matched to
     // one must have low support.
     for o in &report.outliers {
@@ -189,20 +167,15 @@ fn level_views_feed_detections_consistently() {
         scenario.plant.job_count()
     );
     // Reports built from shared detections agree with the one-shot API.
-    let direct = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Phase,
-        &FindOptions::default(),
-    )
-    .unwrap();
-    let shared =
-        build_report(&scenario.plant, Level::Phase, &detections, &policy).unwrap();
+    let direct =
+        find_hierarchical_outliers(&scenario.plant, Level::Phase, &FindOptions::default()).unwrap();
+    let shared = build_report(&scenario.plant, Level::Phase, &detections, &policy).unwrap();
     assert_eq!(direct, shared);
 }
 
 #[test]
 fn clean_plant_yields_quiet_report_at_every_level() {
-    let scenario = ScenarioBuilder::new(5)
+    let scenario = ScenarioBuilder::new(13)
         .machines(2)
         .jobs_per_machine(6)
         .phase_samples(50)
@@ -210,8 +183,7 @@ fn clean_plant_yields_quiet_report_at_every_level() {
         .build();
     for level in Level::ALL {
         let report =
-            find_hierarchical_outliers(&scenario.plant, level, &FindOptions::default())
-                .unwrap();
+            find_hierarchical_outliers(&scenario.plant, level, &FindOptions::default()).unwrap();
         let budget = match level {
             Level::Phase => 12, // a few noise crossings are tolerable
             _ => 6,
@@ -240,12 +212,9 @@ fn environment_start_level_detects_hvac_excursions_and_warns() {
         .environment_anomalies(1.0, 8.0)
         .build();
     assert_eq!(scenario.truth.environment_injections.len(), 3);
-    let report = find_hierarchical_outliers(
-        &scenario.plant,
-        Level::Environment,
-        &FindOptions::default(),
-    )
-    .expect("environment start level");
+    let report =
+        find_hierarchical_outliers(&scenario.plant, Level::Environment, &FindOptions::default())
+            .expect("environment start level");
     assert!(
         !report.is_empty(),
         "HVAC excursions must be detected at the environment level"

@@ -96,6 +96,6 @@ fn fig2_all_levels_populated_with_expected_shapes() {
     assert_eq!(line.series.len(), 3 * 9); // one series per job feature
     let prod = LevelView::extract(plant, Level::Production);
     assert_eq!(prod.series.len(), 3); // one summary per machine
-    // Resolution ordering: phase level dominates the volume.
+                                      // Resolution ordering: phase level dominates the volume.
     assert!(phase.volume() > 10 * (job.volume() + line.volume() + prod.volume()));
 }
