@@ -55,6 +55,7 @@ fn bench_point(c: &mut Criterion) {
 
 fn bench_vector(c: &mut Criterion) {
     let data = rows(200, 8);
+    let data = hierod_detect::row_refs(&data);
     let mut group = c.benchmark_group("vector_scorers_200x8");
     group.bench_function("pca (DA)", |b| {
         let det = PrincipalComponentSpace::new(2).unwrap();

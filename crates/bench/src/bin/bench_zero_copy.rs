@@ -1,0 +1,127 @@
+//! B9 — zero-copy data plane: wall time and allocation volume of level-view
+//! materialization and full `detect_all_levels` runs on wide plants.
+//!
+//! A counting global allocator measures exactly what `LevelView` extraction
+//! costs in heap traffic: bytes allocated, peak live bytes, and allocation
+//! count. Before the Arc-backed storage refactor every sensor series was
+//! deep-copied into its view; after it, materialization is O(1) allocations
+//! per sensor. Summary figures are committed under
+//! `results/bench_zero_copy.md`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hierod_core::{detect_all_levels, AlgorithmPolicy};
+use hierod_hierarchy::{Level, LevelView};
+use hierod_synth::ScenarioBuilder;
+
+/// Global allocator wrapper counting bytes/allocations and tracking the
+/// peak of live heap bytes (relaxed ordering is fine: the measured regions
+/// are single-threaded except the task pool, and we only need totals).
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let size = layout.size() as u64;
+        ALLOC_BYTES.fetch_add(size, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation counters observed over one measured region.
+struct AllocStats {
+    bytes: u64,
+    calls: u64,
+    peak_delta: u64,
+}
+
+/// Runs `f`, returning its result plus wall time and allocation deltas.
+fn measured<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration, AllocStats) {
+    let live0 = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live0, Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed();
+    let stats = AllocStats {
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+        calls: ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        peak_delta: PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(live0),
+    };
+    (out, dt, stats)
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn main() {
+    println!("# bench_zero_copy — view materialization + detect_all_levels\n");
+    for (machines, jobs) in [(6_usize, 12_usize), (12, 20)] {
+        let s = ScenarioBuilder::new(1)
+            .machines(machines)
+            .jobs_per_machine(jobs)
+            .redundancy(3)
+            .phase_samples(60)
+            .anomaly_rate(0.3)
+            .build();
+        println!(
+            "## wide plant {machines}×{jobs} ({} samples)\n",
+            s.plant.sample_count()
+        );
+        println!("| region | wall | alloc bytes | allocs | peak live delta |");
+        println!("|---|---|---|---|---|");
+
+        // View materialization: all five levels, as detect_all_levels does.
+        let (views, dt, a) = measured(|| {
+            Level::ALL
+                .into_iter()
+                .map(|l| LevelView::extract(&s.plant, l))
+                .collect::<Vec<_>>()
+        });
+        let volume: usize = views.iter().map(LevelView::volume).sum();
+        println!(
+            "| extract 5 level views ({volume} scalars) | {dt:?} | {} | {} | {} |",
+            human_bytes(a.bytes),
+            a.calls,
+            human_bytes(a.peak_delta)
+        );
+        drop(views);
+
+        // Full detection run (includes scoring work on top of the views).
+        let policy = AlgorithmPolicy::default();
+        let (res, dt, a) = measured(|| detect_all_levels(&s.plant, &policy).unwrap());
+        let n_outliers: usize = res.values().map(|d| d.outliers.len()).sum();
+        println!(
+            "| detect_all_levels ({n_outliers} outliers) | {dt:?} | {} | {} | {} |",
+            human_bytes(a.bytes),
+            a.calls,
+            human_bytes(a.peak_delta)
+        );
+        println!();
+    }
+}

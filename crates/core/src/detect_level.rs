@@ -287,8 +287,9 @@ fn level_tasks<'env>(
                 tasks.push(Box::new(move || {
                     let mut frag = LevelDetections::empty(level);
                     let scorer = policy.job.build()?;
-                    let rows: Vec<Vec<f64>> =
-                        view.vectors.iter().map(|v| v.features.clone()).collect();
+                    // Borrow each job's shared feature row — the scorer sees
+                    // the view's Arc-backed buffers directly, no copy.
+                    let rows: Vec<&[f64]> = view.vectors.iter().map(|v| &v.features[..]).collect();
                     let raw = scorer.score_rows(&rows)?;
                     let z = standardize_scores(&raw);
                     for (v, &zs) in view.vectors.iter().zip(&z) {
@@ -392,10 +393,10 @@ pub fn detect_all_levels_with_pool(
     policy: &AlgorithmPolicy,
     pool: &TaskPool,
 ) -> Result<BTreeMap<Level, LevelDetections>> {
-    let views: Vec<(Level, LevelView)> = Level::ALL
-        .into_iter()
-        .map(|level| (level, LevelView::extract(plant, level)))
-        .collect();
+    // Materialize all five views in one pass so the per-job feature rows
+    // are derived once and shared (Arc) across the Job, ProductionLine and
+    // Production views instead of being recomputed per level.
+    let views: Vec<(Level, LevelView)> = LevelView::extract_all(plant);
     let scorers: Vec<Option<SharedPointScorer>> = Level::ALL
         .into_iter()
         .map(|level| build_point_scorer(level, policy))
@@ -489,6 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn standardize_scores_is_the_engine_robust_z() {
+        // Pinned equivalence: the free function must stay a pure
+        // re-export of the engine standardizer, bit-for-bit, so the two
+        // call paths can never drift apart again.
+        let cases: [&[f64]; 5] = [
+            &[],
+            &[2.0, 2.0],
+            &[1.0, 1.1, 0.9, 1.0, 9.0],
+            &[-3.5, 0.0, 7.25, 1e-9, 42.0, -1e6],
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 100.0],
+        ];
+        for scores in cases {
+            let ours = standardize_scores(scores);
+            let engine = hierod_detect::engine::RobustZ.standardize(scores);
+            assert_eq!(ours.len(), engine.len());
+            for (a, b) in ours.iter().zip(&engine) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b} on {scores:?}");
+            }
+        }
+    }
+
+    #[test]
     fn phase_level_detects_injected_anomalies() {
         let s = scenario();
         let det = detect_level(&s.plant, Level::Phase, &AlgorithmPolicy::default()).unwrap();
@@ -542,7 +565,11 @@ mod tests {
         let hits = det
             .outliers
             .iter()
-            .filter(|o| truth.contains(&(o.machine.clone(), o.job.clone().unwrap_or_default())))
+            .filter(|o| {
+                truth
+                    .iter()
+                    .any(|(m, j)| *m == o.machine && o.job.as_deref() == Some(j))
+            })
             .count();
         assert!(
             hits > 0,

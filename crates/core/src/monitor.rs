@@ -279,7 +279,7 @@ impl PlantMonitor {
             .all(|v| v.len() == vectors[0].len() && !v.is_empty());
         let job_level_confirmed = if widths_match && vectors.len() >= 4 {
             let scorer = hierod_detect::engine::build(&AlgoSpec::new("pca").with("components", 2))?;
-            let raw = scorer.score_rows(&vectors)?;
+            let raw = scorer.score_rows(&hierod_detect::row_refs(&vectors))?;
             let z = standardize_scores(&raw);
             z.last().map(|&v| v >= self.job_threshold).unwrap_or(false)
         } else {

@@ -366,7 +366,7 @@ mod tests {
             .collect();
         for a in algos {
             let scorer = a.build().unwrap();
-            let scores = scorer.score_rows(&rows).unwrap();
+            let scores = scorer.score_rows(&hierod_detect::row_refs(&rows)).unwrap();
             assert_eq!(scores.len(), rows.len(), "{}", a.label());
         }
     }

@@ -1,0 +1,67 @@
+//! Pinned invisibility test for the zero-copy data plane.
+//!
+//! The Arc-backed series storage and borrowed level views must not change a
+//! single bit of the pipeline's output: this test renders the full
+//! `HierReport` of the seeded E4 scenario (EXPERIMENTS.md §E4, the same
+//! workload as `hierod-bench::standard_scenario(1)`) with `Debug`
+//! formatting — full float precision — and compares it byte-for-byte
+//! against the snapshot committed from the pre-refactor (deep-copy) code
+//! path.
+//!
+//! Regenerate deliberately with `HIEROD_REGEN_GOLDEN=1 cargo test -p
+//! hierod-core --test zero_copy_pinned` — but any diff against the
+//! committed file is a behavior change the zero-copy refactor promised not
+//! to make.
+
+use hierod_core::{find_hierarchical_outliers, FindOptions};
+use hierod_hierarchy::Level;
+use hierod_synth::ScenarioBuilder;
+
+/// The E4 evaluation workload: 3 machines × 20 jobs, 3-fold redundancy,
+/// 30 % of jobs carry one injection, half of those measurement errors,
+/// magnitude 12 event-scales, seed 1.
+fn e4_scenario() -> hierod_synth::Scenario {
+    ScenarioBuilder::new(1)
+        .machines(3)
+        .jobs_per_machine(20)
+        .redundancy(3)
+        .phase_samples(60)
+        .anomaly_rate(0.3)
+        .measurement_error_fraction(0.5)
+        .magnitude_sigmas(12.0)
+        .build()
+}
+
+fn render(report: &hierod_core::HierReport) -> String {
+    let mut out = String::new();
+    for o in &report.outliers {
+        out.push_str(&format!("{o:?}\n"));
+    }
+    for w in &report.warnings {
+        out.push_str(&format!("{w:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn e4_phase_report_matches_pre_refactor_snapshot() {
+    let s = e4_scenario();
+    let report =
+        find_hierarchical_outliers(&s.plant, Level::Phase, &FindOptions::default()).unwrap();
+    assert!(!report.is_empty(), "E4 must detect outliers");
+    let rendered = render(&report);
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/e4_phase_report.txt"
+    );
+    if std::env::var_os("HIEROD_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden snapshot (tests/golden/e4_phase_report.txt) must be committed");
+    assert_eq!(
+        rendered, golden,
+        "HierReport drifted from the pre-refactor snapshot"
+    );
+}

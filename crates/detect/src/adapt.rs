@@ -45,6 +45,10 @@ pub fn embed_windows(values: &[f64], spec: WindowSpec, z_norm: bool) -> Result<V
 /// `(window_scores, point_scores)` where point scores take the max over
 /// covering windows.
 ///
+/// Without z-normalization the windows are scored **in place**: the rows
+/// handed to the scorer are slices into `values`, so no window is copied.
+/// Only the z-normalized path materializes derived rows.
+///
 /// # Errors
 /// Propagates embedding and scorer errors.
 pub fn score_windows_with(
@@ -53,8 +57,20 @@ pub fn score_windows_with(
     spec: WindowSpec,
     z_norm: bool,
 ) -> Result<(Vec<f64>, Vec<f64>)> {
-    let rows = embed_windows(values, spec, z_norm)?;
-    let w_scores = scorer.score_rows(&rows)?;
+    let w_scores = if z_norm {
+        let rows = embed_windows(values, spec, true)?;
+        scorer.score_rows(&crate::api::row_refs(&rows))?
+    } else {
+        if values.len() < spec.len {
+            return Err(DetectError::NotEnoughData {
+                what: "embed_windows",
+                needed: spec.len,
+                got: values.len(),
+            });
+        }
+        let rows: Vec<&[f64]> = windows(values, spec).map(|w| w.values).collect();
+        scorer.score_rows(&rows)?
+    };
     let p_scores = window_scores_to_point_scores(values.len(), spec, &w_scores);
     Ok((w_scores, p_scores))
 }
@@ -101,7 +117,7 @@ pub fn score_series_with(
     segments: usize,
 ) -> Result<Vec<f64>> {
     let rows = embed_series(collection, segments)?;
-    scorer.score_rows(&rows)
+    scorer.score_rows(&crate::api::row_refs(&rows))
 }
 
 /// Converts a numeric series into a SAX symbol sequence: one symbol per
@@ -205,12 +221,12 @@ mod tests {
     }
 
     impl VectorScorer for MeanDist {
-        fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
             let d = crate::api::check_rows("mean-dist", rows)?;
             let n = rows.len() as f64;
             let mut mean = vec![0.0; d];
             for r in rows {
-                for (m, v) in mean.iter_mut().zip(r) {
+                for (m, v) in mean.iter_mut().zip(r.iter()) {
                     *m += v / n;
                 }
             }

@@ -242,11 +242,14 @@ pub trait PointScorer: Detector {
 /// Scores each row of a fixed-width vector collection against the rest of
 /// the collection (unsupervised).
 pub trait VectorScorer: Detector {
-    /// Returns one non-negative score per row.
+    /// Returns one non-negative score per row. Rows are borrowed slices so
+    /// callers can score views into shared storage (job feature rows,
+    /// sliding windows) without materializing an owned copy per row — use
+    /// [`row_refs`] to adapt an owned `Vec<Vec<f64>>`.
     ///
     /// # Errors
     /// Implementations reject empty/ragged collections.
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>>;
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>>;
 }
 
 /// Scores each discrete symbol sequence of a collection against the rest.
@@ -284,30 +287,41 @@ pub trait SupervisedScorer: Detector {
 }
 
 /// Validates that a vector collection is non-empty, rectangular, and free
-/// of non-finite values, returning its width.
-pub fn check_rows(what: &'static str, rows: &[Vec<f64>]) -> Result<usize> {
+/// of non-finite values, returning its width. Generic over the row type so
+/// both borrowed (`&[&[f64]]`) and owned (`&[Vec<f64>]`) collections check
+/// without conversion.
+pub fn check_rows<R: AsRef<[f64]>>(what: &'static str, rows: &[R]) -> Result<usize> {
     let first = rows.first().ok_or(DetectError::NotEnoughData {
         what,
         needed: 1,
         got: 0,
     })?;
-    let d = first.len();
+    let d = first.as_ref().len();
     if d == 0 {
         return Err(DetectError::ShapeMismatch {
             message: format!("{what}: zero-width rows"),
         });
     }
-    if rows.iter().any(|r| r.len() != d) {
+    if rows.iter().any(|r| r.as_ref().len() != d) {
         return Err(DetectError::ShapeMismatch {
             message: format!("{what}: ragged rows"),
         });
     }
-    if rows.iter().any(|r| r.iter().any(|v| !v.is_finite())) {
+    if rows
+        .iter()
+        .any(|r| r.as_ref().iter().any(|v| !v.is_finite()))
+    {
         return Err(DetectError::Numeric {
             message: format!("{what}: input contains NaN or infinity"),
         });
     }
     Ok(d)
+}
+
+/// Borrows any owned row collection (`Vec<Vec<f64>>`, `Vec<Arc<[f64]>>`, …)
+/// as the slice-of-slices shape [`VectorScorer::score_rows`] consumes.
+pub fn row_refs<R: AsRef<[f64]>>(rows: &[R]) -> Vec<&[f64]> {
+    rows.iter().map(AsRef::as_ref).collect()
 }
 
 /// Validates that a value slice contains only finite numbers.
@@ -344,12 +358,15 @@ mod tests {
 
     #[test]
     fn check_rows_validation() {
-        assert!(check_rows("t", &[]).is_err());
+        assert!(check_rows::<Vec<f64>>("t", &[]).is_err());
         assert!(check_rows("t", &[vec![]]).is_err());
         assert!(check_rows("t", &[vec![1.0], vec![1.0, 2.0]]).is_err());
         assert_eq!(check_rows("t", &[vec![1.0, 2.0]]).unwrap(), 2);
         assert!(check_rows("t", &[vec![1.0, f64::NAN]]).is_err());
         assert!(check_rows("t", &[vec![f64::INFINITY, 1.0]]).is_err());
+        // Borrowed rows check identically.
+        assert_eq!(check_rows("t", &[[1.0, 2.0].as_slice()]).unwrap(), 2);
+        assert_eq!(row_refs(&[vec![1.0], vec![2.0]]), vec![&[1.0][..], &[2.0]]);
     }
 
     #[test]

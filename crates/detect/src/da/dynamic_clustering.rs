@@ -47,7 +47,7 @@ impl DynamicClustering {
     }
 
     /// Mean nearest-neighbor distance of the collection (the density scale).
-    fn density_scale(rows: &[Vec<f64>]) -> f64 {
+    fn density_scale(rows: &[&[f64]]) -> f64 {
         if rows.len() < 2 {
             return 1.0;
         }
@@ -79,7 +79,7 @@ impl Detector for DynamicClustering {
 }
 
 impl VectorScorer for DynamicClustering {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("DynamicClustering", rows)?;
         let radius = Self::density_scale(rows) * self.radius_factor;
         let mut clusters: Vec<Cluster> = Vec::new();
@@ -96,14 +96,14 @@ impl VectorScorer for DynamicClustering {
                     let c = &mut clusters[i];
                     c.count += 1;
                     let w = 1.0 / c.count as f64;
-                    for (cv, xv) in c.center.iter_mut().zip(r) {
+                    for (cv, xv) in c.center.iter_mut().zip(r.iter()) {
                         *cv += w * (xv - *cv);
                     }
                     assignment.push(i);
                 }
                 _ => {
                     clusters.push(Cluster {
-                        center: r.clone(),
+                        center: r.to_vec(),
                         count: 1,
                     });
                     assignment.push(clusters.len() - 1);
@@ -128,6 +128,7 @@ impl VectorScorer for DynamicClustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn stream_with_intrusion() -> Vec<Vec<f64>> {
         let mut rows = Vec::new();
@@ -141,7 +142,9 @@ mod tests {
     #[test]
     fn intrusion_founds_a_singleton_cluster() {
         let rows = stream_with_intrusion();
-        let scores = DynamicClustering::default().score_rows(&rows).unwrap();
+        let scores = DynamicClustering::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -157,7 +160,9 @@ mod tests {
     fn tight_blob_forms_one_cluster() {
         // All points coincide: a single cluster, all scores ~0.
         let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![3.0, 3.0]).collect();
-        let scores = DynamicClustering::default().score_rows(&rows).unwrap();
+        let scores = DynamicClustering::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert!(scores.iter().all(|&s| s < 0.1), "{scores:?}");
     }
 
@@ -166,7 +171,9 @@ mod tests {
         // A drifting-center leader pass over a ramp fragments it into a few
         // clusters — no single point should look like a strong anomaly.
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.001]).collect();
-        let scores = DynamicClustering::default().score_rows(&rows).unwrap();
+        let scores = DynamicClustering::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert!(scores.iter().all(|&s| s < 0.9), "{scores:?}");
         let spread = scores.iter().cloned().fold(f64::MIN, f64::max)
             - scores.iter().cloned().fold(f64::MAX, f64::min);
@@ -178,11 +185,11 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let tight = DynamicClustering::new(0.2)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         let loose = DynamicClustering::new(50.0)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         // Tight radius: many small clusters -> high scores everywhere.
         let tight_mean: f64 = tight.iter().sum::<f64>() / 20.0;
@@ -196,7 +203,9 @@ mod tests {
         // rarity term must still isolate the intrusion when it arrives first.
         let mut rows = stream_with_intrusion();
         rows.rotate_right(1); // intrusion now first
-        let scores = DynamicClustering::default().score_rows(&rows).unwrap();
+        let scores = DynamicClustering::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -209,7 +218,7 @@ mod tests {
     #[test]
     fn single_row() {
         let scores = DynamicClustering::default()
-            .score_rows(&[vec![1.0]])
+            .score_rows(&[[1.0].as_slice()])
             .unwrap();
         assert_eq!(scores.len(), 1);
         assert!(scores[0] < 1e-9);

@@ -96,7 +96,7 @@ impl GaussianMixture {
     ///
     /// # Errors
     /// Rejects empty/ragged collections.
-    pub fn fit(&self, rows: &[Vec<f64>]) -> Result<FittedMixture> {
+    pub fn fit(&self, rows: &[&[f64]]) -> Result<FittedMixture> {
         let d = check_rows("GaussianMixture", rows)?;
         let n = rows.len();
         let k = self.components.min(n);
@@ -123,7 +123,11 @@ impl GaussianMixture {
                 .expect("k >= 1")
                 .0;
             counts[nearest] += 1;
-            for ((v, x), m) in var_acc[nearest].iter_mut().zip(r).zip(&centroids[nearest]) {
+            for ((v, x), m) in var_acc[nearest]
+                .iter_mut()
+                .zip(r.iter())
+                .zip(&centroids[nearest])
+            {
                 *v += (x - m) * (x - m);
             }
         }
@@ -168,13 +172,13 @@ impl GaussianMixture {
                 mix.weights[j] = nj / n as f64;
                 let mut mean = vec![0.0_f64; d];
                 for (r, rj) in rows.iter().zip(resp.iter().map(|r| r[j])) {
-                    for (m, x) in mean.iter_mut().zip(r) {
+                    for (m, x) in mean.iter_mut().zip(r.iter()) {
                         *m += rj * x / nj;
                     }
                 }
                 let mut var = vec![0.0_f64; d];
                 for (r, rj) in rows.iter().zip(resp.iter().map(|r| r[j])) {
-                    for ((v, x), m) in var.iter_mut().zip(r).zip(&mean) {
+                    for ((v, x), m) in var.iter_mut().zip(r.iter()).zip(&mean) {
                         *v += rj * (x - m) * (x - m) / nj;
                     }
                 }
@@ -200,7 +204,7 @@ impl Detector for GaussianMixture {
 }
 
 impl VectorScorer for GaussianMixture {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let mix = self.fit(rows)?;
         let nll: Vec<f64> = rows
             .iter()
@@ -224,6 +228,7 @@ impl VectorScorer for GaussianMixture {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn blobs_with_outlier() -> Vec<Vec<f64>> {
         let mut rows = Vec::new();
@@ -239,7 +244,10 @@ mod tests {
     #[test]
     fn outlier_has_lowest_likelihood() {
         let rows = blobs_with_outlier();
-        let scores = GaussianMixture::new(2).unwrap().score_rows(&rows).unwrap();
+        let scores = GaussianMixture::new(2)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -252,7 +260,10 @@ mod tests {
     #[test]
     fn fitted_weights_sum_to_one() {
         let rows = blobs_with_outlier();
-        let mix = GaussianMixture::new(3).unwrap().fit(&rows).unwrap();
+        let mix = GaussianMixture::new(3)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         let w: f64 = mix.weights.iter().sum();
         assert!((w - 1.0).abs() < 1e-6, "weights sum {w}");
         // Population filtering may reduce the component count below the
@@ -275,7 +286,10 @@ mod tests {
                 }
             })
             .collect();
-        let mix = GaussianMixture::new(2).unwrap().fit(&rows).unwrap();
+        let mix = GaussianMixture::new(2)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         let mut means: Vec<f64> = mix.means.iter().map(|m| m[0]).collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((means[0] - 0.1).abs() < 1.0, "low mean {means:?}");
@@ -285,7 +299,10 @@ mod tests {
     #[test]
     fn log_density_decreases_with_distance() {
         let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1]).collect();
-        let mix = GaussianMixture::new(1).unwrap().fit(&rows).unwrap();
+        let mix = GaussianMixture::new(1)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         let near = mix.log_density(&[0.5]);
         let far = mix.log_density(&[50.0]);
         assert!(near > far);
@@ -295,7 +312,10 @@ mod tests {
     fn deterministic_and_validated() {
         let rows = blobs_with_outlier();
         let g = GaussianMixture::new(2).unwrap();
-        assert_eq!(g.score_rows(&rows).unwrap(), g.score_rows(&rows).unwrap());
+        assert_eq!(
+            g.score_rows(&row_refs(&rows)).unwrap(),
+            g.score_rows(&row_refs(&rows)).unwrap()
+        );
         assert!(GaussianMixture::new(0).is_err());
         assert!(g.score_rows(&[]).is_err());
     }
@@ -303,7 +323,10 @@ mod tests {
     #[test]
     fn degenerate_identical_rows() {
         let rows = vec![vec![2.0, 2.0]; 6];
-        let scores = GaussianMixture::new(2).unwrap().score_rows(&rows).unwrap();
+        let scores = GaussianMixture::new(2)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         // All identical: identical (finite) scores.
         assert!(scores.iter().all(|s| s.is_finite()));
         assert!(scores.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));

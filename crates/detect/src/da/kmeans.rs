@@ -60,7 +60,7 @@ impl KMeans {
     ///
     /// # Errors
     /// Rejects empty/ragged collections.
-    pub fn fit_centroids(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    pub fn fit_centroids(&self, rows: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
         check_rows("KMeans", rows)?;
         let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
         for restart in 0..4_u64 {
@@ -82,7 +82,7 @@ impl KMeans {
     }
 
     /// One seeded k-means++ + Lloyd run.
-    fn fit_centroids_once(&self, rows: &[Vec<f64>], seed: u64) -> Result<Vec<Vec<f64>>> {
+    fn fit_centroids_once(&self, rows: &[&[f64]], seed: u64) -> Result<Vec<Vec<f64>>> {
         let d = check_rows("KMeans", rows)?;
         let k = self.k.min(rows.len());
         // k-means++ seeding with a deterministic xorshift stream (cheap,
@@ -95,7 +95,7 @@ impl KMeans {
             state
         };
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-        centroids.push(rows[(next() as usize) % rows.len()].clone());
+        centroids.push(rows[(next() as usize) % rows.len()].to_vec());
         while centroids.len() < k {
             // Choose next center proportional to squared distance.
             let d2: Vec<f64> = rows
@@ -110,7 +110,7 @@ impl KMeans {
             let total: f64 = d2.iter().sum();
             if total <= 0.0 {
                 // All points coincide with existing centroids.
-                centroids.push(rows[(next() as usize) % rows.len()].clone());
+                centroids.push(rows[(next() as usize) % rows.len()].to_vec());
                 continue;
             }
             let mut target = (next() as f64 / u64::MAX as f64) * total;
@@ -122,7 +122,7 @@ impl KMeans {
                 }
                 target -= w;
             }
-            centroids.push(rows[chosen].clone());
+            centroids.push(rows[chosen].to_vec());
         }
         // Lloyd iterations.
         let mut assign = vec![0_usize; rows.len()];
@@ -144,7 +144,7 @@ impl KMeans {
             let mut counts = vec![0_usize; centroids.len()];
             for (r, &a) in rows.iter().zip(&assign) {
                 counts[a] += 1;
-                for (s, v) in sums[a].iter_mut().zip(r) {
+                for (s, v) in sums[a].iter_mut().zip(r.iter()) {
                     *s += v;
                 }
             }
@@ -172,16 +172,16 @@ impl KMeans {
     /// Rejects empty/ragged collections.
     pub fn fit_filtered_centroids(
         &self,
-        rows: &[Vec<f64>],
+        rows: &[&[f64]],
         min_size: usize,
     ) -> Result<Vec<Vec<f64>>> {
-        let mut active: Vec<Vec<f64>> = rows.to_vec();
+        let mut active: Vec<&[f64]> = rows.to_vec();
         // Up to three rounds: fit, drop under-populated clusters, refit on
         // the surviving rows (so a dropped outlier's centroid budget is
         // re-spent on real structure).
         for _ in 0..3 {
             let centroids = self.fit_centroids(&active)?;
-            let nearest = |r: &Vec<f64>| -> usize {
+            let nearest = |r: &[f64]| -> usize {
                 centroids
                     .iter()
                     .enumerate()
@@ -207,10 +207,10 @@ impl KMeans {
             if dropped.is_empty() || active.len() <= min_size {
                 return Ok(centroids);
             }
-            let survivors: Vec<Vec<f64>> = active
+            let survivors: Vec<&[f64]> = active
                 .iter()
                 .filter(|r| !dropped.contains(&nearest(r)))
-                .cloned()
+                .copied()
                 .collect();
             if survivors.len() < min_size {
                 return Ok(centroids);
@@ -221,7 +221,7 @@ impl KMeans {
     }
 
     /// Distance of each row to its nearest centroid.
-    pub fn distances(centroids: &[Vec<f64>], rows: &[Vec<f64>]) -> Vec<f64> {
+    pub fn distances(centroids: &[Vec<f64>], rows: &[&[f64]]) -> Vec<f64> {
         rows.iter()
             .map(|r| {
                 centroids
@@ -247,7 +247,7 @@ impl Detector for KMeans {
 }
 
 impl VectorScorer for KMeans {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let centroids = self.fit_filtered_centroids(rows, 2)?;
         Ok(Self::distances(&centroids, rows))
     }
@@ -288,19 +288,20 @@ impl Detector for PhasedKMeans {
 }
 
 impl VectorScorer for PhasedKMeans {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("PhasedKMeans", rows)?;
         let phased: Vec<Vec<f64>> = rows
             .iter()
             .map(|r| z_normalize(r).map_err(DetectError::from))
             .collect::<Result<_>>()?;
-        self.kmeans.score_rows(&phased)
+        self.kmeans.score_rows(&crate::api::row_refs(&phased))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn two_blobs_plus_outlier() -> Vec<Vec<f64>> {
         let mut rows = Vec::new();
@@ -315,7 +316,10 @@ mod tests {
     #[test]
     fn outlier_gets_top_score() {
         let rows = two_blobs_plus_outlier();
-        let scores = KMeans::new(2).unwrap().score_rows(&rows).unwrap();
+        let scores = KMeans::new(2)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -331,13 +335,19 @@ mod tests {
     fn deterministic_across_runs() {
         let rows = two_blobs_plus_outlier();
         let km = KMeans::new(3).unwrap();
-        assert_eq!(km.score_rows(&rows).unwrap(), km.score_rows(&rows).unwrap());
+        assert_eq!(
+            km.score_rows(&row_refs(&rows)).unwrap(),
+            km.score_rows(&row_refs(&rows)).unwrap()
+        );
     }
 
     #[test]
     fn k_clamped_to_row_count() {
         let rows = vec![vec![1.0], vec![2.0]];
-        let scores = KMeans::new(10).unwrap().score_rows(&rows).unwrap();
+        let scores = KMeans::new(10)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         // Every point becomes its own centroid: all zero.
         assert!(scores.iter().all(|&s| s < 1e-9));
     }
@@ -345,7 +355,10 @@ mod tests {
     #[test]
     fn identical_rows_fit_without_panicking() {
         let rows = vec![vec![3.0, 3.0]; 8];
-        let scores = KMeans::new(3).unwrap().score_rows(&rows).unwrap();
+        let scores = KMeans::new(3)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert!(scores.iter().all(|&s| s == 0.0));
     }
 
@@ -354,7 +367,7 @@ mod tests {
         assert!(KMeans::new(0).is_err());
         assert!(KMeans::default().score_rows(&[]).is_err());
         assert!(KMeans::default()
-            .score_rows(&[vec![1.0], vec![1.0, 2.0]])
+            .score_rows(&[[1.0].as_slice(), &[1.0, 2.0]])
             .is_err());
     }
 
@@ -366,7 +379,10 @@ mod tests {
             |amp: f64| -> Vec<f64> { (0..16).map(|i| amp * (i as f64 * 0.5).sin()).collect() };
         let mut rows: Vec<Vec<f64>> = (1..=8).map(|a| shape_a(a as f64)).collect();
         rows.push((0..16).map(|i| i as f64).collect()); // ramp: different shape
-        let scores = PhasedKMeans::new(1).unwrap().score_rows(&rows).unwrap();
+        let scores = PhasedKMeans::new(1)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()

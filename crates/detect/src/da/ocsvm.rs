@@ -73,7 +73,7 @@ impl Detector for OneClassSvm {
 }
 
 impl VectorScorer for OneClassSvm {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("OneClassSvm", rows)?;
         let scaler = ColumnScaler::fit(rows)?;
         let xs: Vec<Vec<f64>> = scaler.transform_all(rows)?;
@@ -131,6 +131,7 @@ impl VectorScorer for OneClassSvm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn cluster_with_outlier() -> Vec<Vec<f64>> {
         let mut rows = Vec::new();
@@ -145,7 +146,7 @@ mod tests {
     #[test]
     fn outlier_scores_positive_and_highest() {
         let rows = cluster_with_outlier();
-        let scores = OneClassSvm::default().score_rows(&rows).unwrap();
+        let scores = OneClassSvm::default().score_rows(&row_refs(&rows)).unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -162,7 +163,7 @@ mod tests {
         // form must flag both (a linear separator could not).
         let mut rows = cluster_with_outlier();
         rows.push(vec![-15.0, -15.0]);
-        let scores = OneClassSvm::default().score_rows(&rows).unwrap();
+        let scores = OneClassSvm::default().score_rows(&row_refs(&rows)).unwrap();
         let n = rows.len();
         assert!(scores[n - 1] > 0.5);
         assert!(scores[n - 2] > 0.5);
@@ -173,8 +174,14 @@ mod tests {
     #[test]
     fn nu_controls_outside_fraction() {
         let rows = cluster_with_outlier();
-        let tight = OneClassSvm::new(0.3).unwrap().score_rows(&rows).unwrap();
-        let loose = OneClassSvm::new(0.05).unwrap().score_rows(&rows).unwrap();
+        let tight = OneClassSvm::new(0.3)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
+        let loose = OneClassSvm::new(0.05)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let tight_out = tight.iter().filter(|&&s| s > 1e-12).count();
         let loose_out = loose.iter().filter(|&&s| s > 1e-12).count();
         assert!(
@@ -188,7 +195,7 @@ mod tests {
     #[test]
     fn bulk_points_score_near_zero() {
         let rows = cluster_with_outlier();
-        let scores = OneClassSvm::default().score_rows(&rows).unwrap();
+        let scores = OneClassSvm::default().score_rows(&row_refs(&rows)).unwrap();
         let bulk_high = scores[..30]
             .iter()
             .filter(|&&s| s > scores[30] * 0.5)
@@ -201,8 +208,8 @@ mod tests {
         let rows = cluster_with_outlier();
         let svm = OneClassSvm::default();
         assert_eq!(
-            svm.score_rows(&rows).unwrap(),
-            svm.score_rows(&rows).unwrap()
+            svm.score_rows(&row_refs(&rows)).unwrap(),
+            svm.score_rows(&row_refs(&rows)).unwrap()
         );
     }
 
@@ -219,7 +226,7 @@ mod tests {
     #[test]
     fn scores_are_non_negative() {
         let rows = cluster_with_outlier();
-        let scores = OneClassSvm::default().score_rows(&rows).unwrap();
+        let scores = OneClassSvm::default().score_rows(&row_refs(&rows)).unwrap();
         assert!(scores.iter().all(|&s| s >= 0.0));
     }
 }

@@ -86,12 +86,12 @@ impl PrincipalComponentSpace {
     /// # Errors
     /// Rejects empty/ragged collections.
     #[allow(clippy::needless_range_loop)] // index DP/matrix kernels read clearer indexed
-    pub fn fit(&self, rows: &[Vec<f64>]) -> Result<FittedPca> {
+    pub fn fit(&self, rows: &[&[f64]]) -> Result<FittedPca> {
         let d = check_rows("PrincipalComponentSpace", rows)?;
         let n = rows.len() as f64;
         let mut mean = vec![0.0_f64; d];
         for r in rows {
-            for (m, x) in mean.iter_mut().zip(r) {
+            for (m, x) in mean.iter_mut().zip(r.iter()) {
                 *m += x / n;
             }
         }
@@ -171,7 +171,7 @@ impl Detector for PrincipalComponentSpace {
 }
 
 impl VectorScorer for PrincipalComponentSpace {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let d = check_rows("PrincipalComponentSpace", rows)?;
         // Robust per-column standardization.
         let n = rows.len();
@@ -195,7 +195,7 @@ impl VectorScorer for PrincipalComponentSpace {
         order.sort_by(|&a, &b| norm(&zs[a]).partial_cmp(&norm(&zs[b])).expect("finite"));
         let keep = ((n as f64 * self.trim.clamp(0.0, 1.0)).ceil() as usize)
             .clamp((self.components + 1).min(n), n);
-        let train: Vec<Vec<f64>> = order[..keep].iter().map(|&i| zs[i].clone()).collect();
+        let train: Vec<&[f64]> = order[..keep].iter().map(|&i| zs[i].as_slice()).collect();
         let pca = self.fit(&train)?;
         Ok(zs
             .iter()
@@ -218,6 +218,7 @@ fn median_of(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     /// Points on a line in 3-D plus one off-line outlier.
     fn line_data() -> Vec<Vec<f64>> {
@@ -236,7 +237,7 @@ mod tests {
         let rows = line_data();
         let scores = PrincipalComponentSpace::new(1)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         let best = scores
             .iter()
@@ -258,7 +259,10 @@ mod tests {
                 vec![3.0 * t, 4.0 * t]
             })
             .collect();
-        let pca = PrincipalComponentSpace::new(1).unwrap().fit(&rows).unwrap();
+        let pca = PrincipalComponentSpace::new(1)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         let v = &pca.components[0];
         // Direction (3,4)/5 up to sign.
         let dot = (v[0] * 0.6 + v[1] * 0.8).abs();
@@ -273,7 +277,10 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let rows = line_data();
-        let pca = PrincipalComponentSpace::new(2).unwrap().fit(&rows).unwrap();
+        let pca = PrincipalComponentSpace::new(2)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         for (i, a) in pca.components.iter().enumerate() {
             let norm: f64 = a.iter().map(|x| x * x).sum();
             assert!((norm - 1.0).abs() < 1e-6);
@@ -294,7 +301,7 @@ mod tests {
         ];
         let scores = PrincipalComponentSpace::new(2)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         assert!(scores.iter().all(|&s| s < 1e-6), "scores {scores:?}");
     }
@@ -304,7 +311,7 @@ mod tests {
         let rows = vec![vec![5.0, 5.0]; 6];
         let scores = PrincipalComponentSpace::new(1)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         assert!(scores.iter().all(|&s| s == 0.0));
     }

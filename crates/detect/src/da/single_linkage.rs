@@ -78,7 +78,7 @@ impl SingleLinkage {
     }
 
     /// Cluster assignment sizes per row after the cut.
-    fn cluster_sizes(&self, rows: &[Vec<f64>]) -> Result<Vec<usize>> {
+    fn cluster_sizes(&self, rows: &[&[f64]]) -> Result<Vec<usize>> {
         check_rows("SingleLinkage", rows)?;
         let n = rows.len();
         if n == 1 {
@@ -88,7 +88,7 @@ impl SingleLinkage {
         let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                pairs.push((sq_euclidean(&rows[i], &rows[j]).expect("dims"), i, j));
+                pairs.push((sq_euclidean(rows[i], rows[j]).expect("dims"), i, j));
             }
         }
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -124,7 +124,7 @@ impl Detector for SingleLinkage {
 }
 
 impl VectorScorer for SingleLinkage {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let sizes = self.cluster_sizes(rows)?;
         let n = rows.len() as f64;
         Ok(sizes.iter().map(|&s| 1.0 - s as f64 / n).collect())
@@ -134,6 +134,7 @@ impl VectorScorer for SingleLinkage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn blob_plus_two_strays() -> Vec<Vec<f64>> {
         let mut rows: Vec<Vec<f64>> = (0..20)
@@ -147,7 +148,9 @@ mod tests {
     #[test]
     fn strays_form_singleton_clusters() {
         let rows = blob_plus_two_strays();
-        let scores = SingleLinkage::default().score_rows(&rows).unwrap();
+        let scores = SingleLinkage::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let n = rows.len() as f64;
         // Singletons: score 1 - 1/n.
         assert!((scores[20] - (1.0 - 1.0 / n)).abs() < 1e-9);
@@ -163,7 +166,10 @@ mod tests {
         // though the ends are far apart — the signature behaviour that
         // distinguishes single linkage from complete linkage.
         let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.1]).collect();
-        let scores = SingleLinkage::new(0.2).unwrap().score_rows(&rows).unwrap();
+        let scores = SingleLinkage::new(0.2)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         // Everything in one cluster => all scores equal 0.
         assert!(scores.iter().all(|&s| s < 1e-9), "{scores:?}");
     }
@@ -171,7 +177,7 @@ mod tests {
     #[test]
     fn single_row_collection() {
         let scores = SingleLinkage::default()
-            .score_rows(&[vec![1.0, 2.0]])
+            .score_rows(&[[1.0, 2.0].as_slice()])
             .unwrap();
         assert_eq!(scores, vec![0.0]);
     }
@@ -179,8 +185,14 @@ mod tests {
     #[test]
     fn cut_quantile_changes_granularity() {
         let rows = blob_plus_two_strays();
-        let tight = SingleLinkage::new(0.05).unwrap().score_rows(&rows).unwrap();
-        let loose = SingleLinkage::new(0.9).unwrap().score_rows(&rows).unwrap();
+        let tight = SingleLinkage::new(0.05)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
+        let loose = SingleLinkage::new(0.9)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         // A very loose cut merges everything: scores collapse.
         let loose_max = loose.iter().cloned().fold(f64::MIN, f64::max);
         let tight_max = tight.iter().cloned().fold(f64::MIN, f64::max);
@@ -191,7 +203,10 @@ mod tests {
     fn deterministic_and_validated() {
         let rows = blob_plus_two_strays();
         let sl = SingleLinkage::default();
-        assert_eq!(sl.score_rows(&rows).unwrap(), sl.score_rows(&rows).unwrap());
+        assert_eq!(
+            sl.score_rows(&row_refs(&rows)).unwrap(),
+            sl.score_rows(&row_refs(&rows)).unwrap()
+        );
         assert!(SingleLinkage::new(0.0).is_err());
         assert!(SingleLinkage::new(1.0).is_err());
         assert!(sl.score_rows(&[]).is_err());

@@ -62,13 +62,13 @@ impl SelfOrganizingMap {
     /// # Errors
     /// Rejects empty/ragged collections.
     #[allow(clippy::needless_range_loop)] // index DP/matrix kernels read clearer indexed
-    pub fn fit(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    pub fn fit(&self, rows: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
         let d = check_rows("SelfOrganizingMap", rows)?;
         let units = self.width * self.height;
         // Initialize codebook by cycling through the data (deterministic,
         // data-spanning).
         let mut codebook: Vec<Vec<f64>> =
-            (0..units).map(|u| rows[u % rows.len()].clone()).collect();
+            (0..units).map(|u| rows[u % rows.len()].to_vec()).collect();
         let total_steps = (self.epochs * rows.len()).max(1);
         let init_radius = (self.width.max(self.height) as f64) / 2.0;
         let mut step = 0_usize;
@@ -95,7 +95,7 @@ impl SelfOrganizingMap {
                     if h < 1e-4 {
                         continue;
                     }
-                    for (c, x) in codebook[u].iter_mut().zip(r) {
+                    for (c, x) in codebook[u].iter_mut().zip(r.iter()) {
                         *c += lr * h * (x - *c);
                     }
                 }
@@ -120,7 +120,7 @@ impl Detector for SelfOrganizingMap {
 }
 
 impl VectorScorer for SelfOrganizingMap {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let codebook = self.fit(rows)?;
         Ok(rows
             .iter()
@@ -138,6 +138,7 @@ impl VectorScorer for SelfOrganizingMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn ring_with_outlier() -> Vec<Vec<f64>> {
         let mut rows: Vec<Vec<f64>> = (0..40)
@@ -153,7 +154,9 @@ mod tests {
     #[test]
     fn outlier_has_largest_quantization_error() {
         let rows = ring_with_outlier();
-        let scores = SelfOrganizingMap::default().score_rows(&rows).unwrap();
+        let scores = SelfOrganizingMap::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -166,7 +169,9 @@ mod tests {
     #[test]
     fn normal_points_quantize_well() {
         let rows = ring_with_outlier();
-        let scores = SelfOrganizingMap::default().score_rows(&rows).unwrap();
+        let scores = SelfOrganizingMap::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let ring_max = scores[..40].iter().cloned().fold(f64::MIN, f64::max);
         assert!(
             scores[40] > ring_max * 3.0,
@@ -178,7 +183,10 @@ mod tests {
     #[test]
     fn codebook_spans_the_data() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
-        let cb = SelfOrganizingMap::new(3, 3).unwrap().fit(&rows).unwrap();
+        let cb = SelfOrganizingMap::new(3, 3)
+            .unwrap()
+            .fit(&row_refs(&rows))
+            .unwrap();
         assert_eq!(cb.len(), 9);
         let min = cb.iter().map(|c| c[0]).fold(f64::MAX, f64::min);
         let max = cb.iter().map(|c| c[0]).fold(f64::MIN, f64::max);
@@ -190,8 +198,8 @@ mod tests {
         let rows = ring_with_outlier();
         let som = SelfOrganizingMap::default();
         assert_eq!(
-            som.score_rows(&rows).unwrap(),
-            som.score_rows(&rows).unwrap()
+            som.score_rows(&row_refs(&rows)).unwrap(),
+            som.score_rows(&row_refs(&rows)).unwrap()
         );
     }
 
@@ -208,7 +216,9 @@ mod tests {
     #[test]
     fn single_row_scores_zero() {
         let rows = vec![vec![1.0, 2.0]];
-        let scores = SelfOrganizingMap::default().score_rows(&rows).unwrap();
+        let scores = SelfOrganizingMap::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert!(scores[0] < 1e-9);
     }
 }

@@ -72,7 +72,7 @@ impl VibrationSignature {
         let sigs: Vec<Vec<f64>> = windows(values, spec)
             .map(|w| self.signature(w.values))
             .collect::<Result<_>>()?;
-        let w_scores = self.score_rows(&sigs)?;
+        let w_scores = self.score_rows(&crate::api::row_refs(&sigs))?;
         let p_scores = window_scores_to_point_scores(values.len(), spec, &w_scores);
         Ok((w_scores, p_scores))
     }
@@ -93,7 +93,7 @@ impl Detector for VibrationSignature {
 impl VectorScorer for VibrationSignature {
     /// Rows are interpreted as already-computed signatures (or any feature
     /// vectors): k-means distance to the nearest cluster.
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         KMeans::new(self.clusters)?.score_rows(rows)
     }
 }
@@ -113,7 +113,7 @@ impl SeriesScorer for VibrationSignature {
             .iter()
             .map(|s| self.signature(s))
             .collect::<Result<_>>()?;
-        self.score_rows(&sigs)
+        self.score_rows(&crate::api::row_refs(&sigs))
     }
 }
 

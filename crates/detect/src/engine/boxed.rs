@@ -152,12 +152,14 @@ impl BoxedScorer {
         }
     }
 
-    /// Scores each row of a vector collection against the rest.
+    /// Scores each row of a vector collection against the rest. Rows are
+    /// borrowed (see [`VectorScorer::score_rows`]); adapt owned collections
+    /// with [`crate::api::row_refs`].
     ///
     /// # Errors
     /// Propagates scorer errors; rejects unsupported granularities
     /// (supervised scorers must go through [`Self::fit`]/[`Self::predict`]).
-    pub fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    pub fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         match self {
             BoxedScorer::Vector(s) => s.score_rows(rows),
             other => Err(wrong_granularity(other.kind(), "vector")),
@@ -368,7 +370,7 @@ mod tests {
     #[test]
     fn granularity_mismatches_are_rejected() {
         let s = BoxedScorer::Point(Box::new(AutoregressiveModel::new(2).unwrap()));
-        assert!(s.score_rows(&[vec![1.0, 2.0]]).is_err());
+        assert!(s.score_rows(&[[1.0, 2.0].as_slice()]).is_err());
         assert!(s.predict(&[vec![1.0, 2.0]]).is_err());
         let mut s = s;
         assert!(s.fit(&[vec![1.0, 2.0]], &[false]).is_err());

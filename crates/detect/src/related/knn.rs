@@ -15,12 +15,12 @@ use crate::api::{
 };
 
 /// Pairwise squared distances (symmetric, zero diagonal).
-fn distance_matrix(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+fn distance_matrix(rows: &[&[f64]]) -> Vec<Vec<f64>> {
     let n = rows.len();
     let mut d = vec![vec![0.0_f64; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let v = sq_euclidean(&rows[i], &rows[j]).expect("checked dims");
+            let v = sq_euclidean(rows[i], rows[j]).expect("checked dims");
             d[i][j] = v;
             d[j][i] = v;
         }
@@ -76,7 +76,7 @@ impl Detector for KnnDistance {
 }
 
 impl VectorScorer for KnnDistance {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("KnnDistance", rows)?;
         if rows.len() < 2 {
             return Ok(vec![0.0; rows.len()]);
@@ -131,7 +131,7 @@ impl Detector for ReverseKnn {
 }
 
 impl VectorScorer for ReverseKnn {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("ReverseKnn", rows)?;
         let n = rows.len();
         if n < 2 {
@@ -158,6 +158,7 @@ impl VectorScorer for ReverseKnn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     fn blob_with_outlier() -> Vec<Vec<f64>> {
         let mut rows: Vec<Vec<f64>> = (0..20)
@@ -170,7 +171,7 @@ mod tests {
     #[test]
     fn knn_distance_ranks_outlier_first() {
         let rows = blob_with_outlier();
-        let scores = KnnDistance::default().score_rows(&rows).unwrap();
+        let scores = KnnDistance::default().score_rows(&row_refs(&rows)).unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -185,7 +186,10 @@ mod tests {
     #[test]
     fn reverse_knn_outlier_has_no_reverse_neighbors() {
         let rows = blob_with_outlier();
-        let scores = ReverseKnn::new(3).unwrap().score_rows(&rows).unwrap();
+        let scores = ReverseKnn::new(3)
+            .unwrap()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert_eq!(scores[rows.len() - 1], 1.0);
         // Blob members appear in plenty of lists.
         let blob_mean: f64 = scores[..20].iter().sum::<f64>() / 20.0;
@@ -195,8 +199,8 @@ mod tests {
     #[test]
     fn scores_bounded_and_deterministic() {
         let rows = blob_with_outlier();
-        let a = ReverseKnn::default().score_rows(&rows).unwrap();
-        let b = ReverseKnn::default().score_rows(&rows).unwrap();
+        let a = ReverseKnn::default().score_rows(&row_refs(&rows)).unwrap();
+        let b = ReverseKnn::default().score_rows(&row_refs(&rows)).unwrap();
         assert_eq!(a, b);
         assert!(a.iter().all(|s| (0.0..=1.0).contains(s)));
     }
@@ -208,7 +212,7 @@ mod tests {
         assert!(KnnDistance::default().score_rows(&[]).is_err());
         assert_eq!(
             KnnDistance::default()
-                .score_rows(&[vec![1.0, 2.0]])
+                .score_rows(&[[1.0, 2.0].as_slice()])
                 .unwrap(),
             vec![0.0]
         );
@@ -217,7 +221,7 @@ mod tests {
         assert_eq!(
             KnnDistance::new(10)
                 .unwrap()
-                .score_rows(&rows)
+                .score_rows(&row_refs(&rows))
                 .unwrap()
                 .len(),
             3
@@ -227,9 +231,9 @@ mod tests {
     #[test]
     fn identical_rows_score_uniformly() {
         let rows = vec![vec![3.0, 3.0]; 8];
-        let knn = KnnDistance::default().score_rows(&rows).unwrap();
+        let knn = KnnDistance::default().score_rows(&row_refs(&rows)).unwrap();
         assert!(knn.iter().all(|&s| s == 0.0));
-        let rnn = ReverseKnn::default().score_rows(&rows).unwrap();
+        let rnn = ReverseKnn::default().score_rows(&row_refs(&rows)).unwrap();
         let spread = rnn.iter().cloned().fold(f64::MIN, f64::max)
             - rnn.iter().cloned().fold(f64::MAX, f64::min);
         // Ties are broken by index, but no row may look like a strong

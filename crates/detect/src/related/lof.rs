@@ -53,7 +53,7 @@ impl Detector for LocalOutlierFactor {
 }
 
 impl VectorScorer for LocalOutlierFactor {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         check_rows("LocalOutlierFactor", rows)?;
         let n = rows.len();
         if n <= 2 {
@@ -64,9 +64,7 @@ impl VectorScorer for LocalOutlierFactor {
         let mut dist = vec![vec![0.0_f64; n]; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = sq_euclidean(&rows[i], &rows[j])
-                    .expect("checked dims")
-                    .sqrt();
+                let d = sq_euclidean(rows[i], rows[j]).expect("checked dims").sqrt();
                 dist[i][j] = d;
                 dist[j][i] = d;
             }
@@ -116,6 +114,7 @@ impl VectorScorer for LocalOutlierFactor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     #[test]
     fn local_outlier_between_two_densities() {
@@ -134,7 +133,7 @@ mod tests {
         let idx = rows.len() - 1;
         let scores = LocalOutlierFactor::new(3)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         let best = scores
             .iter()
@@ -154,7 +153,9 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..25)
             .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
             .collect();
-        let scores = LocalOutlierFactor::default().score_rows(&rows).unwrap();
+        let scores = LocalOutlierFactor::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         for s in &scores {
             assert!(*s < 0.5, "{scores:?}");
         }
@@ -166,7 +167,7 @@ mod tests {
         rows.push(vec![9.0, 9.0]);
         let scores = LocalOutlierFactor::new(3)
             .unwrap()
-            .score_rows(&rows)
+            .score_rows(&row_refs(&rows))
             .unwrap();
         assert!(scores.iter().all(|s| s.is_finite()));
         let best = scores
@@ -184,7 +185,7 @@ mod tests {
         assert!(LocalOutlierFactor::default().score_rows(&[]).is_err());
         assert_eq!(
             LocalOutlierFactor::default()
-                .score_rows(&[vec![1.0], vec![2.0]])
+                .score_rows(&[[1.0].as_slice(), &[2.0]])
                 .unwrap(),
             vec![0.0, 0.0]
         );

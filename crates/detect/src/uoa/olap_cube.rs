@@ -59,12 +59,12 @@ impl OlapCubeDetector {
     }
 
     /// Quantizes rows into per-column equi-width bucket coordinates.
-    fn coordinates(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<usize>>> {
+    fn coordinates(&self, rows: &[&[f64]]) -> Result<Vec<Vec<usize>>> {
         let d = check_rows("OlapCubeDetector", rows)?;
         let mut lo = vec![f64::INFINITY; d];
         let mut hi = vec![f64::NEG_INFINITY; d];
         for r in rows {
-            for ((l, h), x) in lo.iter_mut().zip(hi.iter_mut()).zip(r) {
+            for ((l, h), x) in lo.iter_mut().zip(hi.iter_mut()).zip(r.iter()) {
                 *l = l.min(*x);
                 *h = h.max(*x);
             }
@@ -102,7 +102,7 @@ impl Detector for OlapCubeDetector {
 }
 
 impl VectorScorer for OlapCubeDetector {
-    fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    fn score_rows(&self, rows: &[&[f64]]) -> Result<Vec<f64>> {
         let coords = self.coordinates(rows)?;
         let d = coords[0].len();
         let schema = CubeSchema::new(
@@ -145,6 +145,7 @@ impl VectorScorer for OlapCubeDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::row_refs;
 
     #[test]
     fn lone_cell_row_scores_highest() {
@@ -153,7 +154,9 @@ mod tests {
             .map(|i| vec![(i % 4) as f64 * 0.01, (i / 4) as f64 * 0.01])
             .collect();
         rows.push(vec![10.0, 10.0]);
-        let scores = OlapCubeDetector::default().score_rows(&rows).unwrap();
+        let scores = OlapCubeDetector::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let best = scores
             .iter()
             .enumerate()
@@ -167,12 +170,16 @@ mod tests {
     fn dense_cells_score_low() {
         // All rows identical: one fully populated cell, rarity 0.
         let rows: Vec<Vec<f64>> = (0..30).map(|_| vec![1.0, 2.0]).collect();
-        let scores = OlapCubeDetector::default().score_rows(&rows).unwrap();
+        let scores = OlapCubeDetector::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert!(scores.iter().all(|&s| s < 0.2), "{scores:?}");
         // Two equally dense cells: both moderate, neither flagged as rare
         // relative to the other.
         let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 2) as f64]).collect();
-        let scores = OlapCubeDetector::default().score_rows(&rows).unwrap();
+        let scores = OlapCubeDetector::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         let spread = scores.iter().cloned().fold(f64::MIN, f64::max)
             - scores.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 1e-9, "{scores:?}");
@@ -204,7 +211,9 @@ mod tests {
     #[test]
     fn constant_column_handled() {
         let rows = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
-        let scores = OlapCubeDetector::default().score_rows(&rows).unwrap();
+        let scores = OlapCubeDetector::default()
+            .score_rows(&row_refs(&rows))
+            .unwrap();
         assert_eq!(scores.len(), 3);
         assert!(scores.iter().all(|s| s.is_finite()));
     }

@@ -51,7 +51,7 @@ proptest! {
     fn vector_scorers_return_finite_nonnegative_scores(rows in vec_rows(3..20, 3)) {
         for scorer in all_vector_scorers() {
             let scores = scorer
-                .score_rows(&rows)
+                .score_rows(&hierod_detect::row_refs(&rows))
                 .unwrap_or_else(|e| panic!("{}: {e}", scorer.info().name));
             prop_assert_eq!(scores.len(), rows.len());
             for s in &scores {
@@ -63,8 +63,8 @@ proptest! {
     #[test]
     fn vector_scorers_are_deterministic(rows in vec_rows(3..16, 2)) {
         for scorer in all_vector_scorers() {
-            let a = scorer.score_rows(&rows).unwrap();
-            let b = scorer.score_rows(&rows).unwrap();
+            let a = scorer.score_rows(&hierod_detect::row_refs(&rows)).unwrap();
+            let b = scorer.score_rows(&hierod_detect::row_refs(&rows)).unwrap();
             prop_assert_eq!(a, b, "{}", scorer.info().name);
         }
     }
@@ -129,7 +129,7 @@ proptest! {
     ) {
         let rows = vec![row; n];
         for scorer in all_vector_scorers() {
-            let scores = scorer.score_rows(&rows).unwrap();
+            let scores = scorer.score_rows(&hierod_detect::row_refs(&rows)).unwrap();
             // All rows identical: no row can stand out from any other.
             let max = scores.iter().cloned().fold(f64::MIN, f64::max);
             let min = scores.iter().cloned().fold(f64::MAX, f64::min);
@@ -181,7 +181,7 @@ proptest! {
             Box::new(DynamicClustering::default()),
         ];
         for scorer in geometric {
-            let scores = scorer.score_rows(&rows).unwrap();
+            let scores = scorer.score_rows(&hierod_detect::row_refs(&rows)).unwrap();
             let best = scores
                 .iter()
                 .enumerate()
@@ -218,7 +218,7 @@ proptest! {
         poisoned_rows[nan_row % rows.len()][0] = f64::INFINITY;
         for scorer in all_vector_scorers() {
             prop_assert!(
-                scorer.score_rows(&poisoned_rows).is_err(),
+                scorer.score_rows(&hierod_detect::row_refs(&poisoned_rows)).is_err(),
                 "{} accepted infinity",
                 scorer.info().name
             );

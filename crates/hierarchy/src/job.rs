@@ -5,6 +5,8 @@
 //! computer-aided quality (CAQ) check. During the setup, parameters are
 //! selected and the job is prepared."
 
+use std::sync::Arc;
+
 use crate::caq::CaqResult;
 use crate::phase::{Phase, PhaseKind};
 
@@ -82,6 +84,14 @@ impl Job {
         v.extend_from_slice(&self.config.values);
         v.extend_from_slice(&self.caq.values);
         v
+    }
+
+    /// Shared-storage variant of [`Self::feature_vector`]: the level views
+    /// derive each job's row once and alias it (`Arc`) across the job,
+    /// production-line and production views instead of re-deriving it per
+    /// level.
+    pub fn feature_vector_shared(&self) -> Arc<[f64]> {
+        self.feature_vector().into()
     }
 
     /// Names for [`Self::feature_vector`] components.

@@ -7,6 +7,19 @@
 //! the same across machines. [`LevelView::extract`] materializes those
 //! shapes from a [`Plant`], and is the single entry point `hierod-core`
 //! uses, so the mapping from Fig. 2 to data lives in exactly one place.
+//!
+//! ## Zero-copy materialization
+//!
+//! Views are *borrowed*, not copied: sensor-level series (phase and
+//! environment views) are O(1) [`TimeSeries::share`] handles onto the
+//! plant's own storage — `TimeSeries::shares_storage_with` holds between a
+//! view series and the plant series it came from. The derived buffers the
+//! upper levels need (per-job feature vectors feeding the job, line and
+//! production views) are built **once per extraction** by
+//! [`LevelView::extract_all`] and shared across all three views as
+//! `Arc<[f64]>` rows, instead of re-deriving them per level per feature.
+
+use std::sync::Arc;
 
 use hierod_timeseries::{DiscreteSequence, TimeSeries};
 
@@ -26,7 +39,8 @@ pub struct SeriesAt {
     /// Phase, when the series lives inside a phase.
     pub phase: Option<PhaseKind>,
     /// The series itself (its name is the producing sensor, or a feature
-    /// label at line/production level).
+    /// label at line/production level). Shares storage with the plant for
+    /// sensor-level views.
     pub series: TimeSeries,
 }
 
@@ -39,8 +53,9 @@ pub struct JobVector {
     pub job: String,
     /// Job start tick.
     pub start: u64,
-    /// Feature values (setup params followed by CAQ measurements).
-    pub features: Vec<f64>,
+    /// Feature values (setup params followed by CAQ measurements), shared
+    /// with the line/production views derived from the same extraction.
+    pub features: Arc<[f64]>,
     /// Feature names, parallel to `features`.
     pub feature_names: Vec<String>,
 }
@@ -58,15 +73,57 @@ pub struct LevelView {
     pub vectors: Vec<JobVector>,
 }
 
+/// Per-line derived buffers shared by the job/line/production views: one
+/// `Arc<[f64]>` feature row per job, built in a single pass over the plant.
+type JobFeatureRows = Vec<Vec<Arc<[f64]>>>;
+
+fn job_feature_rows(plant: &Plant) -> JobFeatureRows {
+    plant
+        .lines
+        .iter()
+        .map(|line| {
+            line.jobs
+                .iter()
+                .map(|j| j.feature_vector_shared())
+                .collect()
+        })
+        .collect()
+}
+
 impl LevelView {
     /// Extracts the view of `level` from a plant.
+    ///
+    /// Levels that need the derived job-feature buffers (job, production
+    /// line, production) build them on demand; extracting several levels is
+    /// cheaper through [`Self::extract_all`], which derives them once.
     pub fn extract(plant: &Plant, level: Level) -> LevelView {
         match level {
             Level::Phase => Self::phase_view(plant),
-            Level::Job => Self::job_view(plant),
             Level::Environment => Self::environment_view(plant),
-            Level::ProductionLine => Self::line_view(plant),
-            Level::Production => Self::production_view(plant),
+            Level::Job | Level::ProductionLine | Level::Production => {
+                Self::extract_with(plant, level, &job_feature_rows(plant))
+            }
+        }
+    }
+
+    /// Extracts all five level views, deriving the shared per-job feature
+    /// buffers exactly once (the job, line and production views then hold
+    /// `Arc` handles onto the same rows).
+    pub fn extract_all(plant: &Plant) -> Vec<(Level, LevelView)> {
+        let features = job_feature_rows(plant);
+        Level::ALL
+            .into_iter()
+            .map(|level| (level, Self::extract_with(plant, level, &features)))
+            .collect()
+    }
+
+    fn extract_with(plant: &Plant, level: Level, features: &JobFeatureRows) -> LevelView {
+        match level {
+            Level::Phase => Self::phase_view(plant),
+            Level::Job => Self::job_view(plant, features),
+            Level::Environment => Self::environment_view(plant),
+            Level::ProductionLine => Self::line_view(plant, features),
+            Level::Production => Self::production_view(plant, features),
         }
     }
 
@@ -81,7 +138,7 @@ impl LevelView {
                             machine: line.machine_id.clone(),
                             job: Some(job.id.clone()),
                             phase: Some(phase.kind),
-                            series: s.clone(),
+                            series: s.share(),
                         });
                     }
                     sequences.extend(phase.events.iter().cloned());
@@ -96,15 +153,15 @@ impl LevelView {
         }
     }
 
-    fn job_view(plant: &Plant) -> LevelView {
+    fn job_view(plant: &Plant, features: &JobFeatureRows) -> LevelView {
         let mut vectors = Vec::new();
-        for line in &plant.lines {
-            for job in &line.jobs {
+        for (line, rows) in plant.lines.iter().zip(features) {
+            for (job, row) in line.jobs.iter().zip(rows) {
                 vectors.push(JobVector {
                     machine: line.machine_id.clone(),
                     job: job.id.clone(),
                     start: job.start,
-                    features: job.feature_vector(),
+                    features: Arc::clone(row),
                     feature_names: job.feature_names(),
                 });
             }
@@ -125,7 +182,7 @@ impl LevelView {
                     machine: line.machine_id.clone(),
                     job: None,
                     phase: None,
-                    series: s.clone(),
+                    series: s.share(),
                 });
             }
         }
@@ -137,11 +194,37 @@ impl LevelView {
         }
     }
 
-    fn line_view(plant: &Plant) -> LevelView {
+    /// Production-line level: one series per job-feature component, built
+    /// column-wise from the shared feature rows (each row was derived once;
+    /// this loop only gathers columns).
+    fn line_view(plant: &Plant, features: &JobFeatureRows) -> LevelView {
         let mut series = Vec::new();
-        for line in &plant.lines {
-            for f in 0..line.feature_dims() {
-                if let Some(s) = line.feature_series(f) {
+        for (line, rows) in plant.lines.iter().zip(features) {
+            let dims = rows.first().map(|r| r.len()).unwrap_or(0);
+            for f in 0..dims {
+                // A job lacking the component invalidates the whole series
+                // (mirrors `ProductionLine::feature_series`).
+                let mut ts = Vec::with_capacity(rows.len());
+                let mut vals = Vec::with_capacity(rows.len());
+                let mut complete = true;
+                for (job, row) in line.jobs.iter().zip(rows) {
+                    match row.get(f) {
+                        Some(&v) => {
+                            ts.push(job.start);
+                            vals.push(v);
+                        }
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if !complete {
+                    continue;
+                }
+                if let Ok(s) =
+                    TimeSeries::new(format!("{}.feature{}", line.machine_id, f), ts, vals)
+                {
                     series.push(SeriesAt {
                         machine: line.machine_id.clone(),
                         job: None,
@@ -163,20 +246,21 @@ impl LevelView {
     /// the mean of the job's CAQ quality measurements (the cross-machine
     /// comparable outcome), falling back to the full feature vector when a
     /// job carries no CAQ data. Detectors compare these series *between*
-    /// machines.
-    fn production_view(plant: &Plant) -> LevelView {
+    /// machines. No per-job buffer is copied: CAQ means are reduced in
+    /// place and the fallback reuses the shared feature rows.
+    fn production_view(plant: &Plant, features: &JobFeatureRows) -> LevelView {
         let mut series = Vec::new();
-        for line in &plant.lines {
+        for (line, rows) in plant.lines.iter().zip(features) {
             if line.jobs.is_empty() {
                 continue;
             }
             let mut ts = Vec::with_capacity(line.jobs.len());
             let mut vals = Vec::with_capacity(line.jobs.len());
-            for job in &line.jobs {
-                let fv = if job.caq.dims() > 0 {
-                    job.caq.values.clone()
+            for (job, row) in line.jobs.iter().zip(rows) {
+                let fv: &[f64] = if job.caq.dims() > 0 {
+                    &job.caq.values
                 } else {
-                    job.feature_vector()
+                    row
                 };
                 if fv.is_empty() {
                     continue;
@@ -269,14 +353,54 @@ mod tests {
     }
 
     #[test]
+    fn phase_and_environment_views_share_plant_storage() {
+        let plant = demo_plant();
+        let phase = LevelView::extract(&plant, Level::Phase);
+        let source = &plant.lines[0].jobs[0].phases[0].series[0];
+        assert!(
+            phase.series[0].series.shares_storage_with(source),
+            "phase view must alias the plant's series storage"
+        );
+        let env = LevelView::extract(&plant, Level::Environment);
+        assert!(env.series[0]
+            .series
+            .shares_storage_with(&plant.lines[0].environment.series[0]));
+    }
+
+    #[test]
     fn job_view_exposes_vectors() {
         let v = LevelView::extract(&demo_plant(), Level::Job);
         assert_eq!(v.vectors.len(), 2);
-        assert_eq!(v.vectors[0].features, vec![1.0, 3.0]);
-        assert_eq!(v.vectors[1].features, vec![2.0, 4.0]);
+        assert_eq!(&v.vectors[0].features[..], &[1.0, 3.0]);
+        assert_eq!(&v.vectors[1].features[..], &[2.0, 4.0]);
         assert_eq!(v.vectors[0].feature_names, vec!["setup.p", "caq.q"]);
         assert!(v.series.is_empty());
         assert_eq!(v.volume(), 4);
+    }
+
+    #[test]
+    fn extract_all_shares_feature_rows_between_levels() {
+        let plant = demo_plant();
+        let views = LevelView::extract_all(&plant);
+        assert_eq!(views.len(), Level::ALL.len());
+        for (level, view) in &views {
+            assert_eq!(*level, view.level);
+        }
+        // The job view's rows come from the single shared derivation.
+        let job = &views
+            .iter()
+            .find(|(l, _)| *l == Level::Job)
+            .expect("job view")
+            .1;
+        assert_eq!(job.vectors.len(), 2);
+        // Line view columns agree with the job rows (same derived buffer).
+        let line = &views
+            .iter()
+            .find(|(l, _)| *l == Level::ProductionLine)
+            .expect("line view")
+            .1;
+        assert_eq!(line.series[0].series.values(), &[1.0, 2.0]);
+        assert_eq!(line.series[1].series.values(), &[3.0, 4.0]);
     }
 
     #[test]
@@ -312,6 +436,9 @@ mod tests {
         for level in Level::ALL {
             let v = LevelView::extract(&p, level);
             assert_eq!(v.volume(), 0, "level {level}");
+        }
+        for (_, v) in LevelView::extract_all(&p) {
+            assert_eq!(v.volume(), 0);
         }
     }
 }

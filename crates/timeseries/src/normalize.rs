@@ -74,29 +74,31 @@ pub struct ColumnScaler {
 }
 
 impl ColumnScaler {
-    /// Fits mean/std per column.
+    /// Fits mean/std per column. Generic over the row type so both owned
+    /// (`&[Vec<f64>]`) and borrowed (`&[&[f64]]`) matrices fit without
+    /// copying.
     ///
     /// # Errors
     /// Returns an error on an empty matrix or ragged rows.
-    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+    pub fn fit<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self> {
         let first = rows.first().ok_or(Error::Empty {
             what: "ColumnScaler::fit",
         })?;
-        let d = first.len();
-        if rows.iter().any(|r| r.len() != d) {
+        let d = first.as_ref().len();
+        if rows.iter().any(|r| r.as_ref().len() != d) {
             return Err(Error::invalid("rows", "ragged feature matrix"));
         }
         let n = rows.len() as f64;
         let mut means = vec![0.0; d];
         for r in rows {
-            for (m, v) in means.iter_mut().zip(r) {
+            for (m, v) in means.iter_mut().zip(r.as_ref()) {
                 *m += v;
             }
         }
         means.iter_mut().for_each(|m| *m /= n);
         let mut stds = vec![0.0; d];
         for r in rows {
-            for ((s, v), m) in stds.iter_mut().zip(r).zip(&means) {
+            for ((s, v), m) in stds.iter_mut().zip(r.as_ref()).zip(&means) {
                 *s += (v - m) * (v - m);
             }
         }
@@ -133,8 +135,8 @@ impl ColumnScaler {
     ///
     /// # Errors
     /// Propagates the first row-width mismatch.
-    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        rows.iter().map(|r| self.transform(r)).collect()
+    pub fn transform_all<R: AsRef<[f64]>>(&self, rows: &[R]) -> Result<Vec<Vec<f64>>> {
+        rows.iter().map(|r| self.transform(r.as_ref())).collect()
     }
 }
 
@@ -186,7 +188,7 @@ mod tests {
 
     #[test]
     fn column_scaler_rejects_bad_input() {
-        assert!(ColumnScaler::fit(&[]).is_err());
+        assert!(ColumnScaler::fit::<Vec<f64>>(&[]).is_err());
         assert!(ColumnScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
     }
 

@@ -4,6 +4,21 @@
 //! data or discrete value sequences": numeric samples over time, or label
 //! sequences. These two containers, plus an aligned multivariate bundle,
 //! are the inputs every detector in `hierod-detect` consumes.
+//!
+//! ## Zero-copy storage
+//!
+//! [`TimeSeries`] is backed by shared storage — `Arc<[u64]>` timestamps and
+//! `Arc<[f64]>` values plus an `(offset, len)` window — so `clone()`,
+//! [`TimeSeries::view`], [`TimeSeries::slice`] and
+//! [`TimeSeries::between`] are O(1): they bump two reference counts instead
+//! of copying samples. Hierarchy-level view materialization
+//! (`hierod-hierarchy`) and per-window detectors lean on this; a plant-wide
+//! detection run no longer deep-copies the plant. Mutation stays safe via
+//! copy-on-write: [`TimeSeries::values_mut`] detaches the series onto its
+//! own uniquely-owned buffers first (see `DESIGN.md` §4.11 for the exact
+//! rules of when a copy still happens).
+
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
@@ -12,11 +27,38 @@ use crate::error::{Error, Result};
 /// Timestamps are `u64` ticks (the unit is defined by the producer — the
 /// additive-manufacturing simulator uses milliseconds). Values are `f64`.
 /// Timestamps must be strictly increasing; constructors enforce this.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Cloning is O(1) (shared storage); equality is *logical* — two series are
+/// equal when their names, timestamps and values match, regardless of
+/// whether they share storage or where their windows sit in it.
+#[derive(Clone)]
 pub struct TimeSeries {
-    name: String,
-    timestamps: Vec<u64>,
-    values: Vec<f64>,
+    name: Arc<str>,
+    timestamps: Arc<[u64]>,
+    values: Arc<[f64]>,
+    /// First sample of this series' window within the shared storage.
+    offset: usize,
+    /// Window length in samples.
+    len: usize,
+}
+
+impl std::fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeries")
+            .field("name", &self.name())
+            .field("timestamps", &self.timestamps())
+            .field("values", &self.values())
+            .finish()
+    }
+}
+
+/// Logical equality: name + window contents, independent of storage layout.
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.timestamps() == other.timestamps()
+            && self.values() == other.values()
+    }
 }
 
 impl TimeSeries {
@@ -36,11 +78,11 @@ impl TimeSeries {
         if timestamps.windows(2).any(|w| w[0] >= w[1]) {
             return Err(Error::invalid("timestamps", "must be strictly increasing"));
         }
-        Ok(Self {
-            name: name.into(),
-            timestamps,
-            values,
-        })
+        Ok(Self::from_parts(
+            name.into().into(),
+            timestamps.into(),
+            values.into(),
+        ))
     }
 
     /// Creates a regularly sampled series starting at `start` with the given
@@ -57,21 +99,31 @@ impl TimeSeries {
         if step == 0 {
             return Err(Error::invalid("step", "must be > 0"));
         }
-        let timestamps = (0..values.len() as u64).map(|i| start + i * step).collect();
-        Ok(Self {
-            name: name.into(),
-            timestamps,
-            values,
-        })
+        let timestamps: Vec<u64> = (0..values.len() as u64).map(|i| start + i * step).collect();
+        Ok(Self::from_parts(
+            name.into().into(),
+            timestamps.into(),
+            values.into(),
+        ))
     }
 
     /// Creates a series from values only, with timestamps `0..n`.
     pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
-        let timestamps = (0..values.len() as u64).collect();
+        let timestamps: Vec<u64> = (0..values.len() as u64).collect();
+        Self::from_parts(name.into().into(), timestamps.into(), values.into())
+    }
+
+    /// Assembles a full-window series over already-shared storage. The
+    /// invariants (equal lengths, strictly increasing timestamps) must hold.
+    fn from_parts(name: Arc<str>, timestamps: Arc<[u64]>, values: Arc<[f64]>) -> Self {
+        debug_assert_eq!(timestamps.len(), values.len());
+        let len = values.len();
         Self {
-            name: name.into(),
+            name,
             timestamps,
             values,
+            offset: 0,
+            len,
         }
     }
 
@@ -82,82 +134,161 @@ impl TimeSeries {
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// `true` if the series holds no samples.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
     }
 
     /// The sample values.
     pub fn values(&self) -> &[f64] {
-        &self.values
+        &self.values[self.offset..self.offset + self.len]
     }
 
     /// The sample timestamps (strictly increasing).
     pub fn timestamps(&self) -> &[u64] {
-        &self.timestamps
+        &self.timestamps[self.offset..self.offset + self.len]
+    }
+
+    /// The values as shared storage: O(1) when this series covers its whole
+    /// backing buffer (the common case for sensor series), one copy when it
+    /// is a proper sub-window.
+    pub fn values_shared(&self) -> Arc<[f64]> {
+        if self.offset == 0 && self.len == self.values.len() {
+            Arc::clone(&self.values)
+        } else {
+            self.values().into()
+        }
+    }
+
+    /// The timestamps as shared storage (same cost contract as
+    /// [`Self::values_shared`]).
+    pub fn timestamps_shared(&self) -> Arc<[u64]> {
+        if self.offset == 0 && self.len == self.timestamps.len() {
+            Arc::clone(&self.timestamps)
+        } else {
+            self.timestamps().into()
+        }
+    }
+
+    /// An O(1) handle to the same series: bumps the storage reference
+    /// counts, copies no samples. Semantically identical to `clone()`; use
+    /// this name where sharing (rather than duplicating) is the point, e.g.
+    /// hierarchy view materialization.
+    pub fn share(&self) -> TimeSeries {
+        self.clone()
+    }
+
+    /// `true` if `self` and `other` are windows over the *same* value
+    /// storage (zero-copy sharing, not just equal contents).
+    pub fn shares_storage_with(&self, other: &TimeSeries) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
     }
 
     /// Returns `(timestamp, value)` at `idx`, if in bounds.
     pub fn get(&self, idx: usize) -> Option<(u64, f64)> {
-        Some((*self.timestamps.get(idx)?, *self.values.get(idx)?))
+        if idx < self.len {
+            Some((self.timestamps()[idx], self.values()[idx]))
+        } else {
+            None
+        }
     }
 
     /// Time span `(first, last)` covered by the series, if non-empty.
     pub fn span(&self) -> Option<(u64, u64)> {
-        Some((*self.timestamps.first()?, *self.timestamps.last()?))
+        Some((*self.timestamps().first()?, *self.timestamps().last()?))
     }
 
-    /// Extracts the sub-series with indices in `range`.
+    /// An O(1) zero-copy view of the sub-series with indices in `range`:
+    /// shares storage with `self` (same name, narrowed window).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors slice semantics).
+    pub fn view(&self, range: std::ops::Range<usize>) -> TimeSeries {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "TimeSeries::view: range {}..{} out of bounds for length {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        TimeSeries {
+            name: Arc::clone(&self.name),
+            timestamps: Arc::clone(&self.timestamps),
+            values: Arc::clone(&self.values),
+            offset: self.offset + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Extracts the sub-series with indices in `range`. Since the Arc
+    /// storage refactor this is an O(1) view (alias of [`Self::view`]), not
+    /// a copy.
     ///
     /// # Panics
     /// Panics if the range is out of bounds (mirrors slice semantics).
     pub fn slice(&self, range: std::ops::Range<usize>) -> TimeSeries {
-        TimeSeries {
-            name: self.name.clone(),
-            timestamps: self.timestamps[range.clone()].to_vec(),
-            values: self.values[range].to_vec(),
-        }
+        self.view(range)
     }
 
-    /// Extracts the sub-series whose timestamps fall in `[t0, t1)`.
+    /// Extracts the sub-series whose timestamps fall in `[t0, t1)` (an O(1)
+    /// view sharing storage with `self`).
     pub fn between(&self, t0: u64, t1: u64) -> TimeSeries {
-        let start = self.timestamps.partition_point(|&t| t < t0);
-        let end = self.timestamps.partition_point(|&t| t < t1);
-        self.slice(start..end)
+        let ts = self.timestamps();
+        let start = ts.partition_point(|&t| t < t0);
+        let end = ts.partition_point(|&t| t < t1);
+        self.view(start..end)
     }
 
     /// Applies `f` to every value, producing a new series with the same
-    /// timestamps.
+    /// timestamps (shared with `self` when `self` covers its whole backing
+    /// buffer).
     pub fn map(&self, f: impl FnMut(f64) -> f64) -> TimeSeries {
+        let values: Arc<[f64]> = self.values().iter().copied().map(f).collect();
         TimeSeries {
-            name: self.name.clone(),
-            timestamps: self.timestamps.clone(),
-            values: self.values.iter().copied().map(f).collect(),
+            name: Arc::clone(&self.name),
+            timestamps: self.timestamps_shared(),
+            values,
+            offset: 0,
+            len: self.len,
         }
     }
 
-    /// Returns a renamed copy of this series.
+    /// Returns a renamed handle to this series (shares storage).
     pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
         TimeSeries {
-            name: name.into(),
+            name: name.into().into(),
             ..self.clone()
         }
     }
 
     /// Mutable access to values (for in-place injection by the simulator).
+    ///
+    /// Copy-on-write: if the storage is shared with other handles — or this
+    /// series is a proper window into a larger buffer — the window is first
+    /// detached onto its own uniquely-owned buffers, so mutation never leaks
+    /// into views or clones taken earlier.
     pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
+        // A proper window must detach: `Arc::make_mut` would clone (and
+        // mutate) the *entire* backing buffer, aliasing the samples outside
+        // our window with other views of the same storage.
+        if self.offset != 0 || self.len != self.values.len() {
+            self.values = self.values().into();
+            self.timestamps = self.timestamps().into();
+            self.offset = 0;
+        }
+        // Full-window: clone-if-shared, in place if uniquely owned.
+        Arc::make_mut(&mut self.values)
     }
 
     /// Iterator over `(timestamp, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.timestamps
+        self.timestamps()
             .iter()
             .copied()
-            .zip(self.values.iter().copied())
+            .zip(self.values().iter().copied())
     }
 }
 
@@ -260,7 +391,8 @@ pub struct MultiSeries {
 }
 
 impl MultiSeries {
-    /// Builds a bundle, verifying time alignment.
+    /// Builds a bundle, verifying time alignment. Member series are moved,
+    /// not copied (their storage stays shared with any other handles).
     ///
     /// # Errors
     /// Returns an error on an empty bundle or mismatched timestamps.
@@ -380,11 +512,95 @@ mod tests {
     }
 
     #[test]
+    fn clone_and_view_share_storage() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        let c = s.clone();
+        let sh = s.share();
+        let v = s.view(1..3);
+        assert!(s.shares_storage_with(&c));
+        assert!(s.shares_storage_with(&sh));
+        assert!(s.shares_storage_with(&v));
+        assert_eq!(v.values(), &[2.0, 3.0]);
+        assert_eq!(v.timestamps(), &[1, 2]);
+        // Views of views still share.
+        let vv = v.view(1..2);
+        assert!(vv.shares_storage_with(&s));
+        assert_eq!(vv.values(), &[3.0]);
+        assert_eq!(vv.timestamps(), &[2]);
+    }
+
+    #[test]
+    fn equality_is_logical_not_structural() {
+        let owner = ts(&[9.0, 1.0, 2.0, 9.0]);
+        let view = owner.view(1..3);
+        let fresh = TimeSeries::new("t", vec![1, 2], vec![1.0, 2.0]).unwrap();
+        // Same contents, different storage layout (offset 1 vs offset 0).
+        assert_eq!(view, fresh);
+        assert!(!view.shares_storage_with(&fresh));
+    }
+
+    #[test]
+    fn values_mut_detaches_shared_storage() {
+        let mut a = ts(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        a.values_mut()[0] = 99.0;
+        assert_eq!(a.values(), &[99.0, 2.0, 3.0]);
+        assert_eq!(b.values(), &[1.0, 2.0, 3.0], "clone must be unaffected");
+        assert!(!a.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn values_mut_detaches_views_without_touching_neighbors() {
+        let base = ts(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut v = base.view(1..4);
+        v.values_mut()[1] = 77.0;
+        assert_eq!(v.values(), &[1.0, 77.0, 3.0]);
+        assert_eq!(v.timestamps(), &[1, 2, 3]);
+        assert_eq!(base.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        // After detaching, further mutation stays in place (unique owner).
+        v.values_mut()[0] = -1.0;
+        assert_eq!(v.values(), &[-1.0, 77.0, 3.0]);
+    }
+
+    #[test]
+    fn values_mut_in_place_when_unique() {
+        let mut s = ts(&[1.0, 2.0]);
+        let before = s.values_shared();
+        drop(before); // unique again
+        s.values_mut()[1] = 5.0;
+        assert_eq!(s.values(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn shared_accessors_are_zero_copy_for_full_windows() {
+        let s = ts(&[1.0, 2.0, 3.0]);
+        let v = s.values_shared();
+        assert_eq!(&v[..], s.values());
+        let t = s.timestamps_shared();
+        assert_eq!(&t[..], s.timestamps());
+        // A proper window must copy (an Arc window cannot be expressed).
+        let w = s.view(0..2);
+        assert_eq!(&w.values_shared()[..], &[1.0, 2.0]);
+    }
+
+    #[test]
     fn map_transforms_values_only() {
         let s = ts(&[1.0, 2.0]);
         let m = s.map(|v| v * 2.0);
         assert_eq!(m.values(), &[2.0, 4.0]);
         assert_eq!(m.timestamps(), s.timestamps());
+        // Timestamps stay shared; values are fresh.
+        let mv = s.view(0..1).map(|v| v + 1.0);
+        assert_eq!(mv.values(), &[2.0]);
+        assert_eq!(mv.timestamps(), &[0]);
+    }
+
+    #[test]
+    fn renamed_shares_storage() {
+        let s = ts(&[1.0, 2.0]);
+        let r = s.renamed("other");
+        assert_eq!(r.name(), "other");
+        assert!(r.shares_storage_with(&s));
     }
 
     #[test]

@@ -148,29 +148,49 @@ fn main() {
         argmax(
             &PrincipalComponentSpace::new(1)
                 .unwrap()
-                .score_rows(&rows)
+                .score_rows(&hierod::detect::row_refs(&rows))
                 .unwrap()
         )
     );
     println!(
         "  one-class SVM [6]             -> argmax {}",
-        argmax(&OneClassSvm::default().score_rows(&rows).unwrap())
+        argmax(
+            &OneClassSvm::default()
+                .score_rows(&hierod::detect::row_refs(&rows))
+                .unwrap()
+        )
     );
     println!(
         "  self-organizing map [11]      -> argmax {}",
-        argmax(&SelfOrganizingMap::default().score_rows(&rows).unwrap())
+        argmax(
+            &SelfOrganizingMap::default()
+                .score_rows(&hierod::detect::row_refs(&rows))
+                .unwrap()
+        )
     );
     println!(
         "  single linkage [32]           -> argmax {}",
-        argmax(&SingleLinkage::default().score_rows(&rows).unwrap())
+        argmax(
+            &SingleLinkage::default()
+                .score_rows(&hierod::detect::row_refs(&rows))
+                .unwrap()
+        )
     );
     println!(
         "  dynamic clustering [37]       -> argmax {}",
-        argmax(&DynamicClustering::default().score_rows(&rows).unwrap())
+        argmax(
+            &DynamicClustering::default()
+                .score_rows(&hierod::detect::row_refs(&rows))
+                .unwrap()
+        )
     );
     println!(
         "  OLAP cube [20]                -> argmax {}",
-        argmax(&OlapCubeDetector::default().score_rows(&rows).unwrap())
+        argmax(
+            &OlapCubeDetector::default()
+                .score_rows(&hierod::detect::row_refs(&rows))
+                .unwrap()
+        )
     );
 
     println!("\n== series scorers (trend among sines at index 5) ==");
