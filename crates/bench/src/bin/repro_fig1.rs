@@ -51,7 +51,7 @@ fn main() {
                 .and_then(|s| {
                     s.iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(i, _)| labels[i])
                 })
                 .unwrap_or(false);

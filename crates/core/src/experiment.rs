@@ -368,7 +368,7 @@ pub fn drift_eval(scenario: &Scenario, policy: &AlgorithmPolicy) -> Result<Drift
                 .zip(z)
                 .map(|(s, z)| (s.machine.clone(), z))
                 .collect();
-            production_ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            production_ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
     }
     let drift_rank = production_ranking

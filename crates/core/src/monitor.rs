@@ -265,11 +265,7 @@ impl PlantMonitor {
                 }
             }
         }
-        alerts.sort_by(|a, b| {
-            b.outlierness
-                .partial_cmp(&a.outlierness)
-                .expect("finite scores")
-        });
+        alerts.sort_by(|a, b| b.outlierness.total_cmp(&a.outlierness));
 
         // --- job level: vector vs history (upward confirmation) ---
         let mut vectors: Vec<Vec<f64>> = history.jobs.iter().map(Job::feature_vector).collect();

@@ -95,7 +95,7 @@ impl HierReport {
     /// Outliers sorted by a key function, descending (highest first).
     pub fn ranked_by<F: Fn(&HierOutlier) -> f64>(&self, key: F) -> Vec<&HierOutlier> {
         let mut v: Vec<&HierOutlier> = self.outliers.iter().collect();
-        v.sort_by(|a, b| key(b).partial_cmp(&key(a)).expect("finite ranking key"));
+        v.sort_by(|a, b| key(b).total_cmp(&key(a)));
         v
     }
 

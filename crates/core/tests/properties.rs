@@ -121,7 +121,7 @@ proptest! {
         prop_assert_eq!(z.len(), scores.len());
         // The median element maps to (approximately) zero.
         let mut sorted = z.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let med = sorted[sorted.len() / 2];
         prop_assert!(med.abs() < 1.0, "median z {med}");
         // Order-preserving.

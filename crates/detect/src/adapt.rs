@@ -291,7 +291,7 @@ mod tests {
         let best = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!((7..=13).contains(&best));
@@ -371,7 +371,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .max_by(|x, y| x.1.total_cmp(y.1))
             .unwrap()
             .0;
         assert!((59..=65).contains(&best), "best {best}");

@@ -90,7 +90,7 @@ impl VectorScorer for DynamicClustering {
                 .iter()
                 .enumerate()
                 .map(|(i, c)| (i, sq_euclidean(&c.center, r).expect("dims").sqrt()))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             match nearest {
                 Some((i, d)) if d <= radius => {
                     let c = &mut clusters[i];
@@ -148,7 +148,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);
@@ -209,7 +209,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 0);

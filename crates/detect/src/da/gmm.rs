@@ -115,11 +115,7 @@ impl GaussianMixture {
             let nearest = centroids
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    dist_sq(a.1, r)
-                        .partial_cmp(&dist_sq(b.1, r))
-                        .expect("finite")
-                })
+                .min_by(|a, b| dist_sq(a.1, r).total_cmp(&dist_sq(b.1, r)))
                 .expect("k >= 1")
                 .0;
             counts[nearest] += 1;
@@ -251,7 +247,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);
@@ -291,7 +287,7 @@ mod tests {
             .fit(&row_refs(&rows))
             .unwrap();
         let mut means: Vec<f64> = mix.means.iter().map(|m| m[0]).collect();
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.sort_by(|a, b| a.total_cmp(b));
         assert!((means[0] - 0.1).abs() < 1.0, "low mean {means:?}");
         assert!((means[1] - 10.1).abs() < 1.0, "high mean {means:?}");
     }

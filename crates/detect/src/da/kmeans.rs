@@ -7,13 +7,32 @@
 //! [`KMeans`] scorer is also the clustering work-horse reused by the
 //! vibration-signature detector.
 
-use hierod_timeseries::distance::sq_euclidean;
 use hierod_timeseries::normalize::z_normalize;
 
 use crate::api::{
     check_rows, Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
     VectorScorer,
 };
+use crate::stat::nan_last_cmp;
+
+/// Squared Euclidean distance over the common prefix. Rows are
+/// dimension-checked up front (`check_rows`) and centroids are built from
+/// those rows, so a length mismatch cannot reach this — unlike the
+/// fallible `sq_euclidean`, it cannot fail and needs no `expect`.
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index and squared distance of the centroid nearest to `r`; `None` only
+/// for an empty centroid set (which `fit_centroids_once` never produces).
+/// NaN distances order last, so a poisoned centroid never wins.
+fn nearest_centroid(centroids: &[Vec<f64>], r: &[f64]) -> Option<(usize, f64)> {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(j, c)| (j, sq_dist(r, c)))
+        .min_by(|a, b| nan_last_cmp(a.1, b.1))
+}
 
 /// Deterministic k-means (k-means++ seeding from a fixed seed, Lloyd
 /// iterations) whose row score is the Euclidean distance to the nearest
@@ -62,23 +81,23 @@ impl KMeans {
     /// Rejects empty/ragged collections.
     pub fn fit_centroids(&self, rows: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
         check_rows("KMeans", rows)?;
-        let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
-        for restart in 0..4_u64 {
+        let inertia = |centroids: &[Vec<f64>]| -> f64 {
+            rows.iter()
+                .map(|r| nearest_centroid(centroids, r).map_or(f64::INFINITY, |(_, d)| d))
+                .sum()
+        };
+        // Restart 0 seeds the running best, so no Option is needed.
+        let mut best = self.fit_centroids_once(rows, self.seed)?;
+        let mut best_inertia = inertia(&best);
+        for restart in 1..4_u64 {
             let centroids = self.fit_centroids_once(rows, self.seed ^ (restart * 0x9E37))?;
-            let inertia: f64 = rows
-                .iter()
-                .map(|r| {
-                    centroids
-                        .iter()
-                        .map(|c| sq_euclidean(r, c).expect("checked dims"))
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .sum();
-            if best.as_ref().map(|(bi, _)| inertia < *bi).unwrap_or(true) {
-                best = Some((inertia, centroids));
+            let i = inertia(&centroids);
+            if i < best_inertia {
+                best_inertia = i;
+                best = centroids;
             }
         }
-        Ok(best.expect("at least one restart").1)
+        Ok(best)
     }
 
     /// One seeded k-means++ + Lloyd run.
@@ -100,12 +119,7 @@ impl KMeans {
             // Choose next center proportional to squared distance.
             let d2: Vec<f64> = rows
                 .iter()
-                .map(|r| {
-                    centroids
-                        .iter()
-                        .map(|c| sq_euclidean(r, c).expect("checked dims"))
-                        .fold(f64::INFINITY, f64::min)
-                })
+                .map(|r| nearest_centroid(&centroids, r).map_or(f64::INFINITY, |(_, d)| d))
                 .collect();
             let total: f64 = d2.iter().sum();
             if total <= 0.0 {
@@ -129,12 +143,10 @@ impl KMeans {
         for _ in 0..self.max_iter {
             let mut changed = false;
             for (i, r) in rows.iter().enumerate() {
-                let (best, _) = centroids
-                    .iter()
-                    .enumerate()
-                    .map(|(j, c)| (j, sq_euclidean(r, c).expect("checked dims")))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                    .expect("k >= 1");
+                // Centroids are never empty (k >= 1 seeds one above).
+                let Some((best, _)) = nearest_centroid(&centroids, r) else {
+                    continue;
+                };
                 if assign[i] != best {
                     assign[i] = best;
                     changed = true;
@@ -181,19 +193,8 @@ impl KMeans {
         // re-spent on real structure).
         for _ in 0..3 {
             let centroids = self.fit_centroids(&active)?;
-            let nearest = |r: &[f64]| -> usize {
-                centroids
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| {
-                        sq_euclidean(a.1, r)
-                            .expect("dims")
-                            .partial_cmp(&sq_euclidean(b.1, r).expect("dims"))
-                            .expect("finite")
-                    })
-                    .expect("k >= 1")
-                    .0
-            };
+            let nearest =
+                |r: &[f64]| -> usize { nearest_centroid(&centroids, r).map_or(0, |(j, _)| j) };
             let mut counts = vec![0_usize; centroids.len()];
             for r in &active {
                 counts[nearest(r)] += 1;
@@ -223,13 +224,7 @@ impl KMeans {
     /// Distance of each row to its nearest centroid.
     pub fn distances(centroids: &[Vec<f64>], rows: &[&[f64]]) -> Vec<f64> {
         rows.iter()
-            .map(|r| {
-                centroids
-                    .iter()
-                    .map(|c| sq_euclidean(r, c).expect("same dims"))
-                    .fold(f64::INFINITY, f64::min)
-                    .sqrt()
-            })
+            .map(|r| nearest_centroid(centroids, r).map_or(f64::INFINITY, |(_, d)| d.sqrt()))
             .collect()
     }
 }
@@ -323,7 +318,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);
@@ -386,7 +381,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);

@@ -51,7 +51,7 @@ impl LcsCluster {
             .max_by(|&a, &b| {
                 let sa: f64 = sim[a].iter().sum();
                 let sb: f64 = sim[b].iter().sum();
-                sa.partial_cmp(&sb).expect("finite")
+                sa.total_cmp(&sb)
             })
             .expect("non-empty");
         medoids.push(first);
@@ -59,7 +59,7 @@ impl LcsCluster {
             let next = (0..n).filter(|i| !medoids.contains(i)).min_by(|&a, &b| {
                 let ca = medoids.iter().map(|&m| sim[a][m]).fold(f64::MIN, f64::max);
                 let cb = medoids.iter().map(|&m| sim[b][m]).fold(f64::MIN, f64::max);
-                ca.partial_cmp(&cb).expect("finite")
+                ca.total_cmp(&cb)
             });
             match next {
                 Some(i) => medoids.push(i),
@@ -144,7 +144,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, all.len() - 1);

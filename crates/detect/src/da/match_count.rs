@@ -75,7 +75,7 @@ impl DiscreteScorer for MatchCount {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, b)| match_count_similarity(a, b).expect("equal lengths"))
                 .collect();
-            sims.sort_by(|x, y| y.partial_cmp(x).expect("finite"));
+            sims.sort_by(|x, y| y.total_cmp(x));
             let k = self.smooth_k.min(sims.len());
             let avg = sims[..k].iter().sum::<f64>() / k as f64;
             scores.push(1.0 - avg);
@@ -105,7 +105,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, all.len() - 1);

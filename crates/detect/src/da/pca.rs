@@ -192,7 +192,7 @@ impl VectorScorer for PrincipalComponentSpace {
         // Trimmed fit: rows with the smallest robust norm define normal.
         let mut order: Vec<usize> = (0..n).collect();
         let norm = |z: &Vec<f64>| z.iter().map(|x| x * x).sum::<f64>();
-        order.sort_by(|&a, &b| norm(&zs[a]).partial_cmp(&norm(&zs[b])).expect("finite"));
+        order.sort_by(|&a, &b| norm(&zs[a]).total_cmp(&norm(&zs[b])));
         let keep = ((n as f64 * self.trim.clamp(0.0, 1.0)).ceil() as usize)
             .clamp((self.components + 1).min(n), n);
         let train: Vec<&[f64]> = order[..keep].iter().map(|&i| zs[i].as_slice()).collect();
@@ -206,7 +206,7 @@ impl VectorScorer for PrincipalComponentSpace {
 
 fn median_of(xs: &[f64]) -> f64 {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -242,7 +242,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);

@@ -91,7 +91,7 @@ impl SingleLinkage {
                 pairs.push((sq_euclidean(rows[i], rows[j]).expect("dims"), i, j));
             }
         }
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let cut_idx = ((pairs.len() as f64) * self.cut_quantile) as usize;
         let cut = pairs[cut_idx.min(pairs.len() - 1)].0;
         // Single linkage = union all pairs with distance <= cut.

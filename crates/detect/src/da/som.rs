@@ -82,8 +82,7 @@ impl SelfOrganizingMap {
                     .min_by(|&a, &b| {
                         sq_euclidean(&codebook[a], r)
                             .expect("dims")
-                            .partial_cmp(&sq_euclidean(&codebook[b], r).expect("dims"))
-                            .expect("finite")
+                            .total_cmp(&sq_euclidean(&codebook[b], r).expect("dims"))
                     })
                     .expect("non-empty grid");
                 let (bx, by) = (bmu % self.width, bmu / self.width);
@@ -160,7 +159,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);

@@ -300,7 +300,7 @@ impl SupervisedScorer for MotifOnVectors {
     fn fit(&mut self, rows: &[Vec<f64>], labels: &[bool]) -> Result<()> {
         crate::api::check_rows("motif-rules", rows)?;
         let mut all: Vec<f64> = rows.iter().flatten().copied().collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite (checked)"));
+        all.sort_by(|a, b| a.total_cmp(b));
         // alphabet bins need alphabet - 1 interior edges.
         let edges: Vec<f64> = (1..self.alphabet)
             .map(|i| {
@@ -344,7 +344,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 48);

@@ -16,7 +16,14 @@
 //! the same task list always produces the same output vector.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+
+// Under `--features loom` the pool runs on model-checked primitives (see
+// shims/loom and tests/loom_pool.rs); the shim degrades to plain `std`
+// outside a `loom::model` run, so the ordinary tests still pass either way.
+#[cfg(feature = "loom")]
+use loom::{sync::Mutex, thread};
+#[cfg(not(feature = "loom"))]
+use std::{sync::Mutex, thread};
 
 /// A unit of work: boxed so heterogeneous closures share one queue. The
 /// lifetime ties tasks to data borrowed from the caller's stack (plant
@@ -83,7 +90,7 @@ impl TaskPool {
         let deques = &deques;
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let slots = &slots;
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for w in 0..workers {
                 scope.spawn(move || {
                     loop {

@@ -152,7 +152,7 @@ mod tests {
         let best = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         let discord_range = (256 / 2 - 16)..(256 / 2 + 32);

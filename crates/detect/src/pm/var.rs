@@ -35,12 +35,7 @@ fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&a, &c| {
-            m[a][col]
-                .abs()
-                .partial_cmp(&m[c][col].abs())
-                .expect("finite")
-        })?;
+        let pivot = (col..n).max_by(|&a, &c| m[a][col].abs().total_cmp(&m[c][col].abs()))?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -7,35 +7,11 @@
 //! score is the **scarcity of reverse neighbors**, which the authors show
 //! is more robust to hubness than raw distances.
 
-use hierod_timeseries::distance::sq_euclidean;
-
 use crate::api::{
     check_rows, Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
     VectorScorer,
 };
-
-/// Pairwise squared distances (symmetric, zero diagonal).
-fn distance_matrix(rows: &[&[f64]]) -> Vec<Vec<f64>> {
-    let n = rows.len();
-    let mut d = vec![vec![0.0_f64; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let v = sq_euclidean(rows[i], rows[j]).expect("checked dims");
-            d[i][j] = v;
-            d[j][i] = v;
-        }
-    }
-    d
-}
-
-/// Indices of the k nearest neighbors of `i` (self excluded), ordered by
-/// distance.
-fn knn_indices(dist: &[Vec<f64>], i: usize, k: usize) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..dist.len()).filter(|&j| j != i).collect();
-    order.sort_by(|&a, &b| dist[i][a].partial_cmp(&dist[i][b]).expect("finite"));
-    order.truncate(k);
-    order
-}
+use crate::related::{distance_matrix, knn_with_kdist};
 
 /// Distance-to-kth-neighbor scorer.
 #[derive(Debug, Clone, Copy)]
@@ -82,12 +58,9 @@ impl VectorScorer for KnnDistance {
             return Ok(vec![0.0; rows.len()]);
         }
         let k = self.k.min(rows.len() - 1);
-        let dist = distance_matrix(rows);
+        let dist = distance_matrix(rows, false);
         Ok((0..rows.len())
-            .map(|i| {
-                let nn = knn_indices(&dist, i, k);
-                dist[i][*nn.last().expect("k >= 1")].sqrt()
-            })
+            .map(|i| knn_with_kdist(&dist, i, k).1.sqrt())
             .collect())
     }
 }
@@ -138,10 +111,10 @@ impl VectorScorer for ReverseKnn {
             return Ok(vec![0.0; n]);
         }
         let k = self.k.min(n - 1);
-        let dist = distance_matrix(rows);
+        let dist = distance_matrix(rows, false);
         let mut reverse_count = vec![0_usize; n];
         for i in 0..n {
-            for j in knn_indices(&dist, i, k) {
+            for j in knn_with_kdist(&dist, i, k).0 {
                 reverse_count[j] += 1;
             }
         }
@@ -175,7 +148,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);

@@ -7,12 +7,11 @@
 //! ≈ 1 inside any uniform region (regardless of that region's density),
 //! > 1 for points less dense than their neighborhood.
 
-use hierod_timeseries::distance::sq_euclidean;
-
 use crate::api::{
     check_rows, Capabilities, DetectError, Detector, DetectorInfo, Result, TechniqueClass,
     VectorScorer,
 };
+use crate::related::{distance_matrix, knn_with_kdist};
 
 /// Local outlier factor scorer.
 #[derive(Debug, Clone, Copy)]
@@ -60,23 +59,13 @@ impl VectorScorer for LocalOutlierFactor {
             return Ok(vec![0.0; n]);
         }
         let k = self.k.min(n - 1);
-        // Pairwise distances.
-        let mut dist = vec![vec![0.0_f64; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = sq_euclidean(rows[i], rows[j]).expect("checked dims").sqrt();
-                dist[i][j] = d;
-                dist[j][i] = d;
-            }
-        }
+        let dist = distance_matrix(rows, true);
         // k-neighborhoods and k-distances.
         let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
         let mut k_dist = vec![0.0_f64; n];
-        for i in 0..n {
-            let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            order.sort_by(|&a, &b| dist[i][a].partial_cmp(&dist[i][b]).expect("finite"));
-            order.truncate(k);
-            k_dist[i] = dist[i][*order.last().expect("k >= 1")];
+        for (i, slot) in k_dist.iter_mut().enumerate() {
+            let (order, kth) = knn_with_kdist(&dist, i, k);
+            *slot = kth;
             neighbors.push(order);
         }
         // Local reachability density.
@@ -138,7 +127,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, idx, "{scores:?}");
@@ -173,7 +162,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 6);

@@ -16,3 +16,41 @@ mod profile;
 pub use knn::{KnnDistance, ReverseKnn};
 pub use lof::LocalOutlierFactor;
 pub use profile::{CrossMachineProfile, ProfileSimilarity};
+
+use crate::stat::nan_last_cmp;
+
+/// Squared Euclidean distance over the common prefix. Every caller runs
+/// `check_rows` first, so — unlike the fallible `sq_euclidean` — no length
+/// mismatch can reach this and no `expect` is needed.
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Symmetric pairwise distance matrix with zero diagonal; `sqrt` selects
+/// Euclidean over squared-Euclidean entries.
+pub(crate) fn distance_matrix(rows: &[&[f64]], sqrt: bool) -> Vec<Vec<f64>> {
+    let n = rows.len();
+    let mut d = vec![vec![0.0_f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut v = sq_dist(rows[i], rows[j]);
+            if sqrt {
+                v = v.sqrt();
+            }
+            d[i][j] = v;
+            d[j][i] = v;
+        }
+    }
+    d
+}
+
+/// The `k` nearest neighbors of `i` (self excluded, NaN distances last),
+/// ordered by distance, plus the k-th neighbor's distance — `0.0` when `i`
+/// has no neighbors at all.
+pub(crate) fn knn_with_kdist(dist: &[Vec<f64>], i: usize, k: usize) -> (Vec<usize>, f64) {
+    let mut order: Vec<usize> = (0..dist.len()).filter(|&j| j != i).collect();
+    order.sort_by(|&a, &b| nan_last_cmp(dist[i][a], dist[i][b]));
+    order.truncate(k);
+    let kth = order.last().map_or(0.0, |&j| dist[i][j]);
+    (order, kth)
+}

@@ -48,7 +48,7 @@ impl ProfileSimilarity {
         // should find; the median/MAD template is immune to a minority of
         // contaminated references.
         let median_of = |xs: &mut Vec<f64>| -> f64 {
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.sort_by(|a, b| a.total_cmp(b));
             let n = xs.len();
             if n % 2 == 1 {
                 xs[n / 2]
@@ -212,7 +212,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 25);
@@ -264,7 +264,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 5, "the offset machine must rank first: {scores:?}");

@@ -119,7 +119,7 @@ impl RuleLearner {
                     .filter(|(_, &c)| c)
                     .map(|(r, _)| r[f])
                     .collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                vals.sort_by(|a, b| a.total_cmp(b));
                 vals.dedup();
                 for w in vals.windows(2) {
                     let threshold = (w[0] + w[1]) / 2.0;

@@ -160,7 +160,7 @@ mod tests {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, rows.len() - 1);
@@ -203,7 +203,7 @@ mod tests {
         let scores = det.score_cube(&cube);
         let top = scores
             .iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .max_by(|a, b| a.score.total_cmp(&b.score))
             .unwrap();
         assert_eq!(top.coords, vec![2, 2]);
     }

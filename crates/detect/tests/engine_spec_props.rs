@@ -9,6 +9,57 @@ use hierod_detect::registry::registry;
 use hierod_detect::DetectError;
 use proptest::prelude::*;
 
+/// Every key this suite drives: the 21 Table-1 registry rows followed by
+/// the supplemental catalog entries. `cargo xtask lint` (rule `taxonomy`)
+/// statically cross-checks this list against the registry, the engine
+/// catalog, and DESIGN.md; [`covered_keys_match_the_live_entries`] pins it
+/// to the runtime truth so neither side can drift.
+const COVERED_KEYS: [&str; 30] = [
+    // Table 1 (registry.rs), in row order.
+    "match-count",
+    "lcs",
+    "vibration",
+    "gmm",
+    "phased-kmeans",
+    "dynamic-clustering",
+    "single-linkage",
+    "pca",
+    "ocsvm",
+    "som",
+    "fsa",
+    "hmm",
+    "olap-cube",
+    "rule-learner",
+    "mlp",
+    "motif-rules",
+    "window-db",
+    "anomaly-dict",
+    "sax",
+    "ar",
+    "deviants",
+    // Supplemental engine catalog (catalog.rs).
+    "sliding-z",
+    "global-z",
+    "robust-z",
+    "iqr",
+    "kmeans",
+    "lof",
+    "knn",
+    "rknn",
+    "cross-machine-profile",
+];
+
+#[test]
+fn covered_keys_match_the_live_entries() {
+    let live: Vec<&str> = engine::all_entries().iter().map(|e| e.key).collect();
+    assert_eq!(
+        COVERED_KEYS.to_vec(),
+        live,
+        "COVERED_KEYS must list every registry/catalog key in order; \
+         run `cargo xtask lint` for the static side of this check"
+    );
+}
+
 #[test]
 fn all_21_registry_rows_build_by_key_and_by_table1_name() {
     let rows = registry();

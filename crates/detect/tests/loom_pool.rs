@@ -1,0 +1,80 @@
+//! Model-checked interleavings of the work-stealing [`TaskPool`].
+//!
+//! Run with `cargo test -p hierod-detect --features loom --test loom_pool`.
+//! Each test body executes under `loom::model`, which replays it across
+//! permuted schedules (every deque/slot Mutex acquire, spawn, and join is
+//! a decision point, preemption-bounded DFS — see shims/loom). Task and
+//! worker counts are deliberately tiny: the schedule space is exponential.
+
+#![cfg(feature = "loom")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hierod_detect::engine::{Task, TaskPool};
+
+/// Result order must equal task order under EVERY schedule — scheduling
+/// must be invisible to callers.
+#[test]
+fn results_in_task_order_under_all_interleavings() {
+    loom::model(|| {
+        let pool = TaskPool::new(2);
+        let tasks: Vec<Task<usize>> = (0..3_usize)
+            .map(|i| Box::new(move || i * 10) as Task<usize>)
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, vec![0, 10, 20]);
+    });
+}
+
+/// No schedule may run a task twice or drop one: with two workers racing
+/// over seeded deques and steals, each task executes exactly once.
+#[test]
+fn every_task_runs_exactly_once_under_all_interleavings() {
+    loom::model(|| {
+        let ran = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        let pool = TaskPool::new(2);
+        let tasks: Vec<Task<()>> = (0..3)
+            .map(|i| {
+                let slot = &ran[i];
+                Box::new(move || {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }) as Task<()>
+            })
+            .collect();
+        pool.run(tasks);
+        for (i, r) in ran.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    });
+}
+
+/// More workers than tasks: the surplus worker's empty steal sweep must
+/// shut down cleanly in every schedule (no deadlock, no lost result).
+#[test]
+fn surplus_workers_shut_down_under_all_interleavings() {
+    loom::model(|| {
+        let pool = TaskPool::new(3);
+        let tasks: Vec<Task<u8>> = vec![Box::new(|| 7), Box::new(|| 9)];
+        assert_eq!(pool.run(tasks), vec![7, 9]);
+    });
+}
+
+/// Tasks borrowing the caller's stack stay sound across schedules (the
+/// scoped-thread join is itself a modeled decision point).
+#[test]
+fn borrowed_caller_data_under_all_interleavings() {
+    loom::model(|| {
+        let data: Vec<u64> = (0..8).collect();
+        let pool = TaskPool::new(2);
+        let tasks: Vec<Task<u64>> = data
+            .chunks(4)
+            .map(|chunk| Box::new(move || chunk.iter().sum()) as Task<u64>)
+            .collect();
+        let partials = pool.run(tasks);
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    });
+}

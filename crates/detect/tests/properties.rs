@@ -185,7 +185,7 @@ proptest! {
             let best = scores
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
             prop_assert_eq!(best, last, "{}: {:?}", scorer.info().name, scores);

@@ -191,7 +191,7 @@ pub fn best_f1_threshold(scores: &[f64], actual: &[bool]) -> Option<(f64, Confus
     let total_pos = actual.iter().filter(|&&a| a).count() as u64;
     let total = scores.len() as u64;
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     // Sweep descending: predicting positive for everything scored >= t.
     let mut tp = 0_u64;
     let mut fp = 0_u64;

@@ -32,7 +32,7 @@ pub fn rank_normalize(scores: &[f64]) -> Vec<f64> {
         return vec![1.0];
     }
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0_f64; n];
     let mut i = 0;
     while i < n {

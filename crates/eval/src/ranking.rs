@@ -19,7 +19,7 @@ pub fn roc_auc(scores: &[f64], actual: &[bool]) -> Option<f64> {
     // Rank all scores (average rank for ties), sum positive ranks.
     let n = scores.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0_f64;
     let mut i = 0;
     while i < n {
@@ -61,7 +61,7 @@ pub fn average_precision(scores: &[f64], actual: &[bool]) -> Option<f64> {
     }
     let n = scores.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0_usize;
     let mut seen = 0_usize;
     let mut ap = 0.0_f64;
@@ -92,12 +92,7 @@ pub fn precision_at_k(scores: &[f64], actual: &[bool], k: usize) -> Option<f64> 
     }
     let k = k.min(scores.len());
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("finite scores")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     let hits = idx[..k].iter().filter(|&&i| actual[i]).count();
     Some(hits as f64 / k as f64)
 }

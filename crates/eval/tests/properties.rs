@@ -35,7 +35,7 @@ proptest! {
         // Only exact when there are no ties; enforce distinctness by rank.
         let mut distinct = scores.clone();
         let mut idx: Vec<usize> = (0..distinct.len()).collect();
-        idx.sort_by(|&a, &b| distinct[a].partial_cmp(&distinct[b]).unwrap());
+        idx.sort_by(|&a, &b| distinct[a].total_cmp(&distinct[b]));
         for (rank, &i) in idx.iter().enumerate() {
             distinct[i] += rank as f64 * 1e-6;
         }

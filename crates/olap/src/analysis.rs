@@ -82,8 +82,7 @@ pub fn top_k(scores: &[CellScore], k: usize) -> Vec<CellScore> {
     let mut sorted = scores.to_vec();
     sorted.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("finite scores")
+            .total_cmp(&a.score)
             .then_with(|| a.coords.cmp(&b.coords))
     });
     sorted.truncate(k);

@@ -710,7 +710,7 @@ mod tests {
                 .collect();
             let med = {
                 let mut s = neighborhood.clone();
-                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                s.sort_by(|a, b| a.total_cmp(b));
                 s[s.len() / 2]
             };
             let dev = (v[rec.start_idx] - med).abs();
@@ -859,7 +859,7 @@ mod tests {
             // The excursion is visible: the event onset deviates from the
             // series median by most of the magnitude.
             let mut sorted = series.values().to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             let median = sorted[sorted.len() / 2];
             let dev = (series.values()[rec.start_idx] - median).abs();
             assert!(

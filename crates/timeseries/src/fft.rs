@@ -201,7 +201,7 @@ pub fn dominant_frequency_bin(signal: &[f64]) -> Result<Option<usize>> {
         .iter()
         .enumerate()
         .skip(1)
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite power"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i);
     Ok(best)
 }
@@ -254,7 +254,7 @@ mod tests {
         let max_bin = ps
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(max_bin, k);

@@ -80,7 +80,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         return Err(Error::invalid("q", "must be in [0, 1]"));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

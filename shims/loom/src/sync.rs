@@ -1,0 +1,129 @@
+//! Model-aware synchronization primitives.
+//!
+//! [`Mutex`] mirrors `std::sync::Mutex`'s API (the subset the workspace
+//! uses). Inside a [`model`](crate::model) run every `lock` routes through
+//! the scheduler — blocking on a held lock deschedules the logical thread,
+//! and acquire/release are decision points the explorer permutes. Outside
+//! a model run it is a plain `std` mutex.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, LockResult, PoisonError};
+
+use crate::sched::{self, Scheduler};
+
+/// A mutex whose contention is visible to the model scheduler.
+pub struct Mutex<T: ?Sized> {
+    /// Model lock id; `None` when created outside a model run.
+    id: Option<usize>,
+    sched: Option<Arc<Scheduler>>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex, registering it with the running model (if any).
+    pub fn new(value: T) -> Self {
+        let (sched, id) = match sched::current() {
+            Some((s, _)) => {
+                let id = s.register_lock();
+                (Some(s), Some(id))
+            }
+            None => (None, None),
+        };
+        Self {
+            id,
+            sched,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock. Under a model this is a scheduling decision
+    /// point and may deschedule the calling logical thread.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match (&self.sched, self.id, sched::current()) {
+            (Some(sched), Some(id), Some((_, me))) => {
+                sched.acquire(id, me);
+                // Model-level ownership is exclusive, so the std lock below
+                // is uncontended; it exists to hand out a real guard.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    inner: Some(inner),
+                    hook: Some((sched.clone(), id, me)),
+                })
+            }
+            _ => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    inner: Some(inner),
+                    hook: None,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(poison.into_inner()),
+                    hook: None,
+                })),
+            },
+        }
+    }
+
+    /// Mutable access through exclusive ownership — no locking, and thus
+    /// no decision point (matches `std`; loom proper behaves the same).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. Dropping it releases the model lock
+/// (a decision point) after the underlying `std` guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Option` so `Drop` can release the std guard *before* the model
+    /// release hook runs (other logical threads must be able to take the
+    /// std lock the moment the model hands them ownership).
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    hook: Option<(Arc<Scheduler>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken only in Drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard taken only in Drop")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, lock, me)) = self.hook.take() {
+            sched.release(lock, me);
+        }
+    }
+}

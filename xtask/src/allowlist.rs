@@ -1,0 +1,226 @@
+//! The committed allowlist: a per-(rule, file) finding-count ratchet.
+//!
+//! `xtask/lint.allow` grandfathers the sites that existed when a rule was
+//! introduced, as `rule path max-count` lines. The lint fails when a file
+//! *exceeds* its budget (a new site appeared) **and** when it drops below
+//! it (the burndown must be committed by re-running
+//! `cargo xtask lint --update-allowlist`, so the ratchet only ever
+//! tightens). Counts are used instead of line anchors so unrelated edits
+//! that shift lines do not churn the file.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::findings::{Finding, Rule};
+
+/// Budget table keyed by (rule, file).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(Rule, String), usize>,
+}
+
+/// A violation of the ratchet, with the offending sites when over budget.
+#[derive(Debug)]
+pub struct Violation {
+    /// The rule whose budget is violated.
+    pub rule: Rule,
+    /// The file in question.
+    pub file: String,
+    /// Allowed count.
+    pub allowed: usize,
+    /// Actual count.
+    pub actual: usize,
+    /// The individual findings (over-budget case; empty when stale).
+    pub sites: Vec<Finding>,
+}
+
+impl Violation {
+    /// Human-readable report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.actual > self.allowed {
+            let _ = writeln!(
+                out,
+                "{}: [{}] {} sites, allowlist permits {} — new sites must be fixed, not \
+                 grandfathered:",
+                self.file, self.rule, self.actual, self.allowed
+            );
+            for f in &self.sites {
+                let _ = writeln!(out, "  {}:{}: {}", f.file, f.line, f.excerpt);
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "{}: [{}] stale allowlist budget: {} allowed but only {} remain — run \
+                 `cargo xtask lint --update-allowlist` to commit the burndown",
+                self.file, self.rule, self.allowed, self.actual
+            );
+        }
+        out
+    }
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Lines: `rule path count`; `#` comments
+    /// and blank lines ignored.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("line {}: expected `rule path count`", i + 1));
+            };
+            let rule = Rule::parse(rule)
+                .ok_or_else(|| format!("line {}: unknown rule `{rule}`", i + 1))?;
+            if !rule.allowlistable() {
+                return Err(format!(
+                    "line {}: rule `{rule}` findings cannot be grandfathered",
+                    i + 1
+                ));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("line {}: bad count `{count}`", i + 1))?;
+            entries.insert((rule, path.to_string()), count);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Applies the ratchet to a finding set, returning every violation.
+    pub fn check(&self, findings: &[Finding]) -> Vec<Violation> {
+        let mut by_key: BTreeMap<(Rule, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key.entry((f.rule, f.file.clone())).or_default().push(f);
+        }
+        let mut out = Vec::new();
+        for (key, sites) in &by_key {
+            let allowed = if key.0.allowlistable() {
+                self.entries.get(key).copied().unwrap_or(0)
+            } else {
+                0
+            };
+            if sites.len() > allowed {
+                out.push(Violation {
+                    rule: key.0,
+                    file: key.1.clone(),
+                    allowed,
+                    actual: sites.len(),
+                    sites: sites.iter().map(|f| (*f).clone()).collect(),
+                });
+            }
+        }
+        // Stale budgets: listed files now under (or at zero) budget.
+        for (key, &allowed) in &self.entries {
+            let actual = by_key.get(key).map(Vec::len).unwrap_or(0);
+            if actual < allowed {
+                out.push(Violation {
+                    rule: key.0,
+                    file: key.1.clone(),
+                    allowed,
+                    actual,
+                    sites: Vec::new(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the allowlist that exactly matches a finding set.
+    pub fn render_for(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+        for f in findings {
+            if f.rule.allowlistable() {
+                *counts.entry((f.rule, f.file.clone())).or_default() += 1;
+            }
+        }
+        let mut out = String::from(
+            "# Grandfathered lint findings: `rule path max-count` (see DESIGN.md §4.12).\n\
+             # Budgets only ratchet down: fix new sites, then run\n\
+             #   cargo xtask lint --update-allowlist\n\
+             # to commit a burndown. Taxonomy findings are never allowlistable.\n",
+        );
+        for ((rule, file), count) in counts {
+            let _ = writeln!(out, "{rule} {file} {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: Rule, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            excerpt: "x".into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines_and_taxonomy() {
+        assert!(Allowlist::parse("# only comments\n").is_ok());
+        assert!(Allowlist::parse("panic-site a.rs 3\n").is_ok());
+        assert!(Allowlist::parse("panic-site a.rs\n").is_err());
+        assert!(Allowlist::parse("no-such-rule a.rs 3\n").is_err());
+        assert!(Allowlist::parse("taxonomy a.rs 1\n").is_err());
+    }
+
+    #[test]
+    fn over_budget_and_unlisted_files_violate() {
+        let list = Allowlist::parse("panic-site a.rs 1\n").unwrap();
+        let findings = vec![
+            f(Rule::PanicSite, "a.rs", 1),
+            f(Rule::PanicSite, "a.rs", 2),
+            f(Rule::PanicSite, "b.rs", 3),
+        ];
+        let v = list.check(&findings);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|v| v.file == "a.rs" && v.actual == 2 && v.allowed == 1));
+        assert!(v.iter().any(|v| v.file == "b.rs" && v.allowed == 0));
+    }
+
+    #[test]
+    fn at_budget_passes_and_under_budget_is_stale() {
+        let list = Allowlist::parse("panic-site a.rs 2\n").unwrap();
+        let at = vec![f(Rule::PanicSite, "a.rs", 1), f(Rule::PanicSite, "a.rs", 9)];
+        assert!(list.check(&at).is_empty());
+        let under = vec![f(Rule::PanicSite, "a.rs", 1)];
+        let v = list.check(&under);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].actual < v[0].allowed);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let findings = vec![
+            f(Rule::PanicSite, "a.rs", 1),
+            f(Rule::PanicSite, "a.rs", 2),
+            f(Rule::NanCmp, "b.rs", 3),
+            f(Rule::Taxonomy, "c.rs", 4), // never written out
+        ];
+        let text = Allowlist::render_for(&findings);
+        assert!(text.contains("panic-site a.rs 2"));
+        assert!(text.contains("nan-cmp b.rs 1"));
+        assert!(!text.contains("taxonomy"));
+        let parsed = Allowlist::parse(&text).unwrap();
+        // Everything allowlistable is budgeted; only the taxonomy finding
+        // still violates (it can never be grandfathered).
+        let v = parsed.check(&findings);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Taxonomy);
+    }
+}

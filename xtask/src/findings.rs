@@ -1,0 +1,153 @@
+//! The machine-readable finding type shared by every lint rule.
+
+use std::fmt;
+
+/// The rule families of `cargo xtask lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// NaN-unsafe float comparison: `partial_cmp(..).unwrap()/expect(..)`
+    /// on `f64` instead of `f64::total_cmp` or an explicit NaN policy.
+    NanCmp,
+    /// Panic surface in library code: `unwrap`/`expect`/`panic!`-family
+    /// macros and direct indexing in non-test code of the core crates.
+    PanicSite,
+    /// Taxonomy drift: a Table-1 registry row missing its catalog `build`
+    /// entry, the `engine_spec_props` coverage list, or DESIGN.md.
+    Taxonomy,
+    /// Deep copies of series storage (`.to_vec()`, series `.clone()`) in
+    /// the zero-copy hot paths.
+    ZeroCopy,
+}
+
+impl Rule {
+    /// Stable machine-readable identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NanCmp => "nan-cmp",
+            Rule::PanicSite => "panic-site",
+            Rule::Taxonomy => "taxonomy",
+            Rule::ZeroCopy => "zero-copy",
+        }
+    }
+
+    /// Parses a rule identifier (as written in the allowlist).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "nan-cmp" => Some(Rule::NanCmp),
+            "panic-site" => Some(Rule::PanicSite),
+            "taxonomy" => Some(Rule::Taxonomy),
+            "zero-copy" => Some(Rule::ZeroCopy),
+            _ => None,
+        }
+    }
+
+    /// Whether findings of this rule may be grandfathered in the allowlist.
+    /// Taxonomy drift is always a hard failure: the paper's Table 1 and the
+    /// code must never disagree, old or new.
+    pub fn allowlistable(self) -> bool {
+        !matches!(self, Rule::Taxonomy)
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; 4] = [
+        Rule::NanCmp,
+        Rule::PanicSite,
+        Rule::Taxonomy,
+        Rule::ZeroCopy,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding, anchored to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed source line.
+    pub excerpt: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding as one human-readable report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+
+    /// Renders the finding as a JSON object (hand-rolled: the workspace is
+    /// offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"excerpt\":\"{}\"}}",
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message),
+            json_escape(&self.excerpt)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+        }
+        assert_eq!(Rule::parse("unknown"), None);
+    }
+
+    #[test]
+    fn taxonomy_is_never_allowlistable() {
+        assert!(!Rule::Taxonomy.allowlistable());
+        assert!(Rule::PanicSite.allowlistable());
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let f = Finding {
+            rule: Rule::NanCmp,
+            file: "a.rs".into(),
+            line: 3,
+            excerpt: "x.partial_cmp(\"y\")".into(),
+            message: "msg".into(),
+        };
+        let j = f.to_json();
+        assert!(j.contains("\\\"y\\\""));
+        assert!(j.contains("\"line\":3"));
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+    }
+}

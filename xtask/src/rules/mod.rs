@@ -1,0 +1,7 @@
+//! The lint rule families (one module per rule; see DESIGN.md §4.12 for
+//! the catalog and how to add a rule).
+
+pub mod nan;
+pub mod panic;
+pub mod taxonomy;
+pub mod zerocopy;

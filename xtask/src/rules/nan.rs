@@ -1,0 +1,90 @@
+//! Rule `nan-cmp`: NaN-unsafe float comparisons.
+//!
+//! Flags `partial_cmp` whose result is force-unwrapped (`.unwrap()` /
+//! `.expect(..)`) within the same statement — the idiom behind
+//! `sort_by(|a, b| a.partial_cmp(b).unwrap())`, `max_by(..)`, `min_by(..)`
+//! on `f64`, which panics the moment a NaN reaches the comparator. The
+//! repo-wide policy is `f64::total_cmp` (NaN orders last, deterministically)
+//! via the shared `hierod_detect::stat` helpers, or an explicit
+//! `unwrap_or(Ordering::..)` NaN policy, which this rule deliberately does
+//! not flag.
+
+use crate::findings::{Finding, Rule};
+use crate::scan::Source;
+
+/// How far past `partial_cmp` the statement scan looks for an unwrap. A
+/// comparator closure is a handful of tokens; the cap keeps one statement's
+/// diagnosis from leaking into the next when semicolons are sparse
+/// (e.g. in builder chains).
+const STATEMENT_HORIZON: usize = 160;
+
+/// Scans one source file. Applies to test code too: a NaN-panicking
+/// comparator is as wrong in a property test as in a detector.
+pub fn check(src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let masked = &src.masked;
+    let mut search = 0;
+    while let Some(rel) = masked[search..].find("partial_cmp") {
+        let at = search + rel;
+        search = at + "partial_cmp".len();
+        // Statement span: from the call to the next `;` (or horizon).
+        let tail_end = (at + STATEMENT_HORIZON).min(masked.len());
+        let tail = &masked[at..tail_end];
+        let span = match tail.find(';') {
+            Some(semi) => &tail[..semi],
+            None => tail,
+        };
+        if span.contains(".unwrap()") || span.contains(".expect(") {
+            out.push(Finding {
+                rule: Rule::NanCmp,
+                file: src.path.clone(),
+                line: src.line_of(at),
+                excerpt: src.excerpt(at),
+                message: "partial_cmp result is force-unwrapped (panics on NaN); use \
+                          f64::total_cmp / hierod_detect::stat::total_cmp or an explicit \
+                          unwrap_or(..) NaN policy"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Finding> {
+        check(&Source::new("f.rs", text))
+    }
+
+    #[test]
+    fn flags_unwrapped_sort_comparator() {
+        let bad = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        assert_eq!(findings(bad).len(), 1);
+        let bad = "let m = xs.iter().max_by(|a, b| a.partial_cmp(b).expect(\"finite\"));";
+        assert_eq!(findings(bad).len(), 1);
+    }
+
+    #[test]
+    fn accepts_total_cmp_and_explicit_policy() {
+        assert!(findings("v.sort_by(f64::total_cmp);").is_empty());
+        assert!(findings("v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(findings(
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_next_statement_does_not_leak_in() {
+        let ok = "let o = a.partial_cmp(&b);\nlet v = other.unwrap();";
+        assert!(findings(ok).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        assert!(findings("// a.partial_cmp(b).unwrap()").is_empty());
+        assert!(findings("let s = \"partial_cmp(b).unwrap()\";").is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Rule `zero-copy`: the data-plane hot paths must not deep-copy series.
+//!
+//! PR 2 rebuilt `TimeSeries` on shared `Arc` storage so level-view
+//! materialization and window scoring are O(1) per series; this rule is the
+//! structured successor to the old CI grep gate (`series: s.clone()` in
+//! `view.rs`). In the listed hot-path files it flags:
+//!
+//! * any `.to_vec()` — a window/row/storage materialization, and
+//! * `.clone()` on series-shaped receivers (`series`, `storage`, `values`,
+//!   `timestamps`, or the conventional series binding `s`) — shared-storage
+//!   handles must be propagated with `.share()` so intent stays explicit.
+//!
+//! Identifier clones (`machine_id.clone()`, `job.id.clone()`) are cheap and
+//! deliberate; they do not match the receiver test.
+
+use crate::findings::{Finding, Rule};
+use crate::scan::Source;
+
+/// The hot-path files the rule applies to (workspace-relative).
+pub const HOT_PATHS: [&str; 2] = ["crates/hierarchy/src/view.rs", "crates/detect/src/adapt.rs"];
+
+/// Receiver names treated as series storage.
+const SERIES_RECEIVERS: [&str; 5] = ["series", "storage", "values", "timestamps", "s"];
+
+/// Scans one hot-path source file (non-test code).
+pub fn check(src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_method(src, ".to_vec()", false, &mut out);
+    scan_method(src, ".clone()", true, &mut out);
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Finds `receiver.method()` occurrences; when `series_only`, the last
+/// receiver path segment must be series-shaped.
+fn scan_method(src: &Source, method: &str, series_only: bool, out: &mut Vec<Finding>) {
+    let masked = &src.masked;
+    let mut search = 0;
+    while let Some(rel) = masked[search..].find(method) {
+        let at = search + rel;
+        search = at + method.len();
+        if src.offset_in_test(at) {
+            continue;
+        }
+        if series_only {
+            let receiver = last_path_segment(&masked[..at]);
+            if !SERIES_RECEIVERS.contains(&receiver.as_str()) {
+                continue;
+            }
+        }
+        let what = if series_only {
+            "series storage is deep-cloned; propagate the Arc with .share()"
+        } else {
+            "hot path materializes a copy with .to_vec(); borrow a view/slice instead"
+        };
+        out.push(Finding {
+            rule: Rule::ZeroCopy,
+            file: src.path.clone(),
+            line: src.line_of(at),
+            excerpt: src.excerpt(at),
+            message: what.to_string(),
+        });
+    }
+}
+
+/// The identifier directly before a method call: `a.b.series` → `series`.
+fn last_path_segment(prefix: &str) -> String {
+    prefix
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Finding> {
+        check(&Source::new("crates/hierarchy/src/view.rs", text))
+    }
+
+    #[test]
+    fn flags_series_clone_and_to_vec() {
+        assert_eq!(
+            findings("let v = SensorView { series: s.clone() };").len(),
+            1
+        );
+        assert_eq!(findings("let c = job.series.clone();").len(), 1);
+        assert_eq!(findings("let w = window.values().to_vec();").len(), 1);
+    }
+
+    #[test]
+    fn accepts_share_and_identifier_clones() {
+        assert!(findings("let v = SensorView { series: s.share() };").is_empty());
+        assert!(findings("let m = line.machine_id.clone();").is_empty());
+        assert!(findings("let j = job.id.clone();").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let c = s.clone(); } }\n";
+        assert!(findings(src).is_empty());
+    }
+}

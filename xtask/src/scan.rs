@@ -1,0 +1,298 @@
+//! Source preprocessing for the lint rules.
+//!
+//! The rules are disciplined token/line scanners, not a full parser; to keep
+//! them honest this module first *masks* comments and string/char literals
+//! (replacing their contents with spaces, preserving offsets and newlines)
+//! so `"panic!"` inside a string or a commented-out `unwrap()` never trips a
+//! rule, and then marks `#[cfg(test)]` item ranges so rules can scope
+//! themselves to library code.
+
+/// A preprocessed source file: original text, masked text (same length,
+/// comments and literal contents blanked), and per-line test-region flags.
+#[derive(Debug)]
+pub struct Source {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The untouched file text (used for excerpts).
+    pub text: String,
+    /// Masked text: identical offsets, with comment bodies and string/char
+    /// literal contents replaced by spaces.
+    pub masked: String,
+    /// `in_test[i]` is true when line `i` (0-based) lies inside a
+    /// `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl Source {
+    /// Preprocesses one file.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let masked = mask(&text);
+        let in_test = test_lines(&masked);
+        Self {
+            path: path.into(),
+            text,
+            masked,
+            in_test,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+
+    /// Whether the byte offset lies inside a `#[cfg(test)]` region.
+    pub fn offset_in_test(&self, offset: usize) -> bool {
+        let line = self.line_of(offset) - 1;
+        self.in_test.get(line).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source line containing a byte offset (for excerpts).
+    pub fn excerpt(&self, offset: usize) -> String {
+        let line = self.line_of(offset);
+        self.text
+            .lines()
+            .nth(line - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    }
+}
+
+/// Masks comments and string/char literals with spaces. Newlines inside
+/// masked regions are preserved so line numbers stay valid.
+pub fn mask(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = text.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = |k: usize| bytes.get(i + k).copied();
+        match state {
+            State::Code => {
+                if b == b'/' && next(1) == Some(b'/') {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && next(1) == Some(b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' && matches!(next(1), Some(b'"') | Some(b'#')) {
+                    // Raw string r"..." / r#"..."# (only when actually a
+                    // string start: r followed by hashes then a quote).
+                    let mut hashes = 0;
+                    while next(1 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if next(1 + hashes) == Some(b'"') {
+                        state = State::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', 2 + hashes));
+                        i += 2 + hashes;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    let is_char = match next(1) {
+                        Some(b'\\') => true,
+                        Some(_) => next(2) == Some(b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && next(1) == Some(b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && next(1) == Some(b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    // Preserve a line-continuation newline in the mask.
+                    out.push(b' ');
+                    out.push(if next(1) == Some(b'\n') { b'\n' } else { b' ' });
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                let mut closes = b == b'"';
+                for k in 0..hashes {
+                    closes = closes && next(1 + k) == Some(b'#');
+                }
+                if closes {
+                    state = State::Code;
+                    out.extend(std::iter::repeat_n(b' ', 1 + hashes));
+                    i += 1 + hashes;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.truncate(bytes.len());
+    // Masking only ever replaces bytes 1:1 (multi-byte steps push equal
+    // lengths), so this cannot fail; fall back to lossless just in case.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Marks the (0-based) lines covered by `#[cfg(test)]` items: from each
+/// attribute through the end of the item's brace block (or its terminating
+/// semicolon for block-less items).
+fn test_lines(masked: &str) -> Vec<bool> {
+    let n_lines = masked.lines().count();
+    let mut flags = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = masked[search..].find("#[cfg(test)]") {
+        let start = search + rel;
+        // Find the item body: the first `{` after the attribute opens the
+        // block; a `;` first means a block-less item (e.g. `mod tests;`).
+        let after = start + "#[cfg(test)]".len();
+        let mut end = masked.len();
+        let mut depth = 0_usize;
+        let mut entered = false;
+        for (k, &b) in bytes.iter().enumerate().skip(after) {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                b';' if !entered => {
+                    end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let first_line = masked[..start].bytes().filter(|&b| b == b'\n').count();
+        let last_line = masked[..end].bytes().filter(|&b| b == b'\n').count();
+        for f in flags
+            .iter_mut()
+            .take((last_line + 1).min(n_lines))
+            .skip(first_line)
+        {
+            *f = true;
+        }
+        search = end.max(after);
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"panic!()\"; // unwrap()\nlet b = 1; /* expect( */";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("expect"));
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars_keeps_lifetimes() {
+        let src = "let s = r#\"unwrap()\"#; let c = '\\''; fn f<'env>(x: &'env str) {}";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("'env"));
+    }
+
+    #[test]
+    fn flags_cfg_test_mod_lines() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn more() {}\n";
+        let s = Source::new("x.rs", src);
+        assert_eq!(s.in_test, vec![false, true, true, true, true, false]);
+        assert!(!s.offset_in_test(0));
+        assert!(s.offset_in_test(src.find("fn t").unwrap()));
+    }
+
+    #[test]
+    fn line_and_excerpt() {
+        let s = Source::new("x.rs", "a\nbb\nccc\n");
+        let off = s.text.find("ccc").unwrap();
+        assert_eq!(s.line_of(off), 3);
+        assert_eq!(s.excerpt(off), "ccc");
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end ratchet behaviour over a synthetic workspace: findings are
+//! grandfathered by `--update-allowlist`, NEW sites fail the lint, and
+//! burned-down sites fail as stale until the budget is shrunk. A final
+//! test pins the real repository clean under its committed allowlist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::{run_lint, update_allowlist, workspace_root, Rule};
+
+/// A throwaway workspace under the target-adjacent temp dir.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("xtask-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let f = Self { root };
+        f.write_consistent_taxonomy();
+        fs::create_dir_all(f.root.join("xtask")).expect("mkdir xtask");
+        f
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, text).expect("write fixture");
+    }
+
+    /// A registry/catalog/coverage/design quartet that satisfies the
+    /// `taxonomy` rule (21 keys, build fns in-file, covered, documented).
+    fn write_consistent_taxonomy(&self) {
+        let keys: Vec<String> = (0..21).map(|i| format!("algo-{i}")).collect();
+        let mut registry = String::new();
+        for k in &keys {
+            let f = k.replace('-', "_");
+            registry.push_str(&format!("fn build_{f}() {{}}\n"));
+            registry.push_str(&format!(
+                "RegistryEntry {{ key: \"{k}\", build: build_{f} }}\n"
+            ));
+        }
+        let covered: Vec<String> = keys.iter().map(|k| format!("\"{k}\"")).collect();
+        let coverage = format!(
+            "const COVERED_KEYS: [&str; 21] = [{}];\n",
+            covered.join(", ")
+        );
+        let design: Vec<String> = keys.iter().map(|k| format!("`{k}`")).collect();
+        self.write("crates/detect/src/registry.rs", &registry);
+        self.write("crates/detect/src/engine/catalog.rs", "");
+        self.write("crates/detect/tests/engine_spec_props.rs", &coverage);
+        self.write("DESIGN.md", &design.join(", "));
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const BAD_LIB: &str = "pub fn f(xs: &mut [f64]) -> f64 {\n\
+     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+     *xs.first().unwrap()\n\
+}\n";
+
+#[test]
+fn ratchet_grandfathers_then_blocks_new_sites_and_stale_budgets() {
+    let fx = Fixture::new("ratchet");
+    fx.write("crates/detect/src/da/bad.rs", BAD_LIB);
+
+    // Fresh tree, empty allowlist: everything violates.
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(!out.clean());
+    assert!(out.findings.iter().any(|f| f.rule == Rule::NanCmp));
+    assert!(out.findings.iter().any(|f| f.rule == Rule::PanicSite));
+
+    // Grandfather the current state: clean.
+    let n = update_allowlist(&fx.root).expect("update");
+    assert!(n >= 2, "expected grandfathered sites, got {n}");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(out.clean(), "{:?}", out.violations);
+
+    // A NEW panic site exceeds the budget and fails.
+    fx.write(
+        "crates/detect/src/da/bad.rs",
+        &format!("{BAD_LIB}pub fn g(v: &[f64]) -> f64 {{ *v.last().unwrap() }}\n"),
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    let over: Vec<_> = out
+        .violations
+        .iter()
+        .filter(|v| v.actual > v.allowed)
+        .collect();
+    assert!(!over.is_empty(), "new site must violate the ratchet");
+
+    // Burning sites down WITHOUT shrinking the budget fails as stale.
+    fx.write("crates/detect/src/da/bad.rs", "pub fn f() {}\n");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(
+        out.violations.iter().any(|v| v.actual < v.allowed),
+        "stale budget must violate: {:?}",
+        out.violations
+    );
+
+    // Shrinking the budget restores a clean ratchet.
+    update_allowlist(&fx.root).expect("update");
+    assert!(run_lint(&fx.root).expect("lint").clean());
+}
+
+#[test]
+fn taxonomy_drift_is_never_allowlistable() {
+    let fx = Fixture::new("taxonomy");
+    // Break the cross-check: one key vanishes from the coverage list.
+    fx.write(
+        "crates/detect/tests/engine_spec_props.rs",
+        "const COVERED_KEYS: [&str; 1] = [\"algo-0\"];\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(!out.clean());
+    // Even a freshly updated allowlist cannot absorb taxonomy findings.
+    update_allowlist(&fx.root).expect("update");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(
+        out.violations.iter().all(|v| v.rule == Rule::Taxonomy),
+        "{:?}",
+        out.violations
+    );
+    assert!(!out.clean());
+}
+
+/// The real repository must be clean under its committed allowlist — this
+/// is the same check CI runs via `cargo xtask lint`.
+#[test]
+fn repository_is_clean_under_committed_allowlist() {
+    let out = run_lint(&workspace_root()).expect("lint");
+    assert!(
+        out.clean(),
+        "repository violates its own lint ratchet: {:#?}",
+        out.violations
+    );
+}
+
+/// Structured output stays machine-parseable (CI consumes it).
+#[test]
+fn findings_serialize_to_json() {
+    let fx = Fixture::new("json");
+    fx.write("crates/detect/src/da/bad.rs", BAD_LIB);
+    let out = run_lint(&fx.root).expect("lint");
+    let f = out
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::NanCmp)
+        .expect("nan finding");
+    let json = f.to_json();
+    assert!(json.contains("\"rule\":\"nan-cmp\""), "{json}");
+    assert!(json.contains("\"file\":\"crates/detect/src/da/bad.rs\""));
+}
+
+/// `workspace_sources` must skip shims/ and xtask/ (their own fixtures are
+/// deliberately bad) but cover every crate source.
+#[test]
+fn source_walk_scopes_to_crates() {
+    let files = xtask::workspace_sources(&workspace_root()).expect("walk");
+    assert!(files.iter().all(|p| {
+        let s = p.to_string_lossy();
+        !s.contains("/shims/") && !s.contains("/xtask/") && !s.contains("/target/")
+    }));
+    assert!(files
+        .iter()
+        .any(|p| p.ends_with(Path::new("crates/detect/src/engine/scheduler.rs"))));
+}
