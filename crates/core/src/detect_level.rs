@@ -95,7 +95,10 @@ pub struct LevelDetections {
 }
 
 impl LevelDetections {
-    fn empty(level: Level) -> Self {
+    /// An empty detections container for `level` (fragments accumulate into
+    /// it via [`Self::absorb`]; the streaming detector also seeds its
+    /// per-level results from this).
+    pub fn empty(level: Level) -> Self {
         Self {
             level,
             outliers: Vec::new(),
@@ -104,7 +107,9 @@ impl LevelDetections {
         }
     }
 
-    fn absorb(&mut self, fragment: LevelDetections) {
+    /// Merges a fragment produced by one scoring task into this container
+    /// (order of absorption defines result order).
+    pub fn absorb(&mut self, fragment: LevelDetections) {
         self.outliers.extend(fragment.outliers);
         self.series_scores.extend(fragment.series_scores);
         self.vector_scores.extend(fragment.vector_scores);
@@ -141,7 +146,13 @@ pub fn standardize_scores(scores: &[f64]) -> Vec<f64> {
 
 /// Scores one series' raw output into a detections fragment: thresholded
 /// outliers plus the full standardized score vector.
-fn emit_series(
+///
+/// Public so the streaming detector (`hierod-stream`) can feed raw scores
+/// produced by *online* scorers through the exact thresholding and
+/// standardization path the batch engine uses — the stream/batch
+/// equivalence guarantee rests on both paths sharing this function.
+/// `raw` must be parallel to `at.series` (one score per sample).
+pub fn emit_series(
     plant: &Plant,
     level: Level,
     threshold: f64,

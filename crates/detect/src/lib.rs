@@ -45,6 +45,7 @@ pub mod engine;
 pub mod itm;
 pub mod nmd;
 pub mod npd;
+pub mod online;
 pub mod os;
 pub mod pm;
 pub mod registry;

@@ -1,0 +1,69 @@
+//! Online (streaming) scoring: per-sample outlierness with bounded state.
+//!
+//! The batch traits ([`PointScorer`](crate::PointScorer) & friends) see a
+//! whole series at once; a live plant delivers one sample at a time. An
+//! [`OnlineScorer`] consumes `(timestamp, value)` pairs in timestamp order
+//! (a watermark upstream guarantees that) and emits [`ScoredPoint`]s —
+//! possibly later than the push, possibly in bursts: windowed adapters
+//! buffer until a hop boundary, and full-history mode defers everything to
+//! [`OnlineScorer::finish`].
+//!
+//! Two families implement the trait:
+//!
+//! * [`WindowedBatch`] wraps **any** [`BoxedScorer`](crate::engine::BoxedScorer)
+//!   behind a hop/slide policy, so every one of the registry's 30 entries
+//!   is drivable online. Its full-history mode reproduces batch scores
+//!   bit-for-bit (the stream/batch equivalence test relies on that).
+//! * Native incrementals — [`RollingRobustZ`], [`IncrementalAr`],
+//!   [`SlidingKnn`], [`SlidingLof`] — score each sample as it arrives in
+//!   O(window) work and O(window) memory. They are *approximations* of
+//!   their batch counterparts (running moments, periodic refits) traded
+//!   for per-sample latency; `bench_stream` quantifies the trade.
+//!
+//! Scores follow the crate convention: non-negative, larger = more
+//! anomalous, standardized downstream (not here).
+
+mod incremental_ar;
+mod neighbors;
+mod rolling;
+mod windowed;
+
+pub use incremental_ar::IncrementalAr;
+pub use neighbors::{SlidingKnn, SlidingLof};
+pub use rolling::RollingRobustZ;
+pub use windowed::WindowedBatch;
+
+use crate::api::Result;
+
+/// One scored sample, emitted by an [`OnlineScorer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPoint {
+    /// The sample's timestamp.
+    pub timestamp: u64,
+    /// The sample's value.
+    pub value: f64,
+    /// Raw (non-negative) outlierness score.
+    pub score: f64,
+}
+
+/// Incremental scorer: samples in (timestamp order), scored points out.
+///
+/// Contract:
+/// * `push` may emit zero or more points (buffering is allowed); every
+///   pushed sample is emitted **exactly once** across all `push` and
+///   `finish` calls, in timestamp order, unless an error is returned.
+/// * `finish` flushes whatever is buffered; afterwards the scorer is
+///   spent — further pushes have unspecified scores.
+/// * An `Err` from either call poisons the series: the caller drops the
+///   series from the report exactly as the batch path drops series that
+///   fail to score.
+pub trait OnlineScorer: Send {
+    /// Feeds one sample; appends any newly scored points to `out`.
+    fn push(&mut self, timestamp: u64, value: f64, out: &mut Vec<ScoredPoint>) -> Result<()>;
+
+    /// End of stream: scores and appends everything still buffered.
+    fn finish(&mut self, out: &mut Vec<ScoredPoint>) -> Result<()>;
+
+    /// Short label for reports and benches.
+    fn name(&self) -> &'static str;
+}

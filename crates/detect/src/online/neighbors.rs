@@ -1,0 +1,310 @@
+//! Sliding-window neighbour scorers: kNN distance and simplified LOF,
+//! re-using the sorted window so neighbour queries are two-pointer walks
+//! instead of distance-matrix scans.
+
+use crate::api::Result;
+use crate::online::rolling::SortedWindow;
+use crate::online::{OnlineScorer, ScoredPoint};
+use crate::DetectError;
+
+/// Distance to the k-th nearest element of `sorted` as seen from `v`,
+/// walking outward from `v`'s insertion point. `exclude` marks one index
+/// to skip (an element asking about its own neighbours).
+fn kth_nearest(sorted: &[f64], v: f64, k: usize, exclude: Option<usize>) -> Option<f64> {
+    let mut right = sorted.partition_point(|x| x.total_cmp(&v) == std::cmp::Ordering::Less);
+    let mut left = right.checked_sub(1);
+    let mut dist = 0.0;
+    let mut taken = 0;
+    while taken < k {
+        if exclude.is_some() && left == exclude {
+            left = left.and_then(|i| i.checked_sub(1));
+            continue;
+        }
+        if Some(right) == exclude {
+            right += 1;
+            continue;
+        }
+        let dl = left.and_then(|i| sorted.get(i)).map(|x| (v - x).abs());
+        let dr = sorted.get(right).map(|x| (x - v).abs());
+        match (dl, dr) {
+            (Some(a), Some(b)) if a <= b => {
+                dist = a;
+                left = left.and_then(|i| i.checked_sub(1));
+            }
+            (Some(a), None) => {
+                dist = a;
+                left = left.and_then(|i| i.checked_sub(1));
+            }
+            (_, Some(b)) => {
+                dist = b;
+                right += 1;
+            }
+            (None, None) => return None,
+        }
+        taken += 1;
+    }
+    Some(dist)
+}
+
+/// Indices of the k nearest elements of `sorted` to `v`, excluding
+/// `exclude` (same outward walk as [`kth_nearest`]).
+fn nearest_indices(sorted: &[f64], v: f64, k: usize, exclude: Option<usize>) -> Vec<usize> {
+    let mut right = sorted.partition_point(|x| x.total_cmp(&v) == std::cmp::Ordering::Less);
+    let mut left = right.checked_sub(1);
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        if exclude.is_some() && left == exclude {
+            left = left.and_then(|i| i.checked_sub(1));
+            continue;
+        }
+        if Some(right) == exclude {
+            right += 1;
+            continue;
+        }
+        let dl = left.and_then(|i| sorted.get(i)).map(|x| (v - x).abs());
+        let dr = sorted.get(right).map(|x| (x - v).abs());
+        match (dl, dr) {
+            (Some(a), Some(b)) if a <= b => {
+                if let Some(i) = left {
+                    picked.push(i);
+                }
+                left = left.and_then(|i| i.checked_sub(1));
+            }
+            (Some(_), None) => {
+                if let Some(i) = left {
+                    picked.push(i);
+                }
+                left = left.and_then(|i| i.checked_sub(1));
+            }
+            (_, Some(_)) => {
+                picked.push(right);
+                right += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    picked
+}
+
+/// Sliding-window kNN: each sample's score is its distance to its k-th
+/// nearest neighbour among the previous `window` samples (Ramaswamy-style
+/// kNN outlierness, windowed). O(k + log w) per sample.
+#[derive(Debug)]
+pub struct SlidingKnn {
+    window: SortedWindow,
+    k: usize,
+}
+
+impl SlidingKnn {
+    /// Creates a sliding kNN scorer.
+    ///
+    /// # Errors
+    /// Rejects `k == 0` or `window <= k` (the window must hold at least
+    /// k neighbours plus headroom).
+    pub fn new(window: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectError::invalid("k", "must be > 0"));
+        }
+        if window <= k {
+            return Err(DetectError::invalid("window", "must be > k"));
+        }
+        Ok(Self {
+            window: SortedWindow::new(window),
+            k,
+        })
+    }
+}
+
+impl OnlineScorer for SlidingKnn {
+    fn push(&mut self, timestamp: u64, value: f64, out: &mut Vec<ScoredPoint>) -> Result<()> {
+        // Score against the window *before* inserting: a sample is judged
+        // by its past, never by itself.
+        let score = if self.window.len() >= self.k {
+            kth_nearest(self.window.sorted(), value, self.k, None).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        self.window.push(value);
+        out.push(ScoredPoint {
+            timestamp,
+            value,
+            score,
+        });
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<ScoredPoint>) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-knn"
+    }
+}
+
+/// Sliding-window LOF (simplified, 1-D): local reachability density of the
+/// arriving sample against its k nearest window neighbours, compared to
+/// the neighbours' own densities. Scores are `max(LOF − 1, 0)` so inliers
+/// (LOF ≈ 1) sit at 0 and the score stays non-negative per the crate
+/// convention. O(k²·(k + log w)) per sample — k is small.
+#[derive(Debug)]
+pub struct SlidingLof {
+    window: SortedWindow,
+    k: usize,
+}
+
+impl SlidingLof {
+    /// Creates a sliding LOF scorer.
+    ///
+    /// # Errors
+    /// Rejects `k == 0` or `window <= k + 1`.
+    pub fn new(window: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectError::invalid("k", "must be > 0"));
+        }
+        if window <= k + 1 {
+            return Err(DetectError::invalid("window", "must be > k + 1"));
+        }
+        Ok(Self {
+            window: SortedWindow::new(window),
+            k,
+        })
+    }
+
+    /// Local reachability density of value `v` (at optional window index
+    /// `at`, excluded from its own neighbourhood).
+    fn lrd(&self, v: f64, at: Option<usize>) -> f64 {
+        let sorted = self.window.sorted();
+        let neighbours = nearest_indices(sorted, v, self.k, at);
+        if neighbours.is_empty() {
+            return 0.0;
+        }
+        let mut reach_sum = 0.0;
+        for &n in &neighbours {
+            let Some(&nv) = sorted.get(n) else { continue };
+            let kdist_n = kth_nearest(sorted, nv, self.k, Some(n)).unwrap_or(0.0);
+            reach_sum += (v - nv).abs().max(kdist_n);
+        }
+        if reach_sum <= f64::EPSILON {
+            // Degenerate (identical values): infinite density, encoded big.
+            return 1.0 / f64::EPSILON;
+        }
+        neighbours.len() as f64 / reach_sum
+    }
+}
+
+impl OnlineScorer for SlidingLof {
+    fn push(&mut self, timestamp: u64, value: f64, out: &mut Vec<ScoredPoint>) -> Result<()> {
+        let score = if self.window.len() > self.k {
+            let lrd_v = self.lrd(value, None);
+            let sorted = self.window.sorted();
+            let neighbours = nearest_indices(sorted, value, self.k, None);
+            let mut lrd_sum = 0.0;
+            let mut counted = 0;
+            for &n in &neighbours {
+                if let Some(&nv) = sorted.get(n) {
+                    lrd_sum += self.lrd(nv, Some(n));
+                    counted += 1;
+                }
+            }
+            if counted == 0 || lrd_v <= f64::EPSILON {
+                0.0
+            } else {
+                let lof = (lrd_sum / counted as f64) / lrd_v;
+                (lof - 1.0).max(0.0)
+            }
+        } else {
+            0.0
+        };
+        self.window.push(value);
+        out.push(ScoredPoint {
+            timestamp,
+            value,
+            score,
+        });
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<ScoredPoint>) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-lof"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kth_nearest_walks_both_sides() {
+        let sorted = [1.0, 2.0, 4.0, 7.0];
+        assert_eq!(kth_nearest(&sorted, 3.0, 1, None), Some(1.0)); // 2.0 or 4.0
+        assert_eq!(kth_nearest(&sorted, 3.0, 3, None), Some(2.0)); // {2,4,1}
+        assert_eq!(kth_nearest(&sorted, 0.0, 4, None), Some(7.0));
+        assert_eq!(kth_nearest(&sorted, 0.0, 5, None), None);
+    }
+
+    #[test]
+    fn kth_nearest_can_exclude_self() {
+        let sorted = [1.0, 2.0, 4.0];
+        // Element at index 1 (value 2.0) asking for its own neighbour.
+        assert_eq!(kth_nearest(&sorted, 2.0, 1, Some(1)), Some(1.0));
+    }
+
+    #[test]
+    fn knn_flags_isolated_value() {
+        let mut s = SlidingKnn::new(16, 3).expect("params");
+        let mut out = Vec::new();
+        for t in 0..40_u64 {
+            let v = if t == 30 { 50.0 } else { (t % 5) as f64 };
+            s.push(t, v, &mut out).expect("push");
+        }
+        let best = out
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .expect("non-empty");
+        assert_eq!(best.timestamp, 30);
+        assert!(best.score > 40.0);
+    }
+
+    #[test]
+    fn lof_flags_isolated_value_over_clustered_ones() {
+        let mut s = SlidingLof::new(16, 3).expect("params");
+        let mut out = Vec::new();
+        for t in 0..40_u64 {
+            let v = if t == 30 {
+                50.0
+            } else {
+                (t % 7) as f64 * 0.1 // tight cluster
+            };
+            s.push(t, v, &mut out).expect("push");
+        }
+        let best = out
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .expect("non-empty");
+        assert_eq!(best.timestamp, 30);
+        assert!(best.score > 1.0, "LOF spike score {}", best.score);
+    }
+
+    #[test]
+    fn lof_constant_stream_scores_zero() {
+        let mut s = SlidingLof::new(8, 2).expect("params");
+        let mut out = Vec::new();
+        for t in 0..20_u64 {
+            s.push(t, 3.0, &mut out).expect("push");
+        }
+        assert!(out.iter().all(|p| p.score == 0.0), "{out:?}");
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        assert!(SlidingKnn::new(4, 0).is_err());
+        assert!(SlidingKnn::new(3, 3).is_err());
+        assert!(SlidingLof::new(4, 3).is_err());
+        assert!(SlidingLof::new(8, 3).is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! Rolling robust-z: median/MAD over a sliding window, updated per sample.
+
+use std::collections::VecDeque;
+
+use crate::api::Result;
+use crate::online::{OnlineScorer, ScoredPoint};
+use crate::stat::float::sort_total;
+use crate::DetectError;
+
+/// A bounded sliding window kept simultaneously in arrival order and in
+/// sorted order, so rank statistics (median, neighbours) are O(log w)
+/// lookups with O(w) insert/evict — cheap for the small windows streaming
+/// uses.
+#[derive(Debug)]
+pub(crate) struct SortedWindow {
+    capacity: usize,
+    arrival: VecDeque<f64>,
+    sorted: Vec<f64>,
+}
+
+impl SortedWindow {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            arrival: VecDeque::with_capacity(capacity),
+            sorted: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts `v`, evicting the oldest sample once full.
+    pub(crate) fn push(&mut self, v: f64) {
+        if self.arrival.len() == self.capacity {
+            if let Some(old) = self.arrival.pop_front() {
+                self.remove_sorted(old);
+            }
+        }
+        self.arrival.push_back(v);
+        let at = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&v) == std::cmp::Ordering::Less);
+        self.sorted.insert(at, v);
+    }
+
+    fn remove_sorted(&mut self, v: f64) {
+        let at = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&v) == std::cmp::Ordering::Less);
+        // The evicted value entered through `push`, so an element with its
+        // exact bit pattern sits at the start of its total_cmp-equal run.
+        if self
+            .sorted
+            .get(at)
+            .is_some_and(|x| x.total_cmp(&v) == std::cmp::Ordering::Equal)
+        {
+            self.sorted.remove(at);
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The window's values in ascending (total) order.
+    pub(crate) fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Median of the window (mean of the two middles when even).
+    pub(crate) fn median(&self) -> Option<f64> {
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
+        let mid = n / 2;
+        if n % 2 == 1 {
+            self.sorted.get(mid).copied()
+        } else {
+            match (self.sorted.get(mid - 1), self.sorted.get(mid)) {
+                (Some(a), Some(b)) => Some((a + b) / 2.0),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// True incremental robust-z: each sample is scored against the median and
+/// MAD of the last `window` samples (itself included) the moment it
+/// arrives — O(window) per sample, no deferred emission.
+///
+/// Mirrors the batch [`RobustZ`](crate::engine::RobustZ) convention,
+/// including the standard-deviation fallback when the MAD collapses, but
+/// over a *moving* window rather than the whole series: scores converge to
+/// batch on stationary streams and adapt faster on drifting ones.
+#[derive(Debug)]
+pub struct RollingRobustZ {
+    window: SortedWindow,
+    scratch: Vec<f64>,
+}
+
+impl RollingRobustZ {
+    /// Creates a rolling robust-z over the last `window` samples.
+    ///
+    /// # Errors
+    /// Rejects `window < 3` (no spread to estimate below that).
+    pub fn new(window: usize) -> Result<Self> {
+        if window < 3 {
+            return Err(DetectError::invalid("window", "must be >= 3"));
+        }
+        Ok(Self {
+            window: SortedWindow::new(window),
+            scratch: Vec::with_capacity(window),
+        })
+    }
+}
+
+impl OnlineScorer for RollingRobustZ {
+    fn push(&mut self, timestamp: u64, value: f64, out: &mut Vec<ScoredPoint>) -> Result<()> {
+        self.window.push(value);
+        let med = self.window.median().unwrap_or(value);
+        // MAD over the window; |x − med| of a sorted slice is not sorted,
+        // so recompute and re-sort the scratch buffer.
+        self.scratch.clear();
+        self.scratch
+            .extend(self.window.sorted().iter().map(|x| (x - med).abs()));
+        sort_total(&mut self.scratch);
+        let n = self.scratch.len();
+        let mad = if n % 2 == 1 {
+            self.scratch.get(n / 2).copied().unwrap_or(0.0)
+        } else {
+            match (self.scratch.get(n / 2 - 1), self.scratch.get(n / 2)) {
+                (Some(a), Some(b)) => (a + b) / 2.0,
+                _ => 0.0,
+            }
+        };
+        let spread = if mad > 1e-12 {
+            mad
+        } else {
+            // MAD collapsed (mostly-identical window): std-dev fallback,
+            // matching the batch RobustZ standardizer.
+            let mean = self.window.sorted().iter().sum::<f64>() / n.max(1) as f64;
+            let var = self
+                .window
+                .sorted()
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / n.max(1) as f64;
+            var.sqrt()
+        };
+        let score = if spread > 1e-12 {
+            (value - med).abs() / spread
+        } else {
+            0.0
+        };
+        out.push(ScoredPoint {
+            timestamp,
+            value,
+            score,
+        });
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<ScoredPoint>) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "rolling-robust-z"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_window_evicts_oldest_and_stays_sorted() {
+        let mut w = SortedWindow::new(3);
+        for v in [5.0, 1.0, 3.0, 2.0, 2.0] {
+            w.push(v);
+        }
+        // 5.0 and 1.0 evicted; window is {3.0, 2.0, 2.0}.
+        assert_eq!(w.sorted(), &[2.0, 2.0, 3.0]);
+        assert_eq!(w.median(), Some(2.0));
+    }
+
+    #[test]
+    fn spike_scores_far_above_steady_state() {
+        let mut s = RollingRobustZ::new(16).expect("window");
+        let mut out = Vec::new();
+        for t in 0..64_u64 {
+            let v = if t == 50 {
+                40.0
+            } else {
+                (t as f64 * 0.3).sin()
+            };
+            s.push(t, v, &mut out).expect("push");
+        }
+        s.finish(&mut out).expect("finish");
+        assert_eq!(out.len(), 64);
+        let spike = out.iter().find(|p| p.timestamp == 50).expect("spike");
+        let typical = out
+            .iter()
+            .filter(|p| p.timestamp != 50)
+            .map(|p| p.score)
+            .fold(0.0, f64::max);
+        assert!(
+            spike.score > 4.0 * typical.max(1e-9),
+            "spike {} vs typical {}",
+            spike.score,
+            typical
+        );
+    }
+
+    #[test]
+    fn constant_stream_scores_zero() {
+        let mut s = RollingRobustZ::new(8).expect("window");
+        let mut out = Vec::new();
+        for t in 0..20_u64 {
+            s.push(t, 7.0, &mut out).expect("push");
+        }
+        assert!(out.iter().all(|p| p.score == 0.0));
+    }
+
+    #[test]
+    fn window_is_validated() {
+        assert!(RollingRobustZ::new(2).is_err());
+        assert!(RollingRobustZ::new(3).is_ok());
+    }
+}

@@ -45,7 +45,13 @@ pub fn levinson_durbin(autocov: &[f64], order: usize) -> Result<(Vec<f64>, f64)>
             got: autocov.len(),
         });
     }
-    let c0 = autocov[0];
+    let Some((&c0, lags)) = autocov.split_first() else {
+        return Err(DetectError::NotEnoughData {
+            what: "levinson_durbin",
+            needed: order + 1,
+            got: 0,
+        });
+    };
     if c0 <= 0.0 {
         // Constant series: zero coefficients, zero variance.
         return Ok((vec![0.0; order], 0.0));
@@ -53,18 +59,25 @@ pub fn levinson_durbin(autocov: &[f64], order: usize) -> Result<(Vec<f64>, f64)>
     let mut a = vec![0.0_f64; order];
     let mut e = c0;
     for k in 0..order {
-        let mut acc = autocov[k + 1];
-        for j in 0..k {
-            acc -= a[j] * autocov[k - j];
+        // acc = autocov[k+1] − Σ_{j<k} a[j]·autocov[k−j]; with
+        // `lags = autocov[1..]`, the subtrahend pairs a[0..k] against
+        // lags[0..k] reversed. Subtracted serially to keep the rounding
+        // (and hence the pinned E4 report) bit-identical.
+        let mut acc = lags.get(k).copied().unwrap_or(0.0);
+        for (aj, c) in a.iter().zip(lags.iter().take(k).rev()) {
+            acc -= aj * c;
         }
         let reflection = acc / e;
-        // Update coefficients.
-        let mut new_a = a.clone();
-        new_a[k] = reflection;
-        for j in 0..k {
-            new_a[j] = a[j] - reflection * a[k - 1 - j];
-        }
-        a = new_a;
+        // Update coefficients: a'[j] = a[j] − r·a[k−1−j] for j < k (the
+        // reversed prefix), a'[k] = r, tail unchanged (still zero).
+        a = a
+            .iter()
+            .take(k)
+            .zip(a.iter().take(k).rev())
+            .map(|(aj, arev)| aj - reflection * arev)
+            .chain(std::iter::once(reflection))
+            .chain(a.iter().skip(k + 1).copied())
+            .collect();
         e *= 1.0 - reflection * reflection;
         if e <= 0.0 {
             e = 1e-12;
@@ -141,17 +154,25 @@ impl PointScorer for AutoregressiveModel {
         let centered: Vec<f64> = values.iter().map(|v| v - mean).collect();
         let p = self.order;
         // One-step prediction errors (first p points: no prediction, 0).
-        let mut errors = vec![0.0_f64; values.len()];
-        for t in p..values.len() {
-            let pred: f64 = coeffs
-                .iter()
-                .enumerate()
-                .map(|(j, &a)| a * centered[t - 1 - j])
-                .sum();
-            errors[t] = centered[t] - pred;
-        }
+        // centered[t−1−j] for j < p is the reversed tail of centered[..t].
+        let errors: Vec<f64> = centered
+            .iter()
+            .enumerate()
+            .map(|(t, &ct)| {
+                if t < p {
+                    return 0.0;
+                }
+                let history = centered.get(..t).unwrap_or(&[]);
+                let pred: f64 = coeffs
+                    .iter()
+                    .zip(history.iter().rev())
+                    .map(|(a, c)| a * c)
+                    .sum();
+                ct - pred
+            })
+            .collect();
         // Standardize by the innovation std over the predicted region.
-        let sd = std_dev(&errors[p..])?.max(1e-12);
+        let sd = std_dev(errors.get(p..).unwrap_or(&[]))?.max(1e-12);
         Ok(errors.into_iter().map(|e| (e / sd).abs()).collect())
     }
 }

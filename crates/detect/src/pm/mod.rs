@@ -3,8 +3,8 @@
 //! "Prediction models define the outlier score based on the delta value to
 //! the predicted value."
 
-mod ar;
+pub mod ar;
 mod var;
 
-pub use ar::AutoregressiveModel;
+pub use ar::{levinson_durbin, AutoregressiveModel};
 pub use var::{FittedVar, VectorAutoregressive};

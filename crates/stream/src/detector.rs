@@ -1,0 +1,853 @@
+//! [`StreamDetector`]: online hierarchical detection over ingested samples.
+//!
+//! The driver consumes two interleaved inputs:
+//!
+//! * **Control events** — machine/job/phase lifecycle calls
+//!   ([`StreamDetector::machine_up`], [`StreamDetector::job_start`],
+//!   [`StreamDetector::phase_start`], [`StreamDetector::job_complete`])
+//!   that mirror the production process structure of the paper's Fig. 2.
+//! * **Samples** — per-sensor readings arriving through [`IngestRouter`]
+//!   lanes ([`StreamDetector::drain`]) or directly
+//!   ([`StreamDetector::ingest`]).
+//!
+//! Each open (machine, job, phase, sensor) series and each environment
+//! sensor gets its own **pipeline**: a [`Watermark`] reorder stage feeding
+//! an [`OnlineScorer`]. Control events apply to samples ingested *after*
+//! the call, so callers must drain the router at phase boundaries (the
+//! synth replay and the equivalence test follow this contract).
+//!
+//! On a [`StreamDetector::tick`] or at [`StreamDetector::finish`], the
+//! detector materializes a [`Plant`] from everything released so far,
+//! turns the pipelines' per-sample scores into phase/environment
+//! [`LevelDetections`] through the *same* `emit_series` thresholding path
+//! the batch engine uses, runs the upper levels (job, production line,
+//! production) on the materialized plant, and propagates everything
+//! through Algorithm 1's `CalcGlobalScore` — yielding the same
+//! ⟨global score, outlierness, support⟩ triples as a batch run.
+//!
+//! ## Scorer modes
+//!
+//! * [`ScorerMode::BatchEquivalent`] wraps the policy's engine scorer in a
+//!   full-history [`WindowedBatch`]: per-series raw scores are
+//!   bit-identical to batch, at O(series) memory. Scores appear when a
+//!   series closes (phase boundary / finish).
+//! * [`ScorerMode::Incremental`] uses true per-sample scorers
+//!   ([`IncrementalAr`], [`RollingRobustZ`], hopping [`WindowedBatch`]
+//!   fallback): bounded memory and immediate scores, approximating batch.
+
+use std::collections::BTreeMap;
+
+use hierod_core::detect_level::{detect_level, emit_series, LevelDetections};
+use hierod_core::pipeline::build_report;
+use hierod_core::{AlgorithmPolicy, HierReport, PhaseChoice, PointAlgo};
+use hierod_detect::engine;
+use hierod_detect::online::{
+    IncrementalAr, OnlineScorer, RollingRobustZ, ScoredPoint, WindowedBatch,
+};
+use hierod_detect::{DetectError, Result};
+use hierod_hierarchy::{
+    CaqResult, Environment, Job, JobConfig, Level, LevelView, Phase, PhaseKind, Plant,
+    ProductionLine, RedundancyGroup, Sensor, SeriesAt,
+};
+use hierod_timeseries::TimeSeries;
+
+use crate::router::{IngestRouter, LaneId, LaneKind, Sample};
+use crate::watermark::Watermark;
+
+/// How phase/environment series are scored online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScorerMode {
+    /// Full-history [`WindowedBatch`] around the policy's engine scorer:
+    /// raw scores bit-identical to the batch pipeline (the equivalence
+    /// test pins this), O(series) memory per open series.
+    BatchEquivalent,
+    /// True incremental scorers with bounded memory: AR choices run
+    /// [`IncrementalAr`], sliding/robust z-choices run [`RollingRobustZ`],
+    /// everything else falls back to a hopping [`WindowedBatch`].
+    Incremental,
+}
+
+/// Configuration of a [`StreamDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Allowed lateness (ticks) per sensor watermark; `0` means in-order
+    /// streams release immediately and any out-of-order sample is dropped.
+    pub lateness: u64,
+    /// Online scoring mode.
+    pub mode: ScorerMode,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            lateness: 0,
+            mode: ScorerMode::BatchEquivalent,
+        }
+    }
+}
+
+/// Ingestion counters of a [`StreamDetector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Samples accepted by [`StreamDetector::ingest`].
+    pub samples_ingested: u64,
+    /// Samples released by watermarks into scorers.
+    pub samples_released: u64,
+    /// Samples dropped as late (behind a passed watermark).
+    pub late_dropped: u64,
+    /// Samples dropped as duplicate timestamps.
+    pub duplicates_dropped: u64,
+    /// Series whose scorer failed (skipped in detections, like batch skips
+    /// unscorable series).
+    pub series_failed: u64,
+}
+
+/// The output of a tick or finish: per-level detections plus the
+/// Algorithm-1 report with ⟨global score, outlierness, support⟩ triples.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Detections per level, same shape as the batch
+    /// [`detect_all_levels`](hierod_core::detect_all_levels).
+    pub detections: BTreeMap<Level, LevelDetections>,
+    /// The hierarchical report (triples + measurement-error warnings).
+    pub report: HierReport,
+    /// Ingestion counters at assembly time.
+    pub stats: StreamStats,
+}
+
+/// One sensor stream's online scoring state: watermark reorder buffer,
+/// the scorer, and the released/scored history.
+struct Pipeline {
+    watermark: Watermark,
+    scorer: Box<dyn OnlineScorer>,
+    timestamps: Vec<u64>,
+    values: Vec<f64>,
+    scored: Vec<ScoredPoint>,
+    failed: bool,
+    finished: bool,
+}
+
+impl Pipeline {
+    fn new(lateness: u64, scorer: Box<dyn OnlineScorer>) -> Self {
+        Self {
+            watermark: Watermark::new(lateness),
+            scorer,
+            timestamps: Vec::new(),
+            values: Vec::new(),
+            scored: Vec::new(),
+            failed: false,
+            finished: false,
+        }
+    }
+
+    /// Offers one sample; everything the watermark releases flows into the
+    /// history and the scorer. A scorer error poisons the series (it will
+    /// be skipped at assembly, mirroring the batch skip of unscorable
+    /// series).
+    fn offer(&mut self, ts: u64, value: f64, scratch: &mut Vec<(u64, f64)>) {
+        scratch.clear();
+        self.watermark.offer(ts, value, scratch);
+        self.absorb_released(scratch);
+    }
+
+    /// Flushes the watermark and finishes the scorer (phase boundary or
+    /// end of stream).
+    fn finish(&mut self, scratch: &mut Vec<(u64, f64)>) {
+        if self.finished {
+            return;
+        }
+        scratch.clear();
+        self.watermark.flush(scratch);
+        self.absorb_released(scratch);
+        if !self.failed && self.scorer.finish(&mut self.scored).is_err() {
+            self.failed = true;
+        }
+        self.finished = true;
+    }
+
+    fn absorb_released(&mut self, released: &[(u64, f64)]) {
+        for &(t, v) in released {
+            self.timestamps.push(t);
+            self.values.push(v);
+            if !self.failed && self.scorer.push(t, v, &mut self.scored).is_err() {
+                self.failed = true;
+            }
+        }
+    }
+
+    /// The released history as a series, when non-degenerate.
+    fn series(&self, name: &str) -> Option<TimeSeries> {
+        TimeSeries::new(name, self.timestamps.clone(), self.values.clone()).ok()
+    }
+}
+
+/// One executed (or executing) phase: its kind and per-sensor pipelines in
+/// declaration order (which is the plant's series order, so the
+/// materialized view ordering matches batch).
+struct PhaseState {
+    kind: PhaseKind,
+    pipes: Vec<(String, Pipeline)>,
+}
+
+/// One job's event-sourced state; `caq: None` marks it still open.
+struct JobState {
+    id: String,
+    start: u64,
+    config: JobConfig,
+    phases: Vec<PhaseState>,
+    caq: Option<CaqResult>,
+}
+
+/// One machine's event-sourced state.
+struct MachineState {
+    sensors: Vec<Sensor>,
+    redundancy: Vec<RedundancyGroup>,
+    jobs: Vec<JobState>,
+    /// Environment pipelines, continuous across jobs, in declaration order.
+    env: Vec<(String, Pipeline)>,
+}
+
+impl MachineState {
+    fn open_job_mut(&mut self) -> Option<&mut JobState> {
+        self.jobs.last_mut().filter(|j| j.caq.is_none())
+    }
+}
+
+/// The streaming counterpart of
+/// [`find_hierarchical_outliers`](hierod_core::find_hierarchical_outliers):
+/// event-sourced plant state plus per-sensor online scoring pipelines.
+/// See the module docs for the driving contract.
+pub struct StreamDetector {
+    policy: AlgorithmPolicy,
+    config: StreamConfig,
+    phase_algo: PointAlgo,
+    /// Machines in arrival order (plant line order).
+    machines: Vec<(String, MachineState)>,
+    scratch: Vec<(u64, f64)>,
+    samples_ingested: u64,
+}
+
+impl StreamDetector {
+    /// Creates a detector for the given policy.
+    ///
+    /// # Errors
+    /// Rejects [`PhaseChoice::ProfileAcrossJobs`] — profiles are learned
+    /// across completed jobs and have no per-sample online form; use the
+    /// batch pipeline for profile mode.
+    pub fn new(policy: AlgorithmPolicy, config: StreamConfig) -> Result<Self> {
+        let PhaseChoice::PerSeries(phase_algo) = policy.phase else {
+            return Err(DetectError::invalid(
+                "policy.phase",
+                "ProfileAcrossJobs is not streamable per-series; use batch detection",
+            ));
+        };
+        Ok(Self {
+            policy,
+            config,
+            phase_algo,
+            machines: Vec::new(),
+            scratch: Vec::new(),
+            samples_ingested: 0,
+        })
+    }
+
+    /// Registers a machine: its sensor inventory, redundancy groups (the
+    /// support computation needs them), and environment sensors, whose
+    /// pipelines open immediately and stay open until finish.
+    ///
+    /// # Errors
+    /// Rejects a machine id registered twice, and propagates scorer
+    /// construction failures for the environment pipelines.
+    pub fn machine_up(
+        &mut self,
+        machine: &str,
+        sensors: Vec<Sensor>,
+        redundancy: Vec<RedundancyGroup>,
+        env_sensors: &[String],
+    ) -> Result<()> {
+        if self.machines.iter().any(|(id, _)| id == machine) {
+            return Err(DetectError::invalid(
+                "machine",
+                format!("machine {machine} already registered"),
+            ));
+        }
+        let mut env = Vec::with_capacity(env_sensors.len());
+        for name in env_sensors {
+            let scorer = self.build_scorer(self.policy.environment)?;
+            env.push((name.clone(), Pipeline::new(self.config.lateness, scorer)));
+        }
+        self.machines.push((
+            machine.to_string(),
+            MachineState {
+                sensors,
+                redundancy,
+                jobs: Vec::new(),
+                env,
+            },
+        ));
+        Ok(())
+    }
+
+    /// Opens a job on a machine. The previous job must have been completed.
+    ///
+    /// # Errors
+    /// [`DetectError::Missing`] for an unregistered machine; invalid when
+    /// the machine still has an open job.
+    pub fn job_start(
+        &mut self,
+        machine: &str,
+        job: &str,
+        start: u64,
+        config: JobConfig,
+    ) -> Result<()> {
+        let m = self.machine_mut(machine)?;
+        if m.open_job_mut().is_some() {
+            return Err(DetectError::invalid(
+                "job",
+                format!("machine {machine} already has an open job"),
+            ));
+        }
+        m.jobs.push(JobState {
+            id: job.to_string(),
+            start,
+            config,
+            phases: Vec::new(),
+            caq: None,
+        });
+        Ok(())
+    }
+
+    /// Opens a phase within the machine's open job, finalizing the
+    /// previous phase's pipelines (their watermarks flush and their
+    /// scorers finish — drain the router first so no sample of the old
+    /// phase is still in flight).
+    ///
+    /// # Errors
+    /// [`DetectError::Missing`] without a registered machine or open job;
+    /// propagates scorer construction failures.
+    pub fn phase_start(
+        &mut self,
+        machine: &str,
+        kind: PhaseKind,
+        sensors: &[String],
+    ) -> Result<()> {
+        let mut pipes = Vec::with_capacity(sensors.len());
+        for name in sensors {
+            let scorer = self.build_scorer(self.phase_algo)?;
+            pipes.push((name.clone(), Pipeline::new(self.config.lateness, scorer)));
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (|| {
+            let m = self.machine_mut(machine)?;
+            let Some(job) = m.open_job_mut() else {
+                return Err(DetectError::Missing {
+                    what: format!("open job on machine {machine}"),
+                });
+            };
+            if let Some(prev) = job.phases.last_mut() {
+                for (_, pipe) in prev.pipes.iter_mut() {
+                    pipe.finish(&mut scratch);
+                }
+            }
+            job.phases.push(PhaseState { kind, pipes });
+            Ok(())
+        })();
+        self.scratch = scratch;
+        result
+    }
+
+    /// Completes the machine's open job with its CAQ result, finalizing
+    /// the last phase's pipelines.
+    ///
+    /// # Errors
+    /// [`DetectError::Missing`] without a registered machine or open job.
+    pub fn job_complete(&mut self, machine: &str, caq: CaqResult) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (|| {
+            let m = self.machine_mut(machine)?;
+            let Some(job) = m.open_job_mut() else {
+                return Err(DetectError::Missing {
+                    what: format!("open job on machine {machine}"),
+                });
+            };
+            if let Some(last) = job.phases.last_mut() {
+                for (_, pipe) in last.pipes.iter_mut() {
+                    pipe.finish(&mut scratch);
+                }
+            }
+            job.caq = Some(caq);
+            Ok(())
+        })();
+        self.scratch = scratch;
+        result
+    }
+
+    /// Routes one sample into its pipeline: phase lanes go to the current
+    /// open phase of the machine's open job, environment lanes to the
+    /// machine's continuous environment pipeline.
+    ///
+    /// # Errors
+    /// [`DetectError::Missing`] when no pipeline is open for the lane.
+    pub fn ingest(&mut self, lane: &LaneId, sample: Sample) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.ingest_inner(lane, sample, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn ingest_inner(
+        &mut self,
+        lane: &LaneId,
+        sample: Sample,
+        scratch: &mut Vec<(u64, f64)>,
+    ) -> Result<()> {
+        let Some(m) = self
+            .machines
+            .iter_mut()
+            .find(|(id, _)| *id == lane.machine)
+            .map(|(_, m)| m)
+        else {
+            return Err(DetectError::Missing {
+                what: format!("machine {} for lane {}", lane.machine, lane.sensor),
+            });
+        };
+        let pipe = match lane.kind {
+            LaneKind::Environment => m
+                .env
+                .iter_mut()
+                .find(|(n, _)| *n == lane.sensor)
+                .map(|(_, p)| p),
+            LaneKind::Phase => m
+                .open_job_mut()
+                .and_then(|j| j.phases.last_mut())
+                .and_then(|p| {
+                    p.pipes
+                        .iter_mut()
+                        .find(|(n, _)| *n == lane.sensor)
+                        .map(|(_, p)| p)
+                }),
+        };
+        let Some(pipe) = pipe else {
+            return Err(DetectError::Missing {
+                what: format!("open pipeline for lane {}", lane.sensor),
+            });
+        };
+        pipe.offer(sample.timestamp, sample.value, scratch);
+        self.samples_ingested += 1;
+        Ok(())
+    }
+
+    /// Drains every lane of the router into the detector, returning how
+    /// many samples were routed.
+    ///
+    /// # Errors
+    /// The first routing error (remaining samples of that drain pass are
+    /// still consumed from the rings, so producers are never wedged).
+    pub fn drain(&mut self, router: &mut IngestRouter) -> Result<usize> {
+        let mut first_err = None;
+        let n = router.drain(|lane, sample| {
+            if let Err(e) = self.ingest(lane, sample) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Current ingestion counters.
+    pub fn stats(&self) -> StreamStats {
+        let mut stats = StreamStats {
+            samples_ingested: self.samples_ingested,
+            ..StreamStats::default()
+        };
+        let mut tally = |pipe: &Pipeline| {
+            stats.samples_released += pipe.timestamps.len() as u64;
+            let w = pipe.watermark.stats();
+            stats.late_dropped += w.late_dropped as u64;
+            stats.duplicates_dropped += w.duplicates_dropped as u64;
+            if pipe.failed {
+                stats.series_failed += 1;
+            }
+        };
+        for (_, m) in &self.machines {
+            for (_, pipe) in &m.env {
+                tally(pipe);
+            }
+            for job in &m.jobs {
+                for phase in &job.phases {
+                    for (_, pipe) in &phase.pipes {
+                        tally(pipe);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Assembles an interim report from everything released so far:
+    /// completed jobs are materialized, their phase scores thresholded,
+    /// the upper levels re-evaluated, and Algorithm 1's propagation run.
+    /// In [`ScorerMode::BatchEquivalent`], a series' scores exist only
+    /// once its phase closed; [`ScorerMode::Incremental`] scores appear
+    /// per sample.
+    ///
+    /// # Errors
+    /// Propagates upper-level detector failures.
+    pub fn tick(&self) -> Result<StreamReport> {
+        self.assemble()
+    }
+
+    /// Flushes every watermark, finishes every scorer, and assembles the
+    /// final report. Environment pipelines and any still-open phases are
+    /// finalized here.
+    ///
+    /// # Errors
+    /// Propagates upper-level detector failures.
+    pub fn finish(mut self) -> Result<StreamReport> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (_, m) in self.machines.iter_mut() {
+            for (_, pipe) in m.env.iter_mut() {
+                pipe.finish(&mut scratch);
+            }
+            for job in m.jobs.iter_mut() {
+                for phase in job.phases.iter_mut() {
+                    for (_, pipe) in phase.pipes.iter_mut() {
+                        pipe.finish(&mut scratch);
+                    }
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.assemble()
+    }
+
+    fn assemble(&self) -> Result<StreamReport> {
+        let plant = self.materialize();
+        let mut detections = BTreeMap::new();
+        detections.insert(Level::Phase, self.emit_level(&plant, Level::Phase));
+        detections.insert(
+            Level::Environment,
+            self.emit_level(&plant, Level::Environment),
+        );
+        for level in [Level::Job, Level::ProductionLine, Level::Production] {
+            detections.insert(level, detect_level(&plant, level, &self.policy)?);
+        }
+        let report = build_report(&plant, Level::Phase, &detections, &self.policy)?;
+        Ok(StreamReport {
+            detections,
+            report,
+            stats: self.stats(),
+        })
+    }
+
+    /// Builds the phase or environment detections from pipeline scores,
+    /// iterating the materialized plant's level view so the result order
+    /// is exactly the batch order. Series whose scorer failed or whose
+    /// scores are not yet complete (open phase in batch-equivalent mode)
+    /// are skipped — the batch path skips unscorable series the same way.
+    fn emit_level(&self, plant: &Plant, level: Level) -> LevelDetections {
+        let view = LevelView::extract(plant, level);
+        let threshold = self.policy.threshold(level);
+        let mut det = LevelDetections::empty(level);
+        for at in &view.series {
+            let Some(pipe) = self.pipeline_for(at) else {
+                continue;
+            };
+            if pipe.failed || pipe.scored.len() != at.series.len() {
+                continue;
+            }
+            let raw: Vec<f64> = pipe.scored.iter().map(|p| p.score).collect();
+            emit_series(plant, level, threshold, at, &raw, false, &mut det);
+        }
+        det
+    }
+
+    fn pipeline_for(&self, at: &SeriesAt) -> Option<&Pipeline> {
+        let m = self
+            .machines
+            .iter()
+            .find(|(id, _)| *id == at.machine)
+            .map(|(_, m)| m)?;
+        match (at.job.as_deref(), at.phase) {
+            (Some(job), Some(kind)) => m
+                .jobs
+                .iter()
+                .find(|j| j.id == job)?
+                .phases
+                .iter()
+                .find(|p| p.kind == kind)?
+                .pipes
+                .iter()
+                .find(|(n, _)| n == at.series.name())
+                .map(|(_, p)| p),
+            _ => m
+                .env
+                .iter()
+                .find(|(n, _)| n == at.series.name())
+                .map(|(_, p)| p),
+        }
+    }
+
+    /// Materializes the released state as a [`Plant`]. Only completed jobs
+    /// (CAQ present) are included — their feature vectors would otherwise
+    /// change dimension mid-job and poison the line-level series.
+    fn materialize(&self) -> Plant {
+        let mut lines = Vec::with_capacity(self.machines.len());
+        for (machine_id, m) in &self.machines {
+            let mut jobs = Vec::new();
+            for j in &m.jobs {
+                let Some(caq) = &j.caq else { continue };
+                let mut phases = Vec::with_capacity(j.phases.len());
+                for p in &j.phases {
+                    let series = p
+                        .pipes
+                        .iter()
+                        .filter_map(|(name, pipe)| pipe.series(name))
+                        .collect();
+                    phases.push(Phase::new(p.kind, series, Vec::new()));
+                }
+                jobs.push(Job {
+                    id: j.id.clone(),
+                    start: j.start,
+                    config: j.config.clone(),
+                    phases,
+                    caq: caq.clone(),
+                });
+            }
+            let env_series = m
+                .env
+                .iter()
+                .filter_map(|(name, pipe)| pipe.series(name))
+                .collect();
+            lines.push(ProductionLine {
+                machine_id: machine_id.clone(),
+                sensors: m.sensors.clone(),
+                redundancy: m.redundancy.clone(),
+                jobs,
+                environment: Environment::new(env_series),
+            });
+        }
+        Plant::new("streamed-plant", lines)
+    }
+
+    fn machine_mut(&mut self, machine: &str) -> Result<&mut MachineState> {
+        self.machines
+            .iter_mut()
+            .find(|(id, _)| id == machine)
+            .map(|(_, m)| m)
+            .ok_or_else(|| DetectError::Missing {
+                what: format!("machine {machine}"),
+            })
+    }
+
+    /// Builds the online scorer for a point algorithm under the configured
+    /// mode.
+    fn build_scorer(&self, algo: PointAlgo) -> Result<Box<dyn OnlineScorer>> {
+        match self.config.mode {
+            ScorerMode::BatchEquivalent => Ok(Box::new(WindowedBatch::full_history(
+                engine::build(&algo.spec())?,
+            ))),
+            ScorerMode::Incremental => match algo {
+                PointAlgo::Autoregressive { order } => Ok(Box::new(IncrementalAr::new(order, 32)?)),
+                PointAlgo::SlidingZ { window } => Ok(Box::new(RollingRobustZ::new(window.max(3))?)),
+                PointAlgo::RobustZ | PointAlgo::GlobalZ => Ok(Box::new(RollingRobustZ::new(256)?)),
+                PointAlgo::Iqr | PointAlgo::Deviants { .. } => Ok(Box::new(
+                    WindowedBatch::hopping(engine::build(&algo.spec())?, 256, 64)?,
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierod_hierarchy::SensorKind;
+
+    fn detector(mode: ScorerMode) -> StreamDetector {
+        StreamDetector::new(
+            AlgorithmPolicy::default(),
+            StreamConfig { lateness: 0, mode },
+        )
+        .expect("default policy is streamable")
+    }
+
+    fn bring_up(det: &mut StreamDetector) {
+        let sensors = vec![Sensor::new("m0.bed.0", SensorKind::BedTemperature)];
+        let groups = vec![RedundancyGroup::new(
+            SensorKind::BedTemperature,
+            vec!["m0.bed.0".into()],
+        )];
+        det.machine_up("m0", sensors, groups, &["m0.room_temp".into()])
+            .expect("machine_up");
+    }
+
+    #[test]
+    fn rejects_profile_mode() {
+        let policy = AlgorithmPolicy {
+            phase: PhaseChoice::ProfileAcrossJobs,
+            ..AlgorithmPolicy::default()
+        };
+        assert!(StreamDetector::new(policy, StreamConfig::default()).is_err());
+    }
+
+    #[test]
+    fn lifecycle_is_enforced() {
+        let mut det = detector(ScorerMode::BatchEquivalent);
+        // No machine yet.
+        assert!(det
+            .job_start("m0", "j0", 0, JobConfig::new(vec![], vec![]))
+            .is_err());
+        bring_up(&mut det);
+        // Phase before job.
+        assert!(det
+            .phase_start("m0", PhaseKind::WarmUp, &["m0.bed.0".into()])
+            .is_err());
+        det.job_start("m0", "j0", 0, JobConfig::new(vec![], vec![]))
+            .expect("job_start");
+        // Double job open.
+        assert!(det
+            .job_start("m0", "j1", 1, JobConfig::new(vec![], vec![]))
+            .is_err());
+        // Duplicate machine.
+        assert!(det.machine_up("m0", vec![], vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn ingest_requires_an_open_pipeline() {
+        let mut det = detector(ScorerMode::BatchEquivalent);
+        bring_up(&mut det);
+        let phase_lane = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.bed.0".into(),
+            kind: LaneKind::Phase,
+        };
+        let sample = Sample {
+            timestamp: 0,
+            value: 1.0,
+        };
+        // Phase sample with no open phase.
+        assert!(det.ingest(&phase_lane, sample).is_err());
+        // Environment lanes are open from machine_up.
+        let env_lane = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.room_temp".into(),
+            kind: LaneKind::Environment,
+        };
+        det.ingest(&env_lane, sample).expect("env ingest");
+        assert_eq!(det.stats().samples_ingested, 1);
+    }
+
+    #[test]
+    fn end_to_end_single_job_produces_a_report() {
+        let mut det = detector(ScorerMode::BatchEquivalent);
+        bring_up(&mut det);
+        det.job_start("m0", "j0", 0, JobConfig::new(vec!["p".into()], vec![1.0]))
+            .expect("job_start");
+        det.phase_start("m0", PhaseKind::WarmUp, &["m0.bed.0".into()])
+            .expect("phase_start");
+        let lane = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.bed.0".into(),
+            kind: LaneKind::Phase,
+        };
+        for t in 0..64_u64 {
+            let v = if t == 40 {
+                90.0
+            } else {
+                (t as f64 * 0.4).sin()
+            };
+            det.ingest(
+                &lane,
+                Sample {
+                    timestamp: t,
+                    value: v,
+                },
+            )
+            .expect("ingest");
+        }
+        det.job_complete("m0", CaqResult::new(vec!["q".into()], vec![0.98], true))
+            .expect("job_complete");
+        let report = det.finish().expect("finish");
+        assert_eq!(report.stats.samples_ingested, 64);
+        assert_eq!(report.stats.samples_released, 64);
+        let phase = report
+            .detections
+            .get(&Level::Phase)
+            .expect("phase detections");
+        assert!(
+            phase.outliers.iter().any(|o| o.index == Some(40)),
+            "the spike must be detected: {:?}",
+            phase.outliers
+        );
+        for o in &report.report.outliers {
+            assert!((1..=5).contains(&o.global_score));
+        }
+    }
+
+    #[test]
+    fn incremental_mode_scores_before_finish() {
+        let mut det = detector(ScorerMode::Incremental);
+        bring_up(&mut det);
+        det.job_start("m0", "j0", 0, JobConfig::new(vec!["p".into()], vec![1.0]))
+            .expect("job_start");
+        det.phase_start("m0", PhaseKind::WarmUp, &["m0.bed.0".into()])
+            .expect("phase_start");
+        let lane = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.bed.0".into(),
+            kind: LaneKind::Phase,
+        };
+        // A noiseless sinusoid is degenerate for AR fitting (zero
+        // innovation variance), so jitter it with deterministic noise.
+        let mut state = 0x9e37_79b9_u64;
+        let mut noise = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1_u64 << 53) as f64 - 0.5
+        };
+        for t in 0..200_u64 {
+            let v = if t == 150 {
+                60.0
+            } else {
+                (t as f64 * 0.3).sin() + 0.2 * noise()
+            };
+            det.ingest(
+                &lane,
+                Sample {
+                    timestamp: t,
+                    value: v,
+                },
+            )
+            .expect("ingest");
+        }
+        det.job_complete("m0", CaqResult::new(vec!["q".into()], vec![0.98], true))
+            .expect("job_complete");
+        // tick() after job completion sees per-sample scores without any
+        // finish() — incremental scorers emit as samples arrive.
+        let report = det.tick().expect("tick");
+        let phase = report
+            .detections
+            .get(&Level::Phase)
+            .expect("phase detections");
+        assert!(
+            phase.outliers.iter().any(|o| o.index == Some(150)),
+            "incremental scorers must flag the spike: {:?}",
+            phase.outliers
+        );
+    }
+
+    #[test]
+    fn tick_before_any_completed_job_is_empty_but_valid() {
+        let mut det = detector(ScorerMode::BatchEquivalent);
+        bring_up(&mut det);
+        let report = det.tick().expect("tick");
+        assert!(report.report.is_empty());
+        assert_eq!(report.stats.samples_ingested, 0);
+    }
+}

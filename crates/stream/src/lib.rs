@@ -1,0 +1,34 @@
+//! # hierod-stream
+//!
+//! Streaming ingestion and **online hierarchical detection**: the paper
+//! frames hierarchical outlier detection as continuous monitoring of a
+//! live plant, and this crate turns the batch engine into that always-on
+//! pipeline.
+//!
+//! * [`ring`] — dependency-free bounded SPSC ring buffers: the per-sensor
+//!   transport, lock-free on the fast path with parking backpressure, and
+//!   model-checked under `--features loom`.
+//! * [`watermark`] — per-sensor watermarks with bounded allowed lateness:
+//!   out-of-order, late, and duplicate samples are reordered (or counted
+//!   and dropped) before any scorer sees them.
+//! * [`router`] — the multi-sensor ingest router: one ring per lane,
+//!   drained into the detector.
+//! * [`detector`] — [`StreamDetector`]: feeds per-sample phase/environment
+//!   scores from [`hierod_detect::online`] scorers upward through the
+//!   existing Algorithm-1 `CalcGlobalScore` propagation on watermark
+//!   ticks, emitting the same ⟨global score, outlierness, support⟩
+//!   triples as the batch path (the stream/batch equivalence test pins
+//!   this).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod detector;
+pub mod ring;
+pub mod router;
+pub mod watermark;
+
+pub use detector::{ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats};
+pub use ring::{ring, ClosedError, Consumer, Producer, TryPushError};
+pub use router::{IngestRouter, LaneId, LaneKind, Sample};
+pub use watermark::{LatenessStats, Watermark};

@@ -1,0 +1,464 @@
+//! Bounded single-producer / single-consumer ring buffer.
+//!
+//! The ingestion transport of hierod-stream: one fixed-capacity ring per
+//! sensor lane. The fast path is lock-free — free-running `head`/`tail`
+//! counters over a power-of-two slot array, so neither side touches a
+//! mutex while the ring is neither full nor empty. The slow path parks
+//! through a mutex + condvar *gate* instead of spinning: a producer hitting
+//! a full ring (backpressure) or a consumer draining an empty one sleeps
+//! until its peer wakes it, and closing the ring from either side wakes
+//! every sleeper.
+//!
+//! The wake protocol is flag-then-recheck: a sleeper (a) takes the gate,
+//! (b) raises its waiting flag, (c) rechecks the ring state, and only then
+//! waits; the peer (a) publishes its ring-state change, then (b) checks the
+//! waiting flag and, if raised, takes the gate before notifying. Every step
+//! uses `SeqCst`, whose single total order rules out the missed-wakeup
+//! window; the loom model in `tests/loom_ring.rs` explores the
+//! interleavings mechanically.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::{Arc, PoisonError};
+
+#[cfg(feature = "loom")]
+use loom::sync::{
+    atomic::{AtomicBool, AtomicUsize, Ordering},
+    Condvar, Mutex,
+};
+#[cfg(not(feature = "loom"))]
+use std::sync::{
+    atomic::{AtomicBool, AtomicUsize, Ordering},
+    Condvar, Mutex,
+};
+
+/// Error returned by [`Producer::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The ring is full; the sample is handed back for retry (or drop —
+    /// the caller owns the backpressure policy).
+    Full(T),
+    /// The consumer is gone or the ring was closed; the sample can never
+    /// be delivered.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the sample that could not be pushed.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(v) | Self::Closed(v) => v,
+        }
+    }
+}
+
+/// Error returned by the blocking [`Producer::push`]: the ring closed
+/// underneath the producer; the undelivered sample is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ClosedError<T>(pub T);
+
+struct Shared<T> {
+    /// Slot array; length is a power of two.
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to pop; written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot to push; written only by the producer.
+    tail: AtomicUsize,
+    /// Sticky: set by `close()` or either handle dropping.
+    closed: AtomicBool,
+    /// Raised (under the gate) by a consumer about to park.
+    pop_waiting: AtomicBool,
+    /// Raised (under the gate) by a producer about to park.
+    push_waiting: AtomicBool,
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+// SAFETY: the ring hands each `T` from exactly one thread to exactly one
+// other; slots are published via the SeqCst head/tail protocol, and the
+// single-producer/single-consumer split (unique, non-Clone handles with
+// `&mut self` operations) guarantees no slot is accessed concurrently.
+unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: see above — shared access is limited to the atomics and the gate.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn slot(&self, pos: usize) -> &UnsafeCell<MaybeUninit<T>> {
+        let idx = pos & self.mask;
+        debug_assert!(idx < self.buf.len());
+        // SAFETY: `mask == buf.len() - 1` with a power-of-two length, so
+        // `idx` is always in bounds.
+        unsafe { self.buf.get_unchecked(idx) }
+    }
+
+    fn is_empty_now(&self) -> bool {
+        self.head.load(Ordering::SeqCst) == self.tail.load(Ordering::SeqCst)
+    }
+
+    fn is_full_now(&self) -> bool {
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        tail.wrapping_sub(head) >= self.capacity()
+    }
+
+    /// Wakes a parked consumer, if the waiting flag says there may be one.
+    fn wake_consumer(&self) {
+        if self.pop_waiting.load(Ordering::SeqCst) {
+            // Taking the gate orders this notify after the waiter's
+            // recheck-then-wait, closing the missed-wakeup window.
+            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Wakes a parked producer once half the capacity has drained (wake
+    /// hysteresis). A producer parks only on a *full* ring; waking it per
+    /// pop would lock-step the two threads — one futex pair and (on a
+    /// single core) one context switch per sample. Deferring the wake to
+    /// the half-empty mark lets the producer refill in half-capacity
+    /// bursts instead. The skipped wakes cannot be missed: while the
+    /// producer is parked only this consumer moves `head`, so the
+    /// threshold-crossing pop always runs this check and notifies.
+    fn wake_producer(&self) {
+        if !self.push_waiting.load(Ordering::SeqCst) {
+            return;
+        }
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        if tail.wrapping_sub(head) <= self.capacity() / 2 {
+            // Taking the gate orders this notify after the waiter's
+            // recheck-then-wait, closing the missed-wakeup window.
+            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+            self.not_full.notify_all();
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Unconditional wake of both sides: close is rare, a spurious
+        // notify is harmless, and skipping the flag check removes a race
+        // to reason about.
+        drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Last handle gone: drain whatever the consumer never popped.
+        let mut head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        while head != tail {
+            // SAFETY: slots in `head..tail` were initialized by the
+            // producer and never popped; we have exclusive ownership.
+            unsafe { (*self.slot(head).get()).assume_init_drop() };
+            head = head.wrapping_add(1);
+        }
+    }
+}
+
+/// The push side of a ring; unique (not `Clone`).
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The pop side of a ring; unique (not `Clone`).
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC ring. `capacity` is rounded up to the next power
+/// of two (minimum 1).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(1).next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        mask: cap - 1,
+        buf,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        pop_waiting: AtomicBool::new(false),
+        push_waiting: AtomicBool::new(false),
+        gate: Mutex::new(()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Producer {
+            shared: shared.clone(),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes without blocking; `Err(Full)` applies backpressure to the
+    /// caller, `Err(Closed)` means the consumer is gone.
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
+        let s = &*self.shared;
+        if s.closed.load(Ordering::SeqCst) {
+            return Err(TryPushError::Closed(value));
+        }
+        let tail = s.tail.load(Ordering::SeqCst);
+        let head = s.head.load(Ordering::SeqCst);
+        if tail.wrapping_sub(head) >= s.capacity() {
+            return Err(TryPushError::Full(value));
+        }
+        // SAFETY: `tail - head < capacity` means the consumer has drained
+        // slot `tail & mask`, and only this (unique) producer writes slots.
+        unsafe { (*s.slot(tail).get()).write(value) };
+        s.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
+        s.wake_consumer();
+        Ok(())
+    }
+
+    /// Pushes, parking on a full ring until the consumer makes room; this
+    /// is the backpressure edge. `Err` hands the sample back if the ring
+    /// closes while waiting.
+    pub fn push(&mut self, value: T) -> Result<(), ClosedError<T>> {
+        let mut value = value;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(TryPushError::Closed(v)) => return Err(ClosedError(v)),
+                Err(TryPushError::Full(v)) => {
+                    value = v;
+                    self.park_until_space();
+                }
+            }
+        }
+    }
+
+    /// Parks until the ring has room or is closed. Returns with no claim:
+    /// the caller retries `try_push`, which settles the outcome (the
+    /// single producer is the only one who can re-fill the ring, so space
+    /// observed here cannot vanish).
+    fn park_until_space(&self) {
+        let s = &*self.shared;
+        let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        s.push_waiting.store(true, Ordering::SeqCst);
+        while s.is_full_now() && !s.closed.load(Ordering::SeqCst) {
+            gate = s
+                .not_full
+                .wait(gate)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.push_waiting.store(false, Ordering::SeqCst);
+    }
+
+    /// Closes the ring: the consumer drains what is buffered, then sees
+    /// end-of-stream. Dropping the producer does the same.
+    pub fn close(&mut self) {
+        self.shared.close();
+    }
+
+    /// Whether the consumer side is still alive.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops without blocking; `None` means currently empty (not
+    /// necessarily end-of-stream — see [`Consumer::is_closed`]).
+    pub fn try_pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::SeqCst);
+        let tail = s.tail.load(Ordering::SeqCst);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head != tail` means the producer initialized slot
+        // `head & mask` before publishing `tail`; only this (unique)
+        // consumer reads slots and advances `head`.
+        let value = unsafe { (*s.slot(head).get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::SeqCst);
+        s.wake_producer();
+        Some(value)
+    }
+
+    /// Pops, parking on an empty ring until a sample arrives; `None` only
+    /// after the ring is closed *and* fully drained.
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            self.park_until_data();
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if self.shared.closed.load(Ordering::SeqCst) {
+                // Closed and the drain above found nothing: a producer
+                // publishes strictly before closing, so this is final.
+                return self.try_pop();
+            }
+        }
+    }
+
+    /// Parks until the ring is non-empty or closed.
+    fn park_until_data(&self) {
+        let s = &*self.shared;
+        let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        s.pop_waiting.store(true, Ordering::SeqCst);
+        while s.is_empty_now() && !s.closed.load(Ordering::SeqCst) {
+            gate = s
+                .not_empty
+                .wait(gate)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.pop_waiting.store(false, Ordering::SeqCst);
+    }
+
+    /// Closes the ring from the consumer side: the producer's next push
+    /// fails instead of blocking forever. Dropping the consumer does the
+    /// same.
+    pub fn close(&mut self) {
+        self.shared.close();
+    }
+
+    /// Whether the ring has been closed (buffered samples may remain).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    /// Buffered sample count (a racy snapshot; exact only once closed).
+    pub fn len(&self) -> usize {
+        let head = self.shared.head.load(Ordering::SeqCst);
+        let tail = self.shared.tail.load(Ordering::SeqCst);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the buffer is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(99), Err(TryPushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut tx, rx) = ring::<u8>(5);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(9), Err(TryPushError::Full(9))));
+        assert_eq!(rx.len(), 8);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.close();
+        assert!(matches!(tx.try_push(3), Err(TryPushError::Closed(3))));
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_consumer_fails_pushes() {
+        let (mut tx, rx) = ring::<u32>(4);
+        drop(rx);
+        assert!(matches!(tx.push(7), Err(ClosedError(7))));
+    }
+
+    #[test]
+    fn dropping_producer_ends_stream() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        tx.try_push(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(5));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn unpopped_values_are_dropped_with_the_ring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring::<Tracked>(4);
+        tx.try_push(Tracked).unwrap();
+        tx.try_push(Tracked).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stream_with_backpressure() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let n: u64 = 10_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.push(i).expect("consumer alive");
+            }
+        });
+        let mut expected = 0;
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, n);
+        producer.join().expect("producer");
+    }
+
+    #[test]
+    fn blocked_producer_unblocks_on_close() {
+        let (mut tx, mut rx) = ring::<u32>(1);
+        tx.try_push(0).unwrap();
+        let producer = std::thread::spawn(move || tx.push(1));
+        // Give the producer a moment to park, then close without popping.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rx.close();
+        assert_eq!(producer.join().expect("join"), Err(ClosedError(1)));
+        assert_eq!(rx.pop(), Some(0));
+        assert_eq!(rx.pop(), None);
+    }
+}

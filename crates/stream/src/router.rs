@@ -1,0 +1,150 @@
+//! Multi-sensor ingest: one SPSC ring per sensor lane.
+//!
+//! Producers (fieldbus adapters, gateway threads, the synth replay driver)
+//! each own a [`Producer`] handle for their lane and push [`Sample`]s
+//! concurrently; the detection side periodically drains every lane on one
+//! thread. Backpressure is per-lane: a full ring blocks (or rejects, with
+//! `try_push`) only its own producer, so one stalled sensor cannot corrupt
+//! or reorder its neighbours.
+
+use crate::ring::{ring, Consumer, Producer};
+
+/// One timestamped sensor reading. 16 bytes — the wire unit of every lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample timestamp (the plant-wide tick domain).
+    pub timestamp: u64,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Which hierarchy level a lane's samples belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneKind {
+    /// A production-phase sensor (bed/chamber temperature, laser power, …);
+    /// samples are routed to the machine's *current* job and phase.
+    Phase,
+    /// An environment sensor (room temperature, humidity); samples are
+    /// routed to the machine's environment series.
+    Environment,
+}
+
+/// Identifies a sensor lane: machine + sensor name + level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaneId {
+    /// Machine (production line) id.
+    pub machine: String,
+    /// Sensor / series name (e.g. `"m0.bed_temp.0"`, `"m0.room_temp"`).
+    pub sensor: String,
+    /// Whether this is a phase or an environment stream.
+    pub kind: LaneKind,
+}
+
+/// The consumer side of a set of sensor lanes.
+#[derive(Default)]
+pub struct IngestRouter {
+    lanes: Vec<(LaneId, Consumer<Sample>)>,
+}
+
+impl IngestRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a lane with a ring of (at least) `capacity` samples,
+    /// returning the producer handle to hand to the sensor's source.
+    pub fn add_lane(&mut self, id: LaneId, capacity: usize) -> Producer<Sample> {
+        let (tx, rx) = ring(capacity);
+        self.lanes.push((id, rx));
+        tx
+    }
+
+    /// Number of registered lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether every lane has been closed by its producer **and** drained.
+    pub fn exhausted(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|(_, rx)| rx.is_closed() && rx.is_empty())
+    }
+
+    /// Drains every lane without blocking, feeding each sample (with its
+    /// lane id) to `sink`. Returns the number of samples delivered. Lanes
+    /// are visited in registration order; within a lane, samples arrive in
+    /// push order — cross-lane ordering is the watermark's job, not the
+    /// router's.
+    pub fn drain(&mut self, mut sink: impl FnMut(&LaneId, Sample)) -> usize {
+        let mut delivered = 0;
+        for (id, rx) in &mut self.lanes {
+            while let Some(sample) = rx.try_pop() {
+                sink(id, sample);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(machine: &str, sensor: &str, kind: LaneKind) -> LaneId {
+        LaneId {
+            machine: machine.into(),
+            sensor: sensor.into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn drains_all_lanes_in_registration_order() {
+        let mut router = IngestRouter::new();
+        let mut tx_a = router.add_lane(lane("m0", "a", LaneKind::Phase), 8);
+        let mut tx_b = router.add_lane(lane("m0", "b", LaneKind::Environment), 8);
+        for i in 0..3 {
+            tx_a.try_push(Sample {
+                timestamp: i,
+                value: i as f64,
+            })
+            .unwrap();
+        }
+        tx_b.try_push(Sample {
+            timestamp: 9,
+            value: 9.0,
+        })
+        .unwrap();
+        let mut seen = Vec::new();
+        let n = router.drain(|id, s| seen.push((id.sensor.clone(), s.timestamp)));
+        assert_eq!(n, 4);
+        assert_eq!(
+            seen,
+            vec![
+                ("a".to_string(), 0),
+                ("a".to_string(), 1),
+                ("a".to_string(), 2),
+                ("b".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_requires_close_and_drain() {
+        let mut router = IngestRouter::new();
+        let mut tx = router.add_lane(lane("m0", "a", LaneKind::Phase), 4);
+        tx.try_push(Sample {
+            timestamp: 0,
+            value: 1.0,
+        })
+        .unwrap();
+        assert!(!router.exhausted());
+        drop(tx);
+        assert!(!router.exhausted(), "closed but not drained");
+        router.drain(|_, _| {});
+        assert!(router.exhausted());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests pinning the watermark semantics documented in
+//! `watermark.rs`: bounded reordering is *lossless* (any delivery order
+//! whose displacement stays within the allowed lateness releases the
+//! in-order sequence), duplicates keep the first arrival, and the
+//! released output is always sorted with nothing unaccounted for.
+
+use hierod_stream::Watermark;
+use proptest::prelude::*;
+
+/// Offers every sample, flushes, and returns the released sequence.
+fn drain(lateness: u64, samples: &[(u64, f64)]) -> (Vec<(u64, f64)>, hierod_stream::LatenessStats) {
+    let mut w = Watermark::new(lateness);
+    let mut out = Vec::new();
+    for &(ts, v) in samples {
+        w.offer(ts, v, &mut out);
+    }
+    w.flush(&mut out);
+    let stats = w.stats();
+    (out, stats)
+}
+
+/// Permutes `items` so each element moves only within its block of
+/// `block` consecutive positions: the shuffled order's displacement is
+/// bounded by `block - 1` positions.
+fn block_shuffle<T: Clone>(items: &[T], block: usize, mut order: Vec<usize>) -> Vec<T> {
+    order.truncate(items.len());
+    while order.len() < items.len() {
+        order.push(order.len());
+    }
+    let mut indices: Vec<usize> = (0..items.len()).collect();
+    // Shuffle globally by the generated order, then restore block order
+    // (stable), keeping only the within-block permutation.
+    indices.sort_by_key(|&i| order[i]);
+    indices.sort_by_key(|&i| i / block.max(1));
+    indices.iter().map(|&i| items[i].clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Unit-spaced samples shuffled within blocks no larger than the
+    /// lateness release exactly the in-order sequence, with zero drops.
+    #[test]
+    fn bounded_shuffle_is_lossless(
+        n in 1_usize..160,
+        lateness in 1_u64..12,
+        order in prop::collection::vec(0_usize..1_000_000, 0..160),
+    ) {
+        let in_order: Vec<(u64, f64)> =
+            (0..n as u64).map(|t| (t, t as f64 * 0.5)).collect();
+        let shuffled = block_shuffle(&in_order, lateness as usize, order);
+        let (out, stats) = drain(lateness, &shuffled);
+        prop_assert_eq!(out, in_order);
+        prop_assert_eq!(stats.late_dropped, 0);
+        prop_assert_eq!(stats.duplicates_dropped, 0);
+    }
+
+    /// Exact duplicates injected into a bounded shuffle are dropped and
+    /// the first arrival's value survives.
+    #[test]
+    fn duplicates_keep_the_first_arrival(
+        n in 2_usize..120,
+        lateness in 2_u64..10,
+        order in prop::collection::vec(0_usize..1_000_000, 0..120),
+        dup_at in 0_usize..120,
+    ) {
+        let in_order: Vec<(u64, f64)> =
+            (0..n as u64).map(|t| (t, t as f64)).collect();
+        let mut shuffled = block_shuffle(&in_order, lateness as usize, order);
+        // Re-offer some timestamp immediately after its first arrival,
+        // with a poisoned value that must not surface.
+        let at = dup_at % shuffled.len();
+        let dup = (shuffled[at].0, -1000.0);
+        shuffled.insert(at + 1, dup);
+        let (out, stats) = drain(lateness, &shuffled);
+        prop_assert_eq!(out, in_order);
+        prop_assert_eq!(stats.late_dropped + stats.duplicates_dropped, 1);
+    }
+
+    /// Whatever the delivery order and lateness: the released output is
+    /// strictly increasing in timestamp, and every offered sample is
+    /// either released or counted as dropped.
+    #[test]
+    fn releases_are_sorted_and_accounted(
+        ts in prop::collection::vec(0_u64..500, 1..200),
+        lateness in 0_u64..20,
+    ) {
+        let samples: Vec<(u64, f64)> =
+            ts.iter().map(|&t| (t, t as f64)).collect();
+        let (out, stats) = drain(lateness, &samples);
+        for pair in out.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "unsorted release: {pair:?}");
+        }
+        prop_assert_eq!(
+            out.len() + stats.late_dropped + stats.duplicates_dropped,
+            samples.len()
+        );
+    }
+
+    /// The watermark never regresses.
+    #[test]
+    fn watermark_is_monotone(
+        ts in prop::collection::vec(0_u64..500, 1..100),
+        lateness in 0_u64..20,
+    ) {
+        let mut w = Watermark::new(lateness);
+        let mut out = Vec::new();
+        let mut prev = None;
+        for &t in &ts {
+            w.offer(t, 0.0, &mut out);
+            let pos = w.position();
+            prop_assert!(pos >= prev, "watermark regressed: {:?} -> {:?}", prev, pos);
+            prev = pos;
+        }
+    }
+}

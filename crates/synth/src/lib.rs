@@ -26,8 +26,10 @@
 pub mod inject;
 pub mod labels;
 pub mod process;
+pub mod replay;
 pub mod scenario;
 
 pub use inject::{Injection, OutlierType, Scope};
 pub use labels::{EnvInjectionRecord, GroundTruth, InjectionRecord};
+pub use replay::{replay_plant, ReplayEvent};
 pub use scenario::{Scenario, ScenarioBuilder};

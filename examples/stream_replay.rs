@@ -1,0 +1,175 @@
+//! Streaming ingestion end to end: replay a synthetic plant as a live
+//! event stream through per-sensor ring lanes into a [`StreamDetector`],
+//! and print the same ⟨global score, outlierness, support⟩ triples the
+//! batch pipeline would produce.
+//!
+//! ```sh
+//! cargo run --release --example stream_replay
+//! ```
+//!
+//! [`StreamDetector`]: hierod::stream::StreamDetector
+
+use std::collections::HashMap;
+
+use hierod::core::{AlgorithmPolicy, FusionRule};
+use hierod::stream::{
+    IngestRouter, LaneId, LaneKind, Producer, Sample, ScorerMode, StreamConfig, StreamDetector,
+};
+use hierod::synth::{ReplayEvent, ScenarioBuilder};
+
+const LANE_CAPACITY: usize = 1024;
+
+fn main() {
+    // A small plant whose jobs carry injected anomalies, then flattened
+    // into a time-ordered event stream (control events + samples).
+    let scenario = ScenarioBuilder::new(42)
+        .machines(2)
+        .jobs_per_machine(3)
+        .redundancy(2)
+        .phase_samples(40)
+        .anomaly_rate(0.8)
+        .build();
+    let events = scenario.replay();
+    println!(
+        "replaying plant `{}` as {} stream events\n",
+        scenario.plant.name,
+        events.len()
+    );
+
+    let config = StreamConfig {
+        lateness: 0,
+        mode: ScorerMode::BatchEquivalent,
+    };
+    let mut detector =
+        StreamDetector::new(AlgorithmPolicy::default(), config).expect("stream detector");
+    let mut router = IngestRouter::new();
+    let mut lanes: HashMap<LaneId, Producer<Sample>> = HashMap::new();
+    let lane =
+        |router: &mut IngestRouter, lanes: &mut HashMap<LaneId, Producer<Sample>>, id: LaneId| {
+            if !lanes.contains_key(&id) {
+                let producer = router.add_lane(id.clone(), LANE_CAPACITY);
+                lanes.insert(id.clone(), producer);
+            }
+        };
+
+    // Drive the detector exactly as a live collector would: control
+    // events open machines/jobs/phases, samples flow through ring lanes,
+    // and the router is drained before each control event so lane
+    // contents always belong to the still-open phase.
+    for event in events {
+        match event {
+            ReplayEvent::MachineUp {
+                machine,
+                sensors,
+                redundancy,
+                env_sensors,
+            } => {
+                detector
+                    .machine_up(&machine, sensors, redundancy, &env_sensors)
+                    .expect("machine_up");
+                for sensor in env_sensors {
+                    let id = LaneId {
+                        machine: machine.clone(),
+                        sensor,
+                        kind: LaneKind::Environment,
+                    };
+                    lane(&mut router, &mut lanes, id);
+                }
+            }
+            ReplayEvent::JobStart {
+                machine,
+                job,
+                start,
+                config,
+            } => {
+                detector.drain(&mut router).expect("drain");
+                detector
+                    .job_start(&machine, &job, start, config)
+                    .expect("job_start");
+            }
+            ReplayEvent::PhaseStart {
+                machine,
+                kind,
+                sensors,
+            } => {
+                detector.drain(&mut router).expect("drain");
+                for sensor in &sensors {
+                    let id = LaneId {
+                        machine: machine.clone(),
+                        sensor: sensor.clone(),
+                        kind: LaneKind::Phase,
+                    };
+                    lane(&mut router, &mut lanes, id);
+                }
+                detector
+                    .phase_start(&machine, kind, &sensors)
+                    .expect("phase_start");
+            }
+            ReplayEvent::PhaseSample {
+                machine,
+                sensor,
+                timestamp,
+                value,
+            } => {
+                let id = LaneId {
+                    machine,
+                    sensor,
+                    kind: LaneKind::Phase,
+                };
+                lanes
+                    .get_mut(&id)
+                    .expect("phase lane")
+                    .push(Sample { timestamp, value })
+                    .expect("lane open");
+            }
+            ReplayEvent::EnvSample {
+                machine,
+                sensor,
+                timestamp,
+                value,
+            } => {
+                let id = LaneId {
+                    machine,
+                    sensor,
+                    kind: LaneKind::Environment,
+                };
+                lanes
+                    .get_mut(&id)
+                    .expect("env lane")
+                    .push(Sample { timestamp, value })
+                    .expect("lane open");
+            }
+            ReplayEvent::JobComplete { machine, caq, .. } => {
+                detector.drain(&mut router).expect("drain");
+                detector.job_complete(&machine, caq).expect("job_complete");
+            }
+        }
+    }
+    detector.drain(&mut router).expect("final drain");
+    let out = detector.finish().expect("finish");
+
+    println!(
+        "ingested {} samples ({} released, {} late, {} duplicate)\n",
+        out.stats.samples_ingested,
+        out.stats.samples_released,
+        out.stats.late_dropped,
+        out.stats.duplicates_dropped
+    );
+    let fusion = FusionRule::default_weighted();
+    println!("top streaming outliers by fused triple score:");
+    for outlier in out
+        .report
+        .ranked_by(|o| fusion.score(o))
+        .into_iter()
+        .take(8)
+    {
+        println!("  {}", outlier.summary());
+    }
+    println!(
+        "\n{} outliers total, {} suspected measurement errors — identical \
+         to the batch pipeline on the finished plant (pinned by \
+         crates/stream/tests/stream_batch_equivalence.rs)",
+        out.report.len(),
+        out.report.warnings.len()
+    );
+}

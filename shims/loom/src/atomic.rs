@@ -1,0 +1,164 @@
+//! Model-aware atomics (sequentially consistent semantics only).
+//!
+//! Each access is a scheduler decision point inside a model run: the
+//! explorer may preempt between any two consecutive atomic operations,
+//! which surfaces *logical* interleaving bugs — lost updates, missed
+//! flags, check-then-act races. There is deliberately NO weak-memory
+//! model: under the model every operation executes with `SeqCst` std
+//! semantics regardless of the ordering argument, so `Acquire`/`Release`
+//! misuse that only misbehaves on weakly ordered hardware is out of scope
+//! (the nightly ThreadSanitizer CI job covers that axis). Outside a model
+//! run every operation passes straight through to `std` with the caller's
+//! ordering.
+
+use std::sync::atomic as std_atomic;
+pub use std::sync::atomic::Ordering;
+
+use crate::sched;
+
+/// A decision point before the operation, when a model is running.
+fn decision_point() -> bool {
+    match sched::current() {
+        Some((sched, me)) => {
+            sched.yield_point(me);
+            true
+        }
+        None => false,
+    }
+}
+
+/// `std::sync::atomic::AtomicUsize` with model-visible accesses.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: std_atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    /// Creates a new atomic. `const`, so no model registration happens (or
+    /// is needed): accesses self-report to whatever model is running.
+    pub const fn new(value: usize) -> Self {
+        Self {
+            inner: std_atomic::AtomicUsize::new(value),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> usize {
+        if decision_point() {
+            self.inner.load(Ordering::SeqCst)
+        } else {
+            self.inner.load(order)
+        }
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: usize, order: Ordering) {
+        if decision_point() {
+            self.inner.store(value, Ordering::SeqCst);
+        } else {
+            self.inner.store(value, order);
+        }
+    }
+
+    /// Swaps in a value, returning the previous one.
+    pub fn swap(&self, value: usize, order: Ordering) -> usize {
+        if decision_point() {
+            self.inner.swap(value, Ordering::SeqCst)
+        } else {
+            self.inner.swap(value, order)
+        }
+    }
+
+    /// Adds to the value, returning the previous one.
+    pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        if decision_point() {
+            self.inner.fetch_add(value, Ordering::SeqCst)
+        } else {
+            self.inner.fetch_add(value, order)
+        }
+    }
+
+    /// Subtracts from the value, returning the previous one.
+    pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+        if decision_point() {
+            self.inner.fetch_sub(value, Ordering::SeqCst)
+        } else {
+            self.inner.fetch_sub(value, order)
+        }
+    }
+
+    /// Compare-and-exchange; `Ok(previous)` on success, `Err(actual)` when
+    /// the current value differs from `current`.
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        if decision_point() {
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+/// `std::sync::atomic::AtomicBool` with model-visible accesses.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag (`const`; see [`AtomicUsize::new`]).
+    pub const fn new(value: bool) -> Self {
+        Self {
+            inner: std_atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the flag.
+    pub fn load(&self, order: Ordering) -> bool {
+        if decision_point() {
+            self.inner.load(Ordering::SeqCst)
+        } else {
+            self.inner.load(order)
+        }
+    }
+
+    /// Stores the flag.
+    pub fn store(&self, value: bool, order: Ordering) {
+        if decision_point() {
+            self.inner.store(value, Ordering::SeqCst);
+        } else {
+            self.inner.store(value, order);
+        }
+    }
+
+    /// Swaps the flag, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        if decision_point() {
+            self.inner.swap(value, Ordering::SeqCst)
+        } else {
+            self.inner.swap(value, order)
+        }
+    }
+
+    /// Compare-and-exchange on the flag.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if decision_point() {
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}

@@ -4,8 +4,9 @@
 //! the slice of loom that the workspace's concurrency models need:
 //! [`model`] runs a closure repeatedly under a **cooperative scheduler**
 //! that permits exactly one logical thread to run at a time and treats
-//! every synchronization operation ([`sync::Mutex`] lock/unlock, spawn,
-//! join) as a scheduling decision point. Across runs it performs a
+//! every synchronization operation ([`sync::Mutex`] lock/unlock,
+//! [`sync::Condvar`] wait/notify, [`sync::atomic`] access, spawn, join)
+//! as a scheduling decision point. Across runs it performs a
 //! depth-first search over those decisions with a **preemption bound**
 //! (CHESS-style: most concurrency bugs need only a couple of forced
 //! context switches), replaying each explored schedule prefix
@@ -17,9 +18,12 @@
 //!   2, `LOOM_MAX_PREEMPTIONS`) and the schedule cap
 //!   (`LOOM_MAX_BRANCHES`, default 20 000) truncate the search instead of
 //!   proving exhaustiveness. A truncated search prints a notice.
-//! * Only `Mutex`-based code is modeled; there is no atomics/ordering
-//!   model (the `TaskPool` under test synchronizes exclusively through
-//!   mutexes).
+//! * Atomics are modeled as **logical interleavings only**: every access
+//!   is a decision point but executes with `SeqCst` std semantics, so
+//!   check-then-act races and lost updates are explored while
+//!   weak-memory reorderings are not (the nightly TSan CI job covers
+//!   that axis). Condvar waits park the logical thread; a lost wakeup
+//!   leaves no runnable thread and is reported as a deadlock.
 //! * Outside a [`model`] run every primitive degrades to its `std`
 //!   behaviour, so code compiled with `--features loom` still runs its
 //!   ordinary tests.
@@ -133,5 +137,98 @@ mod tests {
         });
         assert_eq!(sum, 42);
         thread::yield_now();
+    }
+
+    /// Condvar handoff: a consumer waits for a flag the producer sets.
+    /// Every explored schedule must complete (the wait must neither hang
+    /// nor miss the notify, including when notify fires before the wait —
+    /// the predicate loop covers that case).
+    #[test]
+    fn condvar_handoff_completes_in_every_schedule() {
+        model(|| {
+            let pair = (sync::Mutex::new(false), sync::Condvar::new());
+            thread::scope(|s| {
+                s.spawn(|| {
+                    let (lock, cv) = &pair;
+                    let mut ready = lock.lock().expect("model mutex");
+                    while !*ready {
+                        ready = cv.wait(ready).expect("model cv");
+                    }
+                });
+                s.spawn(|| {
+                    let (lock, cv) = &pair;
+                    *lock.lock().expect("model mutex") = true;
+                    cv.notify_all();
+                });
+            });
+        });
+    }
+
+    /// A wait with no notifier is a lost wakeup; the model must report it
+    /// as a deadlock instead of hanging.
+    #[test]
+    fn missing_notify_is_detected_as_deadlock() {
+        let run = std::panic::catch_unwind(|| {
+            model(|| {
+                let pair = (sync::Mutex::new(false), sync::Condvar::new());
+                thread::scope(|s| {
+                    s.spawn(|| {
+                        let (lock, cv) = &pair;
+                        let mut ready = lock.lock().expect("model mutex");
+                        while !*ready {
+                            ready = cv.wait(ready).expect("model cv");
+                        }
+                    });
+                });
+            });
+        });
+        assert!(run.is_err(), "missing notify was not detected");
+    }
+
+    /// Unsynchronized check-then-act on an atomic: the explorer must find
+    /// the schedule where both threads read 0 and the counter loses an
+    /// increment, and also the serial schedule where it doesn't.
+    #[test]
+    fn explores_atomic_lost_update_interleavings() {
+        use sync::atomic::{AtomicUsize, Ordering};
+        let observed = std::sync::Mutex::new(HashSet::new());
+        model(|| {
+            let counter = AtomicUsize::new(0);
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let v = counter.load(Ordering::SeqCst);
+                        counter.store(v + 1, Ordering::SeqCst);
+                    });
+                }
+            });
+            observed
+                .lock()
+                .expect("collector")
+                .insert(counter.load(Ordering::SeqCst));
+        });
+        let observed = observed.into_inner().expect("collector");
+        assert!(observed.contains(&2), "serial schedule not explored");
+        assert!(
+            observed.contains(&1),
+            "atomic lost-update schedule not explored: {observed:?}"
+        );
+    }
+
+    /// `fetch_add` is atomic: no schedule may lose an increment.
+    #[test]
+    fn fetch_add_never_loses_updates() {
+        use sync::atomic::{AtomicUsize, Ordering};
+        model(|| {
+            let counter = AtomicUsize::new(0);
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
     }
 }

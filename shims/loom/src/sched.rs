@@ -19,6 +19,8 @@ enum ThreadState {
     Runnable,
     /// Waiting for a model lock.
     Blocked(usize),
+    /// Parked on a model condvar, waiting for a notify.
+    WaitingCv(usize),
     /// Waiting for these threads to finish.
     Joining(Vec<usize>),
     /// Done.
@@ -30,6 +32,8 @@ struct State {
     threads: Vec<ThreadState>,
     /// Owner of each model lock, by lock id.
     locks: Vec<Option<usize>>,
+    /// Number of registered model condvars (ids are dense).
+    condvars: usize,
     /// The one thread allowed to run.
     active: usize,
     /// Choice taken at each decision step (replayed prefix + extensions).
@@ -72,6 +76,7 @@ impl Scheduler {
             state: Mutex::new(State {
                 threads: vec![ThreadState::Runnable],
                 locks: Vec::new(),
+                condvars: 0,
                 active: 0,
                 choices: replay,
                 sizes: Vec::new(),
@@ -100,6 +105,14 @@ impl Scheduler {
         let mut st = self.st();
         st.locks.push(None);
         st.locks.len() - 1
+    }
+
+    /// Registers a new model condvar, returning its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.st();
+        let id = st.condvars;
+        st.condvars += 1;
+        id
     }
 
     /// The schedulable thread ids, in id order.
@@ -219,6 +232,59 @@ impl Scheduler {
         if st.abort {
             self.cv.notify_all();
             return;
+        }
+        self.decide(&mut st);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Parks `me` on condvar `cv`, atomically releasing model lock `lock`
+    /// (waking its waiters), and re-acquires the lock after a notify.
+    ///
+    /// Release + park happen under one scheduler-state lock, so there is no
+    /// window where a notify can slip between them — exactly the atomicity
+    /// `std::sync::Condvar::wait` guarantees. A notify that never comes
+    /// leaves the thread `WaitingCv` forever; with no runnable thread left
+    /// the next [`Self::decide`] panics the model as a deadlock, which is
+    /// how lost-wakeup bugs surface in tests.
+    pub(crate) fn cv_wait(&self, cv: usize, lock: usize, me: usize) {
+        {
+            let mut st = self.st();
+            debug_assert_eq!(st.locks[lock], Some(me), "cv_wait without owning the lock");
+            st.locks[lock] = None;
+            for t in st.threads.iter_mut() {
+                if *t == ThreadState::Blocked(lock) {
+                    *t = ThreadState::Runnable;
+                }
+            }
+            st.threads[me] = ThreadState::WaitingCv(cv);
+            self.decide(&mut st);
+            self.wait_for_turn(st, me);
+        }
+        // Notified: re-acquire the lock. No leading yield_point — the wake
+        // itself was the decision point (mirrors `acquire`'s inner loop).
+        loop {
+            let mut st = self.st();
+            if st.locks[lock].is_none() {
+                st.locks[lock] = Some(me);
+                return;
+            }
+            st.threads[me] = ThreadState::Blocked(lock);
+            self.decide(&mut st);
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    /// Wakes one (lowest thread id) or all waiters of condvar `cv`; a
+    /// decision point like any other synchronization edge.
+    pub(crate) fn cv_notify(&self, cv: usize, me: usize, all: bool) {
+        let mut st = self.st();
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::WaitingCv(cv) {
+                *t = ThreadState::Runnable;
+                if !all {
+                    break;
+                }
+            }
         }
         self.decide(&mut st);
         self.wait_for_turn(st, me);

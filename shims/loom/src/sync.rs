@@ -1,16 +1,20 @@
 //! Model-aware synchronization primitives.
 //!
-//! [`Mutex`] mirrors `std::sync::Mutex`'s API (the subset the workspace
-//! uses). Inside a [`model`](crate::model) run every `lock` routes through
-//! the scheduler — blocking on a held lock deschedules the logical thread,
-//! and acquire/release are decision points the explorer permutes. Outside
-//! a model run it is a plain `std` mutex.
+//! [`Mutex`], [`Condvar`], and [`atomic`] mirror their `std::sync`
+//! counterparts (the subset the workspace uses). Inside a
+//! [`model`](crate::model) run every lock, wait, notify, and atomic access
+//! routes through the scheduler — blocking deschedules the logical thread,
+//! and each operation is a decision point the explorer permutes. Outside a
+//! model run they are plain `std` primitives.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, LockResult, PoisonError};
 
 use crate::sched::{self, Scheduler};
+
+#[path = "atomic.rs"]
+pub mod atomic;
 
 /// A mutex whose contention is visible to the model scheduler.
 pub struct Mutex<T: ?Sized> {
@@ -56,16 +60,19 @@ impl<T: ?Sized> Mutex<T> {
                 Ok(MutexGuard {
                     inner: Some(inner),
                     hook: Some((sched.clone(), id, me)),
+                    src: &self.inner,
                 })
             }
             _ => match self.inner.lock() {
                 Ok(inner) => Ok(MutexGuard {
                     inner: Some(inner),
                     hook: None,
+                    src: &self.inner,
                 }),
                 Err(poison) => Err(PoisonError::new(MutexGuard {
                     inner: Some(poison.into_inner()),
                     hook: None,
+                    src: &self.inner,
                 })),
             },
         }
@@ -98,6 +105,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
     /// std lock the moment the model hands them ownership).
     inner: Option<std::sync::MutexGuard<'a, T>>,
     hook: Option<(Arc<Scheduler>, usize, usize)>,
+    /// The mutex this guard came from, so [`Condvar::wait`] can re-lock it
+    /// after the model scheduler hands ownership back.
+    src: &'a std::sync::Mutex<T>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -125,5 +135,114 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         if let Some((sched, lock, me)) = self.hook.take() {
             sched.release(lock, me);
         }
+    }
+}
+
+/// A condition variable whose waits and notifies are visible to the model
+/// scheduler.
+///
+/// Under a model, `wait` atomically releases the model lock and parks the
+/// logical thread in a `WaitingCv` state; `notify_one`/`notify_all` move
+/// waiters back to runnable. A notify that never arrives leaves no runnable
+/// thread and the scheduler panics the model as a deadlock — lost-wakeup
+/// bugs are therefore *detected*, not hung on. Outside a model this is a
+/// plain `std::sync::Condvar`.
+pub struct Condvar {
+    /// Model condvar id; `None` when created outside a model run.
+    id: Option<usize>,
+    sched: Option<Arc<Scheduler>>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condvar, registering it with the running model (if any).
+    pub fn new() -> Self {
+        let (sched, id) = match sched::current() {
+            Some((s, _)) => {
+                let id = s.register_condvar();
+                (Some(s), Some(id))
+            }
+            None => (None, None),
+        };
+        Self {
+            id,
+            sched,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    ///
+    /// Like `std`, spurious wakeups are possible (under a model, any notify
+    /// wakes the waiter regardless of predicate) — always wait in a
+    /// `while !predicate` loop.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let src = guard.src;
+        let hook = guard.hook.take();
+        let std_guard = guard.inner.take();
+        drop(guard); // fields taken: Drop is a no-op
+        match (&self.sched, self.id, &hook, sched::current()) {
+            (Some(sched), Some(cv), Some((_, lock, _)), Some((_, me))) => {
+                // Release the std lock first so whichever thread the model
+                // schedules next can take it; the model-level release+park
+                // is atomic inside `cv_wait`.
+                drop(std_guard);
+                sched.cv_wait(cv, *lock, me);
+                let inner = src.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    inner: Some(inner),
+                    hook,
+                    src,
+                })
+            }
+            _ => {
+                let std_guard = match std_guard {
+                    Some(g) => g,
+                    // Guard fields are only absent mid-Drop; unreachable for
+                    // a live guard, but degrade to a fresh lock if it happens.
+                    None => src.lock().unwrap_or_else(PoisonError::into_inner),
+                };
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        hook,
+                        src,
+                    }),
+                    Err(poison) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(poison.into_inner()),
+                        hook,
+                        src,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (the lowest thread id under a model).
+    pub fn notify_one(&self) {
+        match (&self.sched, self.id, sched::current()) {
+            (Some(sched), Some(cv), Some((_, me))) => sched.cv_notify(cv, me, false),
+            _ => self.inner.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match (&self.sched, self.id, sched::current()) {
+            (Some(sched), Some(cv), Some((_, me))) => sched.cv_notify(cv, me, true),
+            _ => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }

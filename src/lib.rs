@@ -16,6 +16,9 @@
 //! * [`corpus`] — bibliographic corpus substrate used to regenerate Fig. 3.
 //! * [`core`] — Algorithm 1: `FindHierarchicalOutlier` with the
 //!   ⟨global score, outlierness, support⟩ triple.
+//! * [`stream`] — streaming ingestion and online hierarchical detection:
+//!   SPSC ring lanes, per-sensor watermarks, incremental scorers, and a
+//!   batch-equivalent streaming driver for Algorithm 1.
 
 pub use hierod_core as core;
 pub use hierod_corpus as corpus;
@@ -23,5 +26,6 @@ pub use hierod_detect as detect;
 pub use hierod_eval as eval;
 pub use hierod_hierarchy as hierarchy;
 pub use hierod_olap as olap;
+pub use hierod_stream as stream;
 pub use hierod_synth as synth;
 pub use hierod_timeseries as timeseries;
