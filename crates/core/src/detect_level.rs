@@ -25,7 +25,7 @@ use hierod_detect::engine::{Standardizer, Task, TaskPool};
 use hierod_detect::related::ProfileSimilarity;
 use hierod_hierarchy::{Level, LevelView, PhaseKind, Plant, SeriesAt};
 
-use hierod_detect::Result;
+use hierod_detect::{DetectError, Result};
 
 use crate::policy::{AlgorithmPolicy, PhaseChoice};
 
@@ -179,7 +179,7 @@ pub fn emit_series(
                 phase: at.phase,
                 sensor: Some(at.series.name().to_string()),
                 index: Some(idx),
-                timestamp: Some(at.series.timestamps()[idx]),
+                timestamp: at.series.timestamps().get(idx).copied(),
                 outlierness: zs,
                 raw_score: rs,
             });
@@ -263,13 +263,13 @@ fn level_tasks<'env>(
                     let mut frag = LevelDetections::empty(level);
                     let refs: Vec<&[f64]> = idxs
                         .iter()
-                        .map(|&i| view.series[i].series.values())
+                        .filter_map(|&i| view.series.get(i))
+                        .map(|at| at.series.values())
                         .collect();
                     let Ok(profile) = ProfileSimilarity::fit(&refs) else {
                         return Ok(frag);
                     };
-                    for &i in &idxs {
-                        let at = &view.series[i];
+                    for at in idxs.iter().filter_map(|&i| view.series.get(i)) {
                         let Ok(raw) = profile.score_points(at.series.values()) else {
                             continue;
                         };
@@ -280,7 +280,11 @@ fn level_tasks<'env>(
             }
         }
         Level::Phase | Level::Environment | Level::ProductionLine => {
-            let scorer = point_scorer.expect("point-scored levels get a prebuilt scorer");
+            // Point-scored levels always get a prebuilt scorer from
+            // `build_point_scorer`; without one there is nothing to run.
+            let Some(scorer) = point_scorer else {
+                return tasks;
+            };
             for at in &view.series {
                 tasks.push(Box::new(move || {
                     let mut frag = LevelDetections::empty(level);
@@ -300,7 +304,8 @@ fn level_tasks<'env>(
                     let scorer = policy.job.build()?;
                     // Borrow each job's shared feature row — the scorer sees
                     // the view's Arc-backed buffers directly, no copy.
-                    let rows: Vec<&[f64]> = view.vectors.iter().map(|v| &v.features[..]).collect();
+                    let rows: Vec<&[f64]> =
+                        view.vectors.iter().map(|v| v.features.as_ref()).collect();
                     let raw = scorer.score_rows(&rows)?;
                     let z = standardize_scores(&raw);
                     for (v, &zs) in view.vectors.iter().zip(&z) {
@@ -426,8 +431,8 @@ pub fn detect_all_levels_with_pool(
         .map(|level| (level, LevelDetections::empty(level)))
         .collect();
     for (level, fragment) in task_level.into_iter().zip(fragments) {
-        out.get_mut(&level)
-            .expect("all levels seeded")
+        out.entry(level)
+            .or_insert_with(|| LevelDetections::empty(level))
             .absorb(fragment?);
     }
     Ok(out)
@@ -450,11 +455,15 @@ pub fn detect_all_levels_per_level_threads(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("detection thread panicked"))
+            .map(|h| {
+                h.join()
+                    .map_err(|_| DetectError::invalid("detect", "detection thread panicked"))
+            })
             .collect::<Vec<_>>()
     });
     let mut out = BTreeMap::new();
-    for (level, det) in results {
+    for joined in results {
+        let (level, det) = joined?;
         out.insert(level, det?);
     }
     Ok(out)

@@ -1,0 +1,569 @@
+//! Immutable columnar segment files sealed from the WAL on rotation.
+//!
+//! Layout:
+//!
+//! ```text
+//! [magic "HSEG1\n"]
+//! per chunk:  [ts column: varint ts0, varint deltas][u32 crc]
+//!             [value column: raw LE f64 × count]    [u32 crc]
+//! [footer: lane defs, control records, chunk index]
+//! [u32 footer_len][u32 crc32(footer)][tail magic "HSEGF\n"]
+//! ```
+//!
+//! Timestamps are delta-encoded varints (strictly increasing within a
+//! chunk — the stream watermark guarantees it, the encoder enforces it);
+//! values are raw IEEE-754 bits so NaN payloads round-trip exactly. The
+//! footer indexes every chunk by lane with byte offsets, sample count,
+//! min/max timestamps, and the per-lane late/duplicate counters frozen at
+//! seal time. Unlike the WAL, a segment is all-or-nothing: it was written
+//! and fsynced before its WAL was deleted, so *any* checksum or structure
+//! failure is a hard error — there is no valid prefix to salvage.
+//!
+//! The decoder materialises columns straight into `Arc<[u64]>` /
+//! `Arc<[f64]>` so `hierod-timeseries` views can share them zero-copy.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::codec;
+use crate::crc::crc32;
+
+/// File magic for segment files.
+pub const SEG_MAGIC: &[u8; 6] = b"HSEG1\n";
+/// Trailing magic; its presence proves the file was written to the end.
+pub const SEG_TAIL: &[u8; 6] = b"HSEGF\n";
+
+/// Why a segment failed to decode. Segments are immutable and fsynced
+/// before their WAL is dropped, so every variant is unrecoverable
+/// corruption of that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The file is shorter than its fixed framing.
+    Truncated,
+    /// Head or tail magic is wrong.
+    BadMagic,
+    /// A column or the footer does not match its checksum.
+    ChecksumMismatch(&'static str),
+    /// Structure is inconsistent (bad offsets, counts, varints).
+    Malformed(&'static str),
+    /// A timestamp column is not strictly increasing (also returned by
+    /// the encoder when handed out-of-order input).
+    NonMonotonic {
+        /// The lane whose column is out of order.
+        lane: u32,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Truncated => write!(f, "segment truncated"),
+            SegmentError::BadMagic => write!(f, "segment magic mismatch"),
+            SegmentError::ChecksumMismatch(what) => {
+                write!(f, "segment checksum mismatch in {what}")
+            }
+            SegmentError::Malformed(what) => write!(f, "segment malformed: {what}"),
+            SegmentError::NonMonotonic { lane } => {
+                write!(f, "segment lane {lane}: timestamps not strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<SegmentError> for std::io::Error {
+    fn from(e: SegmentError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A lane declaration carried into the segment footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneDef {
+    /// Store-local lane number.
+    pub lane: u32,
+    /// Opaque lane metadata (serialised `LaneId`).
+    pub meta: Vec<u8>,
+}
+
+/// A control event carried into the segment footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlRecord {
+    /// Writer-assigned, strictly increasing sequence number.
+    pub seq: u64,
+    /// Opaque event body.
+    pub payload: Vec<u8>,
+}
+
+/// One lane's sealed samples, plus the counters frozen at seal time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentChunk {
+    /// Lane declared in the footer's lane defs.
+    pub lane: u32,
+    /// Sequence number of the control event that opened this lane
+    /// interval; recovery applies the chunk right after that control.
+    pub after_control_seq: u64,
+    /// Strictly increasing sample timestamps.
+    pub timestamps: Vec<u64>,
+    /// Sample values, same length as `timestamps`.
+    pub values: Vec<f64>,
+    /// Absolute late-drop counter for the lane at seal time.
+    pub late_dropped: u64,
+    /// Absolute duplicate-drop counter for the lane at seal time.
+    pub duplicates_dropped: u64,
+}
+
+/// Everything that goes into one segment file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentDraft {
+    /// Lane declarations (superset of the lanes chunks reference).
+    pub lane_defs: Vec<LaneDef>,
+    /// Control events sealed into this segment, in sequence order.
+    pub controls: Vec<ControlRecord>,
+    /// Sealed sample chunks.
+    pub chunks: Vec<SegmentChunk>,
+}
+
+/// One decoded chunk with shareable column storage.
+#[derive(Debug, Clone)]
+pub struct DecodedChunk {
+    /// Lane number.
+    pub lane: u32,
+    /// Control sequence this chunk follows.
+    pub after_control_seq: u64,
+    /// Timestamp column, ready for zero-copy `TimeSeries` adoption.
+    pub timestamps: Arc<[u64]>,
+    /// Value column, ready for zero-copy `TimeSeries` adoption.
+    pub values: Arc<[f64]>,
+    /// Absolute late-drop counter at seal time.
+    pub late_dropped: u64,
+    /// Absolute duplicate-drop counter at seal time.
+    pub duplicates_dropped: u64,
+}
+
+/// A fully verified, decoded segment.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentData {
+    /// Lane declarations.
+    pub lane_defs: Vec<LaneDef>,
+    /// Control events in sequence order.
+    pub controls: Vec<ControlRecord>,
+    /// Decoded chunks in file order.
+    pub chunks: Vec<DecodedChunk>,
+}
+
+/// Index entry for one chunk (footer-internal).
+struct ChunkEntry {
+    lane: u32,
+    after_control_seq: u64,
+    count: u64,
+    ts_off: u64,
+    ts_len: u64,
+    val_off: u64,
+    val_len: u64,
+    min_ts: u64,
+    max_ts: u64,
+    late_dropped: u64,
+    duplicates_dropped: u64,
+}
+
+impl SegmentDraft {
+    /// Serialises the draft into a complete segment file image.
+    ///
+    /// # Errors
+    /// [`SegmentError::NonMonotonic`] if a chunk's timestamps are not
+    /// strictly increasing, [`SegmentError::Malformed`] if a chunk's
+    /// column lengths disagree.
+    pub fn encode(&self) -> Result<Vec<u8>, SegmentError> {
+        let mut out = Vec::with_capacity(64 + self.chunks.len() * 64);
+        out.extend_from_slice(SEG_MAGIC);
+        let mut entries = Vec::with_capacity(self.chunks.len());
+        for chunk in &self.chunks {
+            if chunk.timestamps.len() != chunk.values.len() {
+                return Err(SegmentError::Malformed("column length mismatch"));
+            }
+            // Timestamp column: first value absolute, then strict deltas.
+            let mut ts_col = Vec::with_capacity(chunk.timestamps.len() * 2);
+            let mut prev: Option<u64> = None;
+            for &t in &chunk.timestamps {
+                match prev {
+                    None => codec::put_varint(&mut ts_col, t),
+                    Some(p) => {
+                        if t <= p {
+                            return Err(SegmentError::NonMonotonic { lane: chunk.lane });
+                        }
+                        codec::put_varint(&mut ts_col, t - p);
+                    }
+                }
+                prev = Some(t);
+            }
+            let ts_off = out.len() as u64;
+            out.extend_from_slice(&ts_col);
+            codec::put_u32(&mut out, crc32(&ts_col));
+
+            let mut val_col = Vec::with_capacity(chunk.values.len() * 8);
+            for &v in &chunk.values {
+                codec::put_f64(&mut val_col, v);
+            }
+            let val_off = out.len() as u64;
+            out.extend_from_slice(&val_col);
+            codec::put_u32(&mut out, crc32(&val_col));
+
+            let min_ts = chunk.timestamps.first().copied().unwrap_or(0);
+            let max_ts = chunk.timestamps.last().copied().unwrap_or(0);
+            entries.push(ChunkEntry {
+                lane: chunk.lane,
+                after_control_seq: chunk.after_control_seq,
+                count: chunk.timestamps.len() as u64,
+                ts_off,
+                ts_len: ts_col.len() as u64,
+                val_off,
+                val_len: val_col.len() as u64,
+                min_ts,
+                max_ts,
+                late_dropped: chunk.late_dropped,
+                duplicates_dropped: chunk.duplicates_dropped,
+            });
+        }
+
+        let mut footer = Vec::new();
+        codec::put_varint(&mut footer, self.lane_defs.len() as u64);
+        for def in &self.lane_defs {
+            codec::put_varint(&mut footer, u64::from(def.lane));
+            codec::put_bytes(&mut footer, &def.meta);
+        }
+        codec::put_varint(&mut footer, self.controls.len() as u64);
+        for control in &self.controls {
+            codec::put_varint(&mut footer, control.seq);
+            codec::put_bytes(&mut footer, &control.payload);
+        }
+        codec::put_varint(&mut footer, entries.len() as u64);
+        for e in &entries {
+            codec::put_varint(&mut footer, u64::from(e.lane));
+            codec::put_varint(&mut footer, e.after_control_seq);
+            codec::put_varint(&mut footer, e.count);
+            codec::put_varint(&mut footer, e.ts_off);
+            codec::put_varint(&mut footer, e.ts_len);
+            codec::put_varint(&mut footer, e.val_off);
+            codec::put_varint(&mut footer, e.val_len);
+            codec::put_varint(&mut footer, e.min_ts);
+            codec::put_varint(&mut footer, e.max_ts);
+            codec::put_varint(&mut footer, e.late_dropped);
+            codec::put_varint(&mut footer, e.duplicates_dropped);
+        }
+
+        let footer_crc = crc32(&footer);
+        let footer_len = footer.len() as u32;
+        out.extend_from_slice(&footer);
+        codec::put_u32(&mut out, footer_len);
+        codec::put_u32(&mut out, footer_crc);
+        out.extend_from_slice(SEG_TAIL);
+        Ok(out)
+    }
+}
+
+/// Decodes and fully verifies a segment file image.
+///
+/// # Errors
+/// Any framing, checksum, or structure violation — segments have no
+/// salvageable prefix.
+pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
+    let fixed = SEG_MAGIC.len() + 8 + SEG_TAIL.len();
+    if bytes.len() < fixed {
+        return Err(SegmentError::Truncated);
+    }
+    if !bytes.starts_with(SEG_MAGIC) || !bytes.ends_with(SEG_TAIL) {
+        return Err(SegmentError::BadMagic);
+    }
+    let frame_at = bytes.len() - 8 - SEG_TAIL.len();
+    let mut frame = bytes.get(frame_at..).unwrap_or(&[]);
+    let footer_len = codec::take_u32(&mut frame).ok_or(SegmentError::Truncated)? as usize;
+    let footer_crc = codec::take_u32(&mut frame).ok_or(SegmentError::Truncated)?;
+    let footer_at = frame_at
+        .checked_sub(footer_len)
+        .ok_or(SegmentError::Malformed("footer length exceeds file"))?;
+    if footer_at < SEG_MAGIC.len() {
+        return Err(SegmentError::Malformed("footer overlaps header"));
+    }
+    let footer = bytes
+        .get(footer_at..frame_at)
+        .ok_or(SegmentError::Truncated)?;
+    if crc32(footer) != footer_crc {
+        return Err(SegmentError::ChecksumMismatch("footer"));
+    }
+    // The body region chunks may reference.
+    let body_end = footer_at;
+
+    let mut f = footer;
+    let lane_def_count = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("lane defs"))?;
+    let mut lane_defs = Vec::new();
+    for _ in 0..lane_def_count {
+        let lane = codec::take_varint(&mut f)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or(SegmentError::Malformed("lane def id"))?;
+        let meta = codec::take_bytes(&mut f)
+            .ok_or(SegmentError::Malformed("lane def meta"))?
+            .to_vec();
+        lane_defs.push(LaneDef { lane, meta });
+    }
+    let control_count = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("controls"))?;
+    let mut controls = Vec::new();
+    for _ in 0..control_count {
+        let seq = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("control seq"))?;
+        let payload = codec::take_bytes(&mut f)
+            .ok_or(SegmentError::Malformed("control payload"))?
+            .to_vec();
+        controls.push(ControlRecord { seq, payload });
+    }
+    let chunk_count = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("chunk index"))?;
+    let mut entries = Vec::new();
+    for _ in 0..chunk_count {
+        let mut next =
+            |what: &'static str| codec::take_varint(&mut f).ok_or(SegmentError::Malformed(what));
+        let lane_raw = next("chunk lane")?;
+        entries.push(ChunkEntry {
+            lane: u32::try_from(lane_raw).map_err(|_| SegmentError::Malformed("chunk lane"))?,
+            after_control_seq: next("chunk seq")?,
+            count: next("chunk count")?,
+            ts_off: next("chunk ts off")?,
+            ts_len: next("chunk ts len")?,
+            val_off: next("chunk val off")?,
+            val_len: next("chunk val len")?,
+            min_ts: next("chunk min ts")?,
+            max_ts: next("chunk max ts")?,
+            late_dropped: next("chunk late")?,
+            duplicates_dropped: next("chunk dups")?,
+        });
+    }
+    if !f.is_empty() {
+        return Err(SegmentError::Malformed("footer trailing bytes"));
+    }
+
+    let column = |off: u64, len: u64, what: &'static str| -> Result<&[u8], SegmentError> {
+        let off = usize::try_from(off).map_err(|_| SegmentError::Malformed(what))?;
+        let len = usize::try_from(len).map_err(|_| SegmentError::Malformed(what))?;
+        let end = off.checked_add(len).ok_or(SegmentError::Malformed(what))?;
+        // The +4 checksum trailer must also fit inside the body.
+        let crc_end = end.checked_add(4).ok_or(SegmentError::Malformed(what))?;
+        if off < SEG_MAGIC.len() || crc_end > body_end {
+            return Err(SegmentError::Malformed(what));
+        }
+        let col = bytes.get(off..end).ok_or(SegmentError::Malformed(what))?;
+        let mut crc_bytes = bytes
+            .get(end..crc_end)
+            .ok_or(SegmentError::Malformed(what))?;
+        let expect = codec::take_u32(&mut crc_bytes).ok_or(SegmentError::Malformed(what))?;
+        if crc32(col) != expect {
+            return Err(SegmentError::ChecksumMismatch(what));
+        }
+        Ok(col)
+    };
+
+    let mut chunks = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let count = usize::try_from(e.count).map_err(|_| SegmentError::Malformed("count"))?;
+        let ts_col = column(e.ts_off, e.ts_len, "timestamp column")?;
+        let val_col = column(e.val_off, e.val_len, "value column")?;
+
+        // Each varint is at least one byte, so a valid column bounds the
+        // count — reject early rather than trusting it for allocation.
+        if count > ts_col.len() {
+            return Err(SegmentError::Malformed("count exceeds ts column"));
+        }
+        let mut timestamps = Vec::with_capacity(count);
+        let mut rest = ts_col;
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let raw =
+                codec::take_varint(&mut rest).ok_or(SegmentError::Malformed("ts column short"))?;
+            let t = match prev {
+                None => raw,
+                Some(p) => {
+                    if raw == 0 {
+                        return Err(SegmentError::NonMonotonic { lane: e.lane });
+                    }
+                    p.checked_add(raw)
+                        .ok_or(SegmentError::Malformed("ts overflow"))?
+                }
+            };
+            timestamps.push(t);
+            prev = Some(t);
+        }
+        if !rest.is_empty() {
+            return Err(SegmentError::Malformed("ts column trailing bytes"));
+        }
+        let min_ts = timestamps.first().copied().unwrap_or(0);
+        let max_ts = timestamps.last().copied().unwrap_or(0);
+        if min_ts != e.min_ts || max_ts != e.max_ts {
+            return Err(SegmentError::Malformed("min/max timestamp mismatch"));
+        }
+
+        let val_bytes = count
+            .checked_mul(8)
+            .ok_or(SegmentError::Malformed("value column length"))?;
+        if val_col.len() != val_bytes {
+            return Err(SegmentError::Malformed("value column length"));
+        }
+        let mut values = Vec::with_capacity(count);
+        let mut rest = val_col;
+        while let Some(v) = codec::take_f64(&mut rest) {
+            values.push(v);
+        }
+        if values.len() != count {
+            return Err(SegmentError::Malformed("value column count"));
+        }
+
+        chunks.push(DecodedChunk {
+            lane: e.lane,
+            after_control_seq: e.after_control_seq,
+            timestamps: timestamps.into(),
+            values: values.into(),
+            late_dropped: e.late_dropped,
+            duplicates_dropped: e.duplicates_dropped,
+        });
+    }
+
+    Ok(SegmentData {
+        lane_defs,
+        controls,
+        chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draft() -> SegmentDraft {
+        SegmentDraft {
+            lane_defs: vec![
+                LaneDef {
+                    lane: 0,
+                    meta: b"m0/bed_temp/phase".to_vec(),
+                },
+                LaneDef {
+                    lane: 1,
+                    meta: b"m0/room_temp/env".to_vec(),
+                },
+                LaneDef {
+                    lane: 2,
+                    meta: b"m1/vibration/phase".to_vec(),
+                },
+            ],
+            controls: vec![
+                ControlRecord {
+                    seq: 1,
+                    payload: b"machine_up m0".to_vec(),
+                },
+                ControlRecord {
+                    seq: 2,
+                    payload: b"job_start m0 j0".to_vec(),
+                },
+            ],
+            chunks: vec![
+                SegmentChunk {
+                    lane: 0,
+                    after_control_seq: 2,
+                    timestamps: vec![100, 101, 105, 1_000_000],
+                    values: vec![219.5, f64::NAN, -0.0, 1e300],
+                    late_dropped: 3,
+                    duplicates_dropped: 1,
+                },
+                SegmentChunk {
+                    lane: 1,
+                    after_control_seq: 1,
+                    timestamps: vec![42],
+                    values: vec![21.0],
+                    late_dropped: 0,
+                    duplicates_dropped: 0,
+                },
+                SegmentChunk {
+                    lane: 2,
+                    after_control_seq: 2,
+                    timestamps: Vec::new(),
+                    values: Vec::new(),
+                    late_dropped: 0,
+                    duplicates_dropped: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_including_empty_and_single_sample_chunks() {
+        let d = draft();
+        let image = d.encode().expect("encode");
+        let data = decode(&image).expect("decode");
+        assert_eq!(data.lane_defs, d.lane_defs);
+        assert_eq!(data.controls, d.controls);
+        assert_eq!(data.chunks.len(), d.chunks.len());
+        for (got, want) in data.chunks.iter().zip(&d.chunks) {
+            assert_eq!(got.lane, want.lane);
+            assert_eq!(got.after_control_seq, want.after_control_seq);
+            assert_eq!(got.timestamps.as_ref(), want.timestamps.as_slice());
+            let bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, want_bits, "values must round-trip bit-exactly");
+            assert_eq!(got.late_dropped, want.late_dropped);
+            assert_eq!(got.duplicates_dropped, want.duplicates_dropped);
+        }
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let image = SegmentDraft::default().encode().expect("encode");
+        let data = decode(&image).expect("decode");
+        assert!(data.lane_defs.is_empty());
+        assert!(data.controls.is_empty());
+        assert!(data.chunks.is_empty());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let image = draft().encode().expect("encode");
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut bad = image.clone();
+                bad[byte] ^= 1_u8 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "bit flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let image = draft().encode().expect("encode");
+        for cut in 0..image.len() {
+            assert!(decode(&image[..cut]).is_err(), "truncation at {cut}");
+        }
+    }
+
+    #[test]
+    fn encoder_rejects_out_of_order_and_mismatched_columns() {
+        let mut d = SegmentDraft::default();
+        d.chunks.push(SegmentChunk {
+            lane: 5,
+            after_control_seq: 0,
+            timestamps: vec![10, 10],
+            values: vec![1.0, 2.0],
+            late_dropped: 0,
+            duplicates_dropped: 0,
+        });
+        assert_eq!(d.encode(), Err(SegmentError::NonMonotonic { lane: 5 }));
+
+        d.chunks.clear();
+        d.chunks.push(SegmentChunk {
+            lane: 5,
+            after_control_seq: 0,
+            timestamps: vec![10],
+            values: Vec::new(),
+            late_dropped: 0,
+            duplicates_dropped: 0,
+        });
+        assert!(matches!(d.encode(), Err(SegmentError::Malformed(_))));
+    }
+}

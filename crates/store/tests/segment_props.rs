@@ -1,0 +1,221 @@
+//! Property tests for the columnar segment codec, plus a byte-pinned
+//! golden segment file.
+//!
+//! The round-trip property covers arbitrary lane counts and chunk
+//! lengths — including empty and single-sample chunks, which exercise
+//! the delta encoder's base cases — with values drawn from raw bit
+//! patterns so NaNs and infinities must survive bit-exactly.
+//!
+//! The golden test decodes (and byte-compares) `tests/golden/golden.seg`
+//! committed to the repository: any accidental format change breaks it
+//! loudly instead of silently orphaning segments written by older
+//! builds. Regenerate deliberately with
+//! `REGEN_GOLDEN=1 cargo test -p hierod-store --test segment_props`.
+
+use proptest::prelude::*;
+
+use hierod_store::segment::{self, ControlRecord, LaneDef, SegmentChunk, SegmentDraft};
+
+/// Builds strictly increasing timestamps from positive gaps.
+fn cumsum(start: u64, gaps: &[u64]) -> Vec<u64> {
+    let mut ts = Vec::with_capacity(gaps.len());
+    let mut t = start;
+    for &g in gaps {
+        t = t.saturating_add(g.max(1));
+        ts.push(t);
+    }
+    ts
+}
+
+fn draft_from(lanes: &[(Vec<u64>, Vec<u64>)], controls: &[Vec<u8>]) -> SegmentDraft {
+    let mut draft = SegmentDraft::default();
+    for (i, (gaps, bits)) in lanes.iter().enumerate() {
+        let lane = i as u32;
+        draft.lane_defs.push(LaneDef {
+            lane,
+            meta: format!("lane-{lane}").into_bytes(),
+        });
+        let timestamps = cumsum(lane as u64 * 7, gaps);
+        let values: Vec<f64> = bits
+            .iter()
+            .take(timestamps.len())
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        let timestamps: Vec<u64> = timestamps.into_iter().take(values.len()).collect();
+        draft.chunks.push(SegmentChunk {
+            lane,
+            after_control_seq: lane as u64 + 1,
+            timestamps,
+            values,
+            late_dropped: lane as u64 * 3,
+            duplicates_dropped: lane as u64,
+        });
+    }
+    for (i, payload) in controls.iter().enumerate() {
+        draft.controls.push(ControlRecord {
+            seq: i as u64 + 1,
+            payload: payload.clone(),
+        });
+    }
+    draft
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on lane defs, controls, and
+    /// chunks (values compared bitwise, so NaN payloads count).
+    #[test]
+    fn draft_round_trips(
+        lanes in prop::collection::vec(
+            (
+                prop::collection::vec(1_u64..10_000, 0..48),
+                prop::collection::vec(any::<u64>(), 0..48),
+            ),
+            1..6,
+        ),
+        controls in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..6),
+    ) {
+        let draft = draft_from(&lanes, &controls);
+        let bytes = draft.encode().expect("encode");
+        let data = segment::decode(&bytes).expect("decode");
+
+        prop_assert_eq!(data.lane_defs.len(), draft.lane_defs.len());
+        for (got, want) in data.lane_defs.iter().zip(draft.lane_defs.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(data.controls.len(), draft.controls.len());
+        for (got, want) in data.controls.iter().zip(draft.controls.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(data.chunks.len(), draft.chunks.len());
+        for (got, want) in data.chunks.iter().zip(draft.chunks.iter()) {
+            prop_assert_eq!(got.lane, want.lane);
+            prop_assert_eq!(got.after_control_seq, want.after_control_seq);
+            prop_assert_eq!(got.late_dropped, want.late_dropped);
+            prop_assert_eq!(got.duplicates_dropped, want.duplicates_dropped);
+            prop_assert_eq!(got.timestamps.as_ref(), want.timestamps.as_slice());
+            let got_bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.values.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
+        }
+    }
+
+    /// Re-encoding the decoded draft reproduces the input bytes: the
+    /// format has one canonical serialisation.
+    #[test]
+    fn encoding_is_canonical(
+        lanes in prop::collection::vec(
+            (
+                prop::collection::vec(1_u64..500, 0..16),
+                prop::collection::vec(any::<u64>(), 0..16),
+            ),
+            1..4,
+        ),
+    ) {
+        let draft = draft_from(&lanes, &[]);
+        let bytes = draft.encode().expect("encode");
+        let data = segment::decode(&bytes).expect("decode");
+        let rebuilt = SegmentDraft {
+            lane_defs: data.lane_defs.clone(),
+            controls: data.controls.clone(),
+            chunks: data
+                .chunks
+                .iter()
+                .map(|c| SegmentChunk {
+                    lane: c.lane,
+                    after_control_seq: c.after_control_seq,
+                    timestamps: c.timestamps.to_vec(),
+                    values: c.values.to_vec(),
+                    late_dropped: c.late_dropped,
+                    duplicates_dropped: c.duplicates_dropped,
+                })
+                .collect(),
+        };
+        prop_assert_eq!(rebuilt.encode().expect("re-encode"), bytes);
+    }
+}
+
+/// The draft behind the committed golden file — do not change casually:
+/// altering it (or the format) invalidates segments on disk.
+fn golden_draft() -> SegmentDraft {
+    SegmentDraft {
+        lane_defs: vec![
+            LaneDef {
+                lane: 0,
+                meta: b"\x00\x02m0\x08m0.bed.0".to_vec(),
+            },
+            LaneDef {
+                lane: 1,
+                meta: b"\x01\x02m0\x07m0.room".to_vec(),
+            },
+        ],
+        controls: vec![
+            ControlRecord {
+                seq: 1,
+                payload: b"machine-up".to_vec(),
+            },
+            ControlRecord {
+                seq: 2,
+                payload: b"job-start".to_vec(),
+            },
+        ],
+        chunks: vec![
+            SegmentChunk {
+                lane: 0,
+                after_control_seq: 2,
+                timestamps: vec![3, 4, 9, 1000, 1001],
+                values: vec![1.5, -2.25, f64::NAN, f64::INFINITY, 0.0],
+                late_dropped: 2,
+                duplicates_dropped: 1,
+            },
+            SegmentChunk {
+                lane: 1,
+                after_control_seq: 1,
+                timestamps: vec![42],
+                values: vec![-0.0],
+                late_dropped: 0,
+                duplicates_dropped: 0,
+            },
+            SegmentChunk {
+                lane: 1,
+                after_control_seq: 1,
+                timestamps: vec![],
+                values: vec![],
+                late_dropped: 7,
+                duplicates_dropped: 0,
+            },
+        ],
+    }
+}
+
+#[test]
+fn golden_segment_is_byte_stable() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/golden.seg");
+    let bytes = golden_draft().encode().expect("encode golden draft");
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &bytes).expect("write golden");
+    }
+    let pinned =
+        std::fs::read(&path).expect("read tests/golden/golden.seg (REGEN_GOLDEN=1 to create)");
+    assert_eq!(
+        bytes, pinned,
+        "segment encoding changed — this breaks segments written by older builds"
+    );
+
+    // The pinned bytes must also decode back to the draft.
+    let data = segment::decode(&pinned).expect("decode golden");
+    let want = golden_draft();
+    assert_eq!(data.lane_defs, want.lane_defs);
+    assert_eq!(data.controls, want.controls);
+    assert_eq!(data.chunks.len(), want.chunks.len());
+    for (got, want) in data.chunks.iter().zip(want.chunks.iter()) {
+        assert_eq!(got.timestamps.as_ref(), want.timestamps.as_slice());
+        let got_bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u64> = want.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+        assert_eq!(got.late_dropped, want.late_dropped);
+        assert_eq!(got.duplicates_dropped, want.duplicates_dropped);
+    }
+}

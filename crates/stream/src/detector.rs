@@ -52,7 +52,7 @@ use hierod_hierarchy::{
 use hierod_timeseries::TimeSeries;
 
 use crate::router::{IngestRouter, LaneId, LaneKind, Sample};
-use crate::watermark::Watermark;
+use crate::watermark::{LatenessStats, Watermark};
 
 /// How phase/environment series are scored online.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,25 @@ pub struct StreamStats {
     /// Series whose scorer failed (skipped in detections, like batch skips
     /// unscorable series).
     pub series_failed: u64,
+    /// WAL records rejected as corrupt during recovery (always 0 for a
+    /// purely in-memory detector; the durable wrapper fills it in).
+    pub corrupt_records: u64,
+}
+
+/// Per-lane ingestion counters, keyed by [`LaneId`] in [`StreamReport`].
+/// Unlike the aggregate [`StreamStats`], these survive recovery
+/// round-trips individually — the crash-equivalence tests assert them
+/// lane by lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Samples released by this lane's watermarks into scorers.
+    pub released: u64,
+    /// Samples dropped as late on this lane.
+    pub late_dropped: u64,
+    /// Samples dropped as duplicates on this lane.
+    pub duplicates_dropped: u64,
+    /// WAL records for this lane rejected as corrupt during recovery.
+    pub corrupt_records: u64,
 }
 
 /// The output of a tick or finish: per-level detections plus the
@@ -113,18 +132,43 @@ pub struct StreamReport {
     pub report: HierReport,
     /// Ingestion counters at assembly time.
     pub stats: StreamStats,
+    /// Per-lane release/drop counters at assembly time. A lane appears
+    /// once any pipeline has opened for it; counters aggregate across all
+    /// phases and jobs the lane fed.
+    pub lane_stats: BTreeMap<LaneId, LaneStats>,
+}
+
+/// A mutable view of one open pipeline with its lane coordinates —
+/// the durability layer walks these to seal chunks and tag pipelines
+/// with the control sequence that opened them.
+pub(crate) struct PipeSlot<'a> {
+    pub(crate) machine: &'a str,
+    pub(crate) sensor: &'a str,
+    pub(crate) kind: LaneKind,
+    pub(crate) pipe: &'a mut Pipeline,
 }
 
 /// One sensor stream's online scoring state: watermark reorder buffer,
 /// the scorer, and the released/scored history.
-struct Pipeline {
-    watermark: Watermark,
+pub(crate) struct Pipeline {
+    pub(crate) watermark: Watermark,
     scorer: Box<dyn OnlineScorer>,
-    timestamps: Vec<u64>,
-    values: Vec<f64>,
+    pub(crate) timestamps: Vec<u64>,
+    pub(crate) values: Vec<f64>,
     scored: Vec<ScoredPoint>,
     failed: bool,
     finished: bool,
+    /// How many released samples have already been sealed into a segment
+    /// (durability layer); samples beyond this index still live only in
+    /// the WAL and must be re-emitted on the next rotation.
+    pub(crate) sealed: usize,
+    /// Drop counters at the last seal — a rotation emits a chunk whenever
+    /// the live counters moved past these, even with no new releases.
+    pub(crate) sealed_stats: LatenessStats,
+    /// Sequence number of the control event that opened this pipeline
+    /// (`None` until the durability layer tags it). Recovery matches
+    /// restored chunks to pipelines through this tag.
+    pub(crate) opened_seq: Option<u64>,
 }
 
 impl Pipeline {
@@ -137,7 +181,42 @@ impl Pipeline {
             scored: Vec::new(),
             failed: false,
             finished: false,
+            sealed: 0,
+            sealed_stats: LatenessStats::default(),
+            opened_seq: None,
         }
+    }
+
+    /// Restores a sealed chunk of released history: the samples flow into
+    /// the history and scorer exactly as their original releases did, then
+    /// the watermark rewinds to the recovered frontier (`floor = max
+    /// restored timestamp`) with the chunk's absolute drop counters.
+    /// Re-offering the journalled carry-over samples afterwards (ascending
+    /// timestamps, all above the floor) rebuilds the pre-crash watermark
+    /// state exactly. Only valid on a fresh pipeline or directly after a
+    /// previous `restore_chunk`.
+    pub(crate) fn restore_chunk(
+        &mut self,
+        timestamps: &[u64],
+        values: &[f64],
+        late: u64,
+        dups: u64,
+    ) {
+        for (&t, &v) in timestamps.iter().zip(values.iter()) {
+            self.timestamps.push(t);
+            self.values.push(v);
+            if !self.failed && self.scorer.push(t, v, &mut self.scored).is_err() {
+                self.failed = true;
+            }
+        }
+        let stats = LatenessStats {
+            late_dropped: late as usize,
+            duplicates_dropped: dups as usize,
+        };
+        self.watermark
+            .restore_state(self.timestamps.last().copied(), stats);
+        self.sealed = self.timestamps.len();
+        self.sealed_stats = stats;
     }
 
     /// Offers one sample; everything the watermark releases flows into the
@@ -488,6 +567,76 @@ impl StreamDetector {
         stats
     }
 
+    /// Per-lane release/drop counters, aggregated over every pipeline
+    /// (open or closed) the lane ever fed.
+    pub fn lane_stats(&self) -> BTreeMap<LaneId, LaneStats> {
+        let mut out: BTreeMap<LaneId, LaneStats> = BTreeMap::new();
+        let mut tally = |machine: &str, sensor: &str, kind: LaneKind, pipe: &Pipeline| {
+            let entry = out
+                .entry(LaneId {
+                    machine: machine.to_string(),
+                    sensor: sensor.to_string(),
+                    kind,
+                })
+                .or_default();
+            entry.released += pipe.timestamps.len() as u64;
+            let w = pipe.watermark.stats();
+            entry.late_dropped += w.late_dropped as u64;
+            entry.duplicates_dropped += w.duplicates_dropped as u64;
+        };
+        for (machine, m) in &self.machines {
+            for (name, pipe) in &m.env {
+                tally(machine, name, LaneKind::Environment, pipe);
+            }
+            for job in &m.jobs {
+                for phase in &job.phases {
+                    for (name, pipe) in &phase.pipes {
+                        tally(machine, name, LaneKind::Phase, pipe);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every open-or-closed pipeline with its lane coordinates, in plant
+    /// order: each machine's environment pipelines first, then its jobs'
+    /// phases in execution order. The durability layer iterates this to
+    /// seal rotation chunks and to tag/restore pipelines.
+    pub(crate) fn pipelines_mut(&mut self) -> Vec<PipeSlot<'_>> {
+        let mut slots = Vec::new();
+        for (machine, m) in self.machines.iter_mut() {
+            for (name, pipe) in m.env.iter_mut() {
+                slots.push(PipeSlot {
+                    machine,
+                    sensor: name,
+                    kind: LaneKind::Environment,
+                    pipe,
+                });
+            }
+            for job in m.jobs.iter_mut() {
+                for phase in job.phases.iter_mut() {
+                    for (name, pipe) in phase.pipes.iter_mut() {
+                        slots.push(PipeSlot {
+                            machine,
+                            sensor: name,
+                            kind: LaneKind::Phase,
+                            pipe,
+                        });
+                    }
+                }
+            }
+        }
+        slots
+    }
+
+    /// Credits samples that were ingested before a crash and restored from
+    /// sealed segments (their releases and drops are rebuilt by
+    /// [`Pipeline::restore_chunk`], but the offer-time counter lives here).
+    pub(crate) fn add_recovered_ingested(&mut self, n: u64) {
+        self.samples_ingested += n;
+    }
+
     /// Assembles an interim report from everything released so far:
     /// completed jobs are materialized, their phase scores thresholded,
     /// the upper levels re-evaluated, and Algorithm 1's propagation run.
@@ -541,6 +690,7 @@ impl StreamDetector {
             detections,
             report,
             stats: self.stats(),
+            lane_stats: self.lane_stats(),
         })
     }
 
@@ -840,6 +990,64 @@ mod tests {
             "incremental scorers must flag the spike: {:?}",
             phase.outliers
         );
+    }
+
+    #[test]
+    fn reports_carry_per_lane_drop_counters() {
+        let mut det = StreamDetector::new(
+            AlgorithmPolicy::default(),
+            StreamConfig {
+                lateness: 1,
+                mode: ScorerMode::BatchEquivalent,
+            },
+        )
+        .expect("streamable policy");
+        bring_up(&mut det);
+        det.job_start("m0", "j0", 0, JobConfig::new(vec!["p".into()], vec![1.0]))
+            .expect("job_start");
+        det.phase_start("m0", PhaseKind::WarmUp, &["m0.bed.0".into()])
+            .expect("phase_start");
+        let bed = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.bed.0".into(),
+            kind: LaneKind::Phase,
+        };
+        let room = LaneId {
+            machine: "m0".into(),
+            sensor: "m0.room_temp".into(),
+            kind: LaneKind::Environment,
+        };
+        let push = |det: &mut StreamDetector, lane: &LaneId, ts: u64| {
+            det.ingest(
+                lane,
+                Sample {
+                    timestamp: ts,
+                    value: ts as f64,
+                },
+            )
+            .expect("ingest");
+        };
+        // Bed lane: a duplicate and a late sample. Room lane: clean.
+        for ts in [0_u64, 1, 2, 2, 10, 3] {
+            push(&mut det, &bed, ts);
+        }
+        for ts in 0..4_u64 {
+            push(&mut det, &room, ts);
+        }
+        det.job_complete("m0", CaqResult::new(vec!["q".into()], vec![0.98], true))
+            .expect("job_complete");
+        let report = det.finish().expect("finish");
+        let bed_stats = report.lane_stats.get(&bed).expect("bed lane tracked");
+        assert_eq!(bed_stats.duplicates_dropped, 1);
+        assert_eq!(bed_stats.late_dropped, 1);
+        assert_eq!(bed_stats.released, 4);
+        let room_stats = report.lane_stats.get(&room).expect("room lane tracked");
+        assert_eq!(room_stats.late_dropped, 0);
+        assert_eq!(room_stats.duplicates_dropped, 0);
+        assert_eq!(room_stats.released, 4);
+        // The aggregate view is the sum of the per-lane views.
+        let agg: u64 = report.lane_stats.values().map(|l| l.released).sum();
+        assert_eq!(agg, report.stats.samples_released);
     }
 
     #[test]

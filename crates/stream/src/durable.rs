@@ -1,0 +1,1208 @@
+//! [`DurableStream`]: crash-durable online detection.
+//!
+//! Wraps a [`StreamDetector`] in a [`hierod_store::Store`] so that every
+//! accepted sample and every control event is journalled to a
+//! write-ahead log **before** it mutates detector state. On restart,
+//! [`DurableStream::open`] rebuilds the exact pre-crash detector from
+//! the sealed segments plus the WAL tail — the fault-injection suite
+//! pins *write-crash-recover ≡ no-crash*.
+//!
+//! ## Journal-at-offer-time
+//!
+//! * A **control event** (machine up, job start, phase start, job
+//!   complete) is encoded, appended, and fsynced before it is applied.
+//!   If the application fails (lifecycle violation), the record stays in
+//!   the WAL and the replay repeats the same failure deterministically —
+//!   a rejected control has no effect either way.
+//! * A **sample** is journalled before [`StreamDetector::ingest`] runs,
+//!   under the store's group-commit batching. A sample the detector then
+//!   rejects (no open pipeline) is replayed and re-rejected identically.
+//! * [`DurableStream::tick`] and [`DurableStream::finish`] hard-commit
+//!   the WAL first, so any score ever exposed to a caller is backed by
+//!   durable input.
+//!
+//! ## Rotation and recovery
+//!
+//! [`DurableStream::rotate`] seals everything *released* so far into an
+//! immutable columnar segment: per-pipeline chunks (the unsealed suffix
+//! of released history plus the absolute drop counters), the control
+//! events journalled since the last rotation, and every lane
+//! declaration. Samples still buffered in watermarks are carried over
+//! as the opening records of the next WAL.
+//!
+//! Recovery replays segments in order — within one segment, controls
+//! and chunks merge by sequence number, each chunk landing in the
+//! pipeline whose opening control matches its `after_control_seq` — and
+//! then replays the WAL tail through the ordinary ingest path. The
+//! watermark rewind plus re-offered carry-over samples reconstruct the
+//! reorder buffers exactly.
+//!
+//! ## Exactly-once resume
+//!
+//! [`DurableStream::delivered`] and [`DurableStream::controls_applied`]
+//! tell a reconnecting client how much of its stream survived the
+//! crash: resend lane samples from the delivered index and controls
+//! with higher sequence numbers, and the merged stream is gap-free
+//! without double-applying anything that was already durable.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use hierod_core::AlgorithmPolicy;
+use hierod_detect::{DetectError, Result};
+use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor, SensorKind};
+use hierod_store::codec;
+use hierod_store::segment::{ControlRecord, LaneDef, SegmentChunk, SegmentDraft};
+use hierod_store::storage::Storage;
+use hierod_store::store::{RecoveryStats, Store, StoreOptions};
+use hierod_store::wal::WalRecord;
+
+use crate::detector::{StreamConfig, StreamDetector, StreamReport, StreamStats};
+use crate::router::{IngestRouter, LaneId, LaneKind, Sample};
+
+/// Maps a storage failure into the detection error domain.
+fn substrate(e: io::Error) -> DetectError {
+    DetectError::Substrate(format!("store: {e}"))
+}
+
+const LANE_KIND_PHASE: u8 = 0;
+const LANE_KIND_ENV: u8 = 1;
+
+/// Serialises a [`LaneId`] as opaque lane metadata for the store.
+fn encode_lane(id: &LaneId) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(match id.kind {
+        LaneKind::Phase => LANE_KIND_PHASE,
+        LaneKind::Environment => LANE_KIND_ENV,
+    });
+    codec::put_str(&mut out, &id.machine);
+    codec::put_str(&mut out, &id.sensor);
+    out
+}
+
+/// Total inverse of [`encode_lane`]; `None` on any malformation.
+fn decode_lane(bytes: &[u8]) -> Option<LaneId> {
+    let mut buf = bytes;
+    let buf = &mut buf;
+    let kind = match codec::take_u8(buf)? {
+        LANE_KIND_PHASE => LaneKind::Phase,
+        LANE_KIND_ENV => LaneKind::Environment,
+        _ => return None,
+    };
+    let machine = codec::take_str(buf)?;
+    let sensor = codec::take_str(buf)?;
+    buf.is_empty().then_some(LaneId {
+        machine,
+        sensor,
+        kind,
+    })
+}
+
+fn sensor_kind_code(kind: SensorKind) -> u8 {
+    match kind {
+        SensorKind::BedTemperature => 0,
+        SensorKind::ChamberTemperature => 1,
+        SensorKind::LaserPower => 2,
+        SensorKind::Vibration => 3,
+        SensorKind::OxygenLevel => 4,
+        SensorKind::RoomTemperature => 5,
+        SensorKind::Humidity => 6,
+    }
+}
+
+fn sensor_kind_from(code: u8) -> Option<SensorKind> {
+    match code {
+        0 => Some(SensorKind::BedTemperature),
+        1 => Some(SensorKind::ChamberTemperature),
+        2 => Some(SensorKind::LaserPower),
+        3 => Some(SensorKind::Vibration),
+        4 => Some(SensorKind::OxygenLevel),
+        5 => Some(SensorKind::RoomTemperature),
+        6 => Some(SensorKind::Humidity),
+        _ => None,
+    }
+}
+
+fn phase_kind_code(kind: PhaseKind) -> u8 {
+    match kind {
+        PhaseKind::Preparation => 0,
+        PhaseKind::WarmUp => 1,
+        PhaseKind::Calibration => 2,
+        PhaseKind::Printing => 3,
+        PhaseKind::Cooling => 4,
+    }
+}
+
+fn phase_kind_from(code: u8) -> Option<PhaseKind> {
+    match code {
+        0 => Some(PhaseKind::Preparation),
+        1 => Some(PhaseKind::WarmUp),
+        2 => Some(PhaseKind::Calibration),
+        3 => Some(PhaseKind::Printing),
+        4 => Some(PhaseKind::Cooling),
+        _ => None,
+    }
+}
+
+const EV_MACHINE_UP: u8 = 1;
+const EV_JOB_START: u8 = 2;
+const EV_PHASE_START: u8 = 3;
+const EV_JOB_COMPLETE: u8 = 4;
+
+/// A journalled control event — the WAL/segment form of the four
+/// [`StreamDetector`] lifecycle calls.
+enum ControlEvent {
+    MachineUp {
+        machine: String,
+        sensors: Vec<Sensor>,
+        redundancy: Vec<RedundancyGroup>,
+        env_sensors: Vec<String>,
+    },
+    JobStart {
+        machine: String,
+        job: String,
+        start: u64,
+        config: JobConfig,
+    },
+    PhaseStart {
+        machine: String,
+        kind: PhaseKind,
+        sensors: Vec<String>,
+    },
+    JobComplete {
+        machine: String,
+        caq: CaqResult,
+    },
+}
+
+fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
+    codec::put_varint(out, items.len() as u64);
+    for s in items {
+        codec::put_str(out, s);
+    }
+}
+
+fn take_str_list(buf: &mut &[u8]) -> Option<Vec<String>> {
+    let n = codec::take_varint(buf)?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(codec::take_str(buf)?);
+    }
+    Some(out)
+}
+
+impl ControlEvent {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ControlEvent::MachineUp {
+                machine,
+                sensors,
+                redundancy,
+                env_sensors,
+            } => {
+                out.push(EV_MACHINE_UP);
+                codec::put_str(&mut out, machine);
+                codec::put_varint(&mut out, sensors.len() as u64);
+                for s in sensors {
+                    codec::put_str(&mut out, &s.name);
+                    out.push(sensor_kind_code(s.kind));
+                }
+                codec::put_varint(&mut out, redundancy.len() as u64);
+                for g in redundancy {
+                    out.push(sensor_kind_code(g.kind));
+                    put_str_list(&mut out, &g.sensors);
+                }
+                put_str_list(&mut out, env_sensors);
+            }
+            ControlEvent::JobStart {
+                machine,
+                job,
+                start,
+                config,
+            } => {
+                out.push(EV_JOB_START);
+                codec::put_str(&mut out, machine);
+                codec::put_str(&mut out, job);
+                codec::put_u64(&mut out, *start);
+                // One count covers both parallel lists, so the decoded
+                // pair is equal-length by construction.
+                codec::put_varint(&mut out, config.names.len() as u64);
+                for name in &config.names {
+                    codec::put_str(&mut out, name);
+                }
+                for v in &config.values {
+                    codec::put_f64(&mut out, *v);
+                }
+            }
+            ControlEvent::PhaseStart {
+                machine,
+                kind,
+                sensors,
+            } => {
+                out.push(EV_PHASE_START);
+                codec::put_str(&mut out, machine);
+                out.push(phase_kind_code(*kind));
+                put_str_list(&mut out, sensors);
+            }
+            ControlEvent::JobComplete { machine, caq } => {
+                out.push(EV_JOB_COMPLETE);
+                codec::put_str(&mut out, machine);
+                codec::put_varint(&mut out, caq.names.len() as u64);
+                for name in &caq.names {
+                    codec::put_str(&mut out, name);
+                }
+                for v in &caq.values {
+                    codec::put_f64(&mut out, *v);
+                }
+                out.push(u8::from(caq.passed));
+            }
+        }
+        out
+    }
+
+    /// Total inverse of [`ControlEvent::encode`]; `None` on any
+    /// malformation (payloads come from CRC-verified records, so a
+    /// `None` here means a logic error, not disk damage — recovery
+    /// skips it deterministically).
+    fn decode(bytes: &[u8]) -> Option<ControlEvent> {
+        let mut buf = bytes;
+        let buf = &mut buf;
+        let event = match codec::take_u8(buf)? {
+            EV_MACHINE_UP => {
+                let machine = codec::take_str(buf)?;
+                let n = codec::take_varint(buf)?;
+                let mut sensors = Vec::new();
+                for _ in 0..n {
+                    let name = codec::take_str(buf)?;
+                    let kind = sensor_kind_from(codec::take_u8(buf)?)?;
+                    sensors.push(Sensor { name, kind });
+                }
+                let n = codec::take_varint(buf)?;
+                let mut redundancy = Vec::new();
+                for _ in 0..n {
+                    let kind = sensor_kind_from(codec::take_u8(buf)?)?;
+                    let group = take_str_list(buf)?;
+                    redundancy.push(RedundancyGroup {
+                        kind,
+                        sensors: group,
+                    });
+                }
+                let env_sensors = take_str_list(buf)?;
+                ControlEvent::MachineUp {
+                    machine,
+                    sensors,
+                    redundancy,
+                    env_sensors,
+                }
+            }
+            EV_JOB_START => {
+                let machine = codec::take_str(buf)?;
+                let job = codec::take_str(buf)?;
+                let start = codec::take_u64(buf)?;
+                let n = codec::take_varint(buf)?;
+                let mut names = Vec::new();
+                for _ in 0..n {
+                    names.push(codec::take_str(buf)?);
+                }
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    values.push(codec::take_f64(buf)?);
+                }
+                ControlEvent::JobStart {
+                    machine,
+                    job,
+                    start,
+                    config: JobConfig { names, values },
+                }
+            }
+            EV_PHASE_START => {
+                let machine = codec::take_str(buf)?;
+                let kind = phase_kind_from(codec::take_u8(buf)?)?;
+                let sensors = take_str_list(buf)?;
+                ControlEvent::PhaseStart {
+                    machine,
+                    kind,
+                    sensors,
+                }
+            }
+            EV_JOB_COMPLETE => {
+                let machine = codec::take_str(buf)?;
+                let n = codec::take_varint(buf)?;
+                let mut names = Vec::new();
+                for _ in 0..n {
+                    names.push(codec::take_str(buf)?);
+                }
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    values.push(codec::take_f64(buf)?);
+                }
+                let passed = match codec::take_u8(buf)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                ControlEvent::JobComplete {
+                    machine,
+                    caq: CaqResult {
+                        names,
+                        values,
+                        passed,
+                    },
+                }
+            }
+            _ => return None,
+        };
+        buf.is_empty().then_some(event)
+    }
+}
+
+/// Applies a decoded control event to the detector.
+fn apply(inner: &mut StreamDetector, event: ControlEvent) -> Result<()> {
+    match event {
+        ControlEvent::MachineUp {
+            machine,
+            sensors,
+            redundancy,
+            env_sensors,
+        } => inner.machine_up(&machine, sensors, redundancy, &env_sensors),
+        ControlEvent::JobStart {
+            machine,
+            job,
+            start,
+            config,
+        } => inner.job_start(&machine, &job, start, config),
+        ControlEvent::PhaseStart {
+            machine,
+            kind,
+            sensors,
+        } => inner.phase_start(&machine, kind, &sensors),
+        ControlEvent::JobComplete { machine, caq } => inner.job_complete(&machine, caq),
+    }
+}
+
+/// Stamps every pipeline the control `seq` just opened. Pipelines only
+/// come into existence through control events, so "untagged" means
+/// "created by the event that was just applied".
+fn tag_new_pipelines(inner: &mut StreamDetector, seq: u64) {
+    for slot in inner.pipelines_mut() {
+        if slot.pipe.opened_seq.is_none() {
+            slot.pipe.opened_seq = Some(seq);
+        }
+    }
+}
+
+/// What [`DurableStream::open`] rebuilt and repaired.
+#[derive(Debug, Clone, Default)]
+pub struct DurableRecovery {
+    /// Highest control sequence number found durable (segments + WAL).
+    /// A resuming client resends controls with higher sequence numbers.
+    pub controls_applied: u64,
+    /// Samples restored from sealed segment chunks (released or dropped
+    /// before the last rotation).
+    pub restored_samples: u64,
+    /// WAL sample records replayed through the live ingest path.
+    pub replayed_samples: u64,
+    /// Corruption events survived (a damaged WAL tail truncated at the
+    /// first bad record counts once).
+    pub corrupt_records: u64,
+    /// Low-level store repair accounting.
+    pub store: RecoveryStats,
+}
+
+/// A [`StreamDetector`] whose inputs are crash-durable: WAL + columnar
+/// segments underneath, identical detection semantics on top. See the
+/// module docs for the journaling and recovery contract.
+pub struct DurableStream<S: Storage> {
+    inner: StreamDetector,
+    store: Store<S>,
+    /// Lane metadata by store-local lane number (`None` only for numbers
+    /// a damaged def left unbound).
+    lanes: Vec<Option<LaneId>>,
+    lane_index: BTreeMap<LaneId, u32>,
+    next_seq: u64,
+    delivered: BTreeMap<LaneId, u64>,
+    /// Controls journalled to the active WAL, owed to the next segment.
+    unsealed_controls: Vec<ControlRecord>,
+    corrupt_records: u64,
+    corrupt_by_lane: BTreeMap<LaneId, u64>,
+}
+
+fn bind_lane(lanes: &mut Vec<Option<LaneId>>, lane: u32, meta: &[u8]) {
+    let Some(id) = decode_lane(meta) else { return };
+    let idx = lane as usize;
+    if lanes.len() <= idx {
+        lanes.resize(idx + 1, None);
+    }
+    if let Some(slot) = lanes.get_mut(idx) {
+        *slot = Some(id);
+    }
+}
+
+impl<S: Storage> DurableStream<S> {
+    /// Opens (or recovers) a durable detector on `storage`.
+    ///
+    /// An empty directory starts a fresh stream. Otherwise every sealed
+    /// segment is decoded and replayed — controls and chunks merged in
+    /// sequence order — and the WAL tail (truncated at its first
+    /// corrupt record, if any) is re-ingested through the ordinary
+    /// paths, leaving the detector in exactly the state the last
+    /// durable write observed.
+    ///
+    /// # Errors
+    /// Storage failures and segment damage (segments are fully
+    /// checksummed; unlike the append-path WAL they are never silently
+    /// truncated) surface as [`DetectError::Substrate`]; policy
+    /// rejection as in [`StreamDetector::new`].
+    pub fn open(
+        policy: AlgorithmPolicy,
+        config: StreamConfig,
+        storage: S,
+        options: StoreOptions,
+    ) -> Result<(Self, DurableRecovery)> {
+        let (store, recovered) = Store::open(storage, options).map_err(substrate)?;
+        let mut inner = StreamDetector::new(policy, config)?;
+        let mut lanes: Vec<Option<LaneId>> = Vec::new();
+        let mut next_seq = 1_u64;
+        let mut delivered: BTreeMap<LaneId, u64> = BTreeMap::new();
+        let mut restored_samples = 0_u64;
+        let mut replayed_samples = 0_u64;
+
+        for seg in &recovered.segments {
+            for def in &seg.lane_defs {
+                bind_lane(&mut lanes, def.lane, &def.meta);
+            }
+            // Merge controls and chunks back into the order they were
+            // journalled: a chunk sorts directly after the control that
+            // opened its pipeline and before any later control (which
+            // may close that pipeline again).
+            enum Item<'a> {
+                Control(&'a ControlRecord),
+                Chunk(&'a hierod_store::segment::DecodedChunk),
+            }
+            let mut items: Vec<(u64, u8, Item)> = Vec::new();
+            for c in &seg.controls {
+                items.push((c.seq, 0, Item::Control(c)));
+            }
+            for ch in &seg.chunks {
+                items.push((ch.after_control_seq, 1, Item::Chunk(ch)));
+            }
+            items.sort_by_key(|&(seq, order, _)| (seq, order));
+            for (_, _, item) in items {
+                match item {
+                    Item::Control(c) => {
+                        next_seq = next_seq.max(c.seq.saturating_add(1));
+                        if let Some(event) = ControlEvent::decode(&c.payload) {
+                            if apply(&mut inner, event).is_ok() {
+                                tag_new_pipelines(&mut inner, c.seq);
+                            }
+                        }
+                    }
+                    Item::Chunk(ch) => {
+                        let Some(id) = lanes
+                            .get(ch.lane as usize)
+                            .and_then(|slot| slot.as_ref())
+                            .cloned()
+                        else {
+                            continue;
+                        };
+                        let mut adjustment = None;
+                        for slot in inner.pipelines_mut() {
+                            if slot.machine == id.machine
+                                && slot.sensor == id.sensor
+                                && slot.kind == id.kind
+                                && slot.pipe.opened_seq == Some(ch.after_control_seq)
+                            {
+                                let before = slot.pipe.watermark.stats();
+                                slot.pipe.restore_chunk(
+                                    &ch.timestamps,
+                                    &ch.values,
+                                    ch.late_dropped,
+                                    ch.duplicates_dropped,
+                                );
+                                // Counters in the chunk are absolute;
+                                // the offer-time credit is this chunk's
+                                // increment over the previous one.
+                                let late =
+                                    ch.late_dropped.saturating_sub(before.late_dropped as u64);
+                                let dups = ch
+                                    .duplicates_dropped
+                                    .saturating_sub(before.duplicates_dropped as u64);
+                                adjustment = Some(ch.timestamps.len() as u64 + late + dups);
+                                break;
+                            }
+                        }
+                        if let Some(adj) = adjustment {
+                            inner.add_recovered_ingested(adj);
+                            restored_samples += ch.timestamps.len() as u64;
+                            *delivered.entry(id).or_insert(0) += adj;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut unsealed_controls = Vec::new();
+        for record in &recovered.wal {
+            match record {
+                WalRecord::LaneDef { lane, meta } => bind_lane(&mut lanes, *lane, meta),
+                WalRecord::Control { seq, payload } => {
+                    next_seq = next_seq.max(seq.saturating_add(1));
+                    unsealed_controls.push(ControlRecord {
+                        seq: *seq,
+                        payload: payload.clone(),
+                    });
+                    if let Some(event) = ControlEvent::decode(payload) {
+                        if apply(&mut inner, event).is_ok() {
+                            tag_new_pipelines(&mut inner, *seq);
+                        }
+                    }
+                }
+                WalRecord::Sample {
+                    lane,
+                    timestamp,
+                    value,
+                } => {
+                    let Some(id) = lanes
+                        .get(*lane as usize)
+                        .and_then(|slot| slot.as_ref())
+                        .cloned()
+                    else {
+                        continue;
+                    };
+                    replayed_samples += 1;
+                    *delivered.entry(id.clone()).or_insert(0) += 1;
+                    // A sample the pre-crash detector rejected is
+                    // re-rejected here with the same error; either way
+                    // it was journalled, so it counts as delivered.
+                    let _ = inner.ingest(
+                        &id,
+                        Sample {
+                            timestamp: *timestamp,
+                            value: *value,
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut corrupt_by_lane = BTreeMap::new();
+        let corrupt_records = match &recovered.stats.corruption {
+            Some(c) => {
+                if let Some(id) = c
+                    .lane
+                    .and_then(|n| lanes.get(n as usize).and_then(|slot| slot.as_ref()))
+                {
+                    corrupt_by_lane.insert(id.clone(), 1_u64);
+                }
+                1
+            }
+            None => 0,
+        };
+
+        let mut lane_index = BTreeMap::new();
+        for (idx, id) in lanes.iter().enumerate() {
+            if let Some(id) = id {
+                lane_index.insert(id.clone(), idx as u32);
+            }
+        }
+        let recovery = DurableRecovery {
+            controls_applied: next_seq - 1,
+            restored_samples,
+            replayed_samples,
+            corrupt_records,
+            store: recovered.stats,
+        };
+        Ok((
+            Self {
+                inner,
+                store,
+                lanes,
+                lane_index,
+                next_seq,
+                delivered,
+                unsealed_controls,
+                corrupt_records,
+                corrupt_by_lane,
+            },
+            recovery,
+        ))
+    }
+
+    /// Interns a lane number without journalling (rotation publishes
+    /// every definition in the segment footer anyway).
+    fn intern_lane(&mut self, id: &LaneId) -> u32 {
+        if let Some(&n) = self.lane_index.get(id) {
+            return n;
+        }
+        let n = self.lanes.len() as u32;
+        self.lanes.push(Some(id.clone()));
+        self.lane_index.insert(id.clone(), n);
+        n
+    }
+
+    /// Lane number for the sample path: first use journals a
+    /// [`WalRecord::LaneDef`] ahead of the sample that references it.
+    fn lane_no(&mut self, id: &LaneId) -> Result<u32> {
+        if let Some(&n) = self.lane_index.get(id) {
+            return Ok(n);
+        }
+        let n = self.lanes.len() as u32;
+        self.store
+            .append(&WalRecord::LaneDef {
+                lane: n,
+                meta: encode_lane(id),
+            })
+            .map_err(substrate)?;
+        Ok(self.intern_lane(id))
+    }
+
+    /// Journals and fsyncs a control payload, assigning its sequence
+    /// number. Controls are never batched: a lifecycle event must be
+    /// durable before the state machine moves.
+    fn journal_control(&mut self, payload: Vec<u8>) -> Result<u64> {
+        let seq = self.next_seq;
+        self.store
+            .append(&WalRecord::Control {
+                seq,
+                payload: payload.clone(),
+            })
+            .map_err(substrate)?;
+        self.store.commit().map_err(substrate)?;
+        self.unsealed_controls.push(ControlRecord { seq, payload });
+        self.next_seq = seq.saturating_add(1);
+        Ok(seq)
+    }
+
+    /// Durable [`StreamDetector::machine_up`].
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`], then the inner
+    /// detector's lifecycle errors.
+    pub fn machine_up(
+        &mut self,
+        machine: &str,
+        sensors: Vec<Sensor>,
+        redundancy: Vec<RedundancyGroup>,
+        env_sensors: &[String],
+    ) -> Result<()> {
+        let event = ControlEvent::MachineUp {
+            machine: machine.to_string(),
+            sensors,
+            redundancy,
+            env_sensors: env_sensors.to_vec(),
+        };
+        let seq = self.journal_control(event.encode())?;
+        let result = apply(&mut self.inner, event);
+        if result.is_ok() {
+            tag_new_pipelines(&mut self.inner, seq);
+        }
+        result
+    }
+
+    /// Durable [`StreamDetector::job_start`].
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`], then the inner
+    /// detector's lifecycle errors.
+    pub fn job_start(
+        &mut self,
+        machine: &str,
+        job: &str,
+        start: u64,
+        config: JobConfig,
+    ) -> Result<()> {
+        let event = ControlEvent::JobStart {
+            machine: machine.to_string(),
+            job: job.to_string(),
+            start,
+            config,
+        };
+        let seq = self.journal_control(event.encode())?;
+        let result = apply(&mut self.inner, event);
+        if result.is_ok() {
+            tag_new_pipelines(&mut self.inner, seq);
+        }
+        result
+    }
+
+    /// Durable [`StreamDetector::phase_start`].
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`], then the inner
+    /// detector's lifecycle errors.
+    pub fn phase_start(
+        &mut self,
+        machine: &str,
+        kind: PhaseKind,
+        sensors: &[String],
+    ) -> Result<()> {
+        let event = ControlEvent::PhaseStart {
+            machine: machine.to_string(),
+            kind,
+            sensors: sensors.to_vec(),
+        };
+        let seq = self.journal_control(event.encode())?;
+        let result = apply(&mut self.inner, event);
+        if result.is_ok() {
+            tag_new_pipelines(&mut self.inner, seq);
+        }
+        result
+    }
+
+    /// Durable [`StreamDetector::job_complete`].
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`], then the inner
+    /// detector's lifecycle errors.
+    pub fn job_complete(&mut self, machine: &str, caq: CaqResult) -> Result<()> {
+        let event = ControlEvent::JobComplete {
+            machine: machine.to_string(),
+            caq,
+        };
+        let seq = self.journal_control(event.encode())?;
+        let result = apply(&mut self.inner, event);
+        if result.is_ok() {
+            tag_new_pipelines(&mut self.inner, seq);
+        }
+        result
+    }
+
+    /// Durable [`StreamDetector::ingest`]: the sample is journalled
+    /// (group-committed) before the detector sees it, so a crash never
+    /// loses an accepted sample that a later fsync covered.
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`]; routing errors
+    /// from the inner detector (the sample is journalled regardless —
+    /// replay repeats the rejection).
+    pub fn ingest(&mut self, lane: &LaneId, sample: Sample) -> Result<()> {
+        let n = self.lane_no(lane)?;
+        self.store
+            .append(&WalRecord::Sample {
+                lane: n,
+                timestamp: sample.timestamp,
+                value: sample.value,
+            })
+            .map_err(substrate)?;
+        *self.delivered.entry(lane.clone()).or_insert(0) += 1;
+        self.inner.ingest(lane, sample)
+    }
+
+    /// Durable [`StreamDetector::drain`].
+    ///
+    /// # Errors
+    /// The first journaling or routing error; remaining samples of the
+    /// pass are still consumed so producers are never wedged.
+    pub fn drain(&mut self, router: &mut IngestRouter) -> Result<usize> {
+        let mut first_err = None;
+        let n = router.drain(|lane, sample| {
+            if let Err(e) = self.ingest(lane, sample) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Hard-commits the WAL, then assembles an interim report — every
+    /// score it exposes is backed by durable input.
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`]; upper-level
+    /// detector failures as in [`StreamDetector::tick`].
+    pub fn tick(&mut self) -> Result<StreamReport> {
+        self.store.commit().map_err(substrate)?;
+        let mut report = self.inner.tick()?;
+        self.patch_report(&mut report);
+        Ok(report)
+    }
+
+    /// Hard-commits the WAL, then finalizes every pipeline and
+    /// assembles the final report.
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`]; upper-level
+    /// detector failures as in [`StreamDetector::finish`].
+    pub fn finish(mut self) -> Result<StreamReport> {
+        self.store.commit().map_err(substrate)?;
+        let corrupt = self.corrupt_records;
+        let by_lane = std::mem::take(&mut self.corrupt_by_lane);
+        let mut report = self.inner.finish()?;
+        report.stats.corrupt_records = corrupt;
+        for (lane, n) in by_lane {
+            report.lane_stats.entry(lane).or_default().corrupt_records = n;
+        }
+        Ok(report)
+    }
+
+    /// Seals everything released so far into an immutable columnar
+    /// segment and starts a fresh WAL whose opening records are the
+    /// samples still buffered in watermarks. Call between jobs (or on a
+    /// size trigger) to bound WAL replay time; recovery cost after this
+    /// is segment decoding plus the short new tail.
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`]. On error the
+    /// store is still on the old WAL and nothing is lost.
+    pub fn rotate(&mut self) -> Result<()> {
+        struct Sealed {
+            id: LaneId,
+            after: u64,
+            timestamps: Vec<u64>,
+            values: Vec<f64>,
+            late: u64,
+            dups: u64,
+        }
+        let mut sealed = Vec::new();
+        let mut pending: Vec<(LaneId, u64, f64)> = Vec::new();
+        for slot in self.inner.pipelines_mut() {
+            let id = LaneId {
+                machine: slot.machine.to_string(),
+                sensor: slot.sensor.to_string(),
+                kind: slot.kind,
+            };
+            let stats = slot.pipe.watermark.stats();
+            if slot.pipe.timestamps.len() > slot.pipe.sealed || stats != slot.pipe.sealed_stats {
+                sealed.push(Sealed {
+                    id: id.clone(),
+                    after: slot.pipe.opened_seq.unwrap_or(0),
+                    timestamps: slot
+                        .pipe
+                        .timestamps
+                        .get(slot.pipe.sealed..)
+                        .unwrap_or(&[])
+                        .to_vec(),
+                    values: slot
+                        .pipe
+                        .values
+                        .get(slot.pipe.sealed..)
+                        .unwrap_or(&[])
+                        .to_vec(),
+                    late: stats.late_dropped as u64,
+                    dups: stats.duplicates_dropped as u64,
+                });
+                slot.pipe.sealed = slot.pipe.timestamps.len();
+                slot.pipe.sealed_stats = stats;
+            }
+            for (t, v) in slot.pipe.watermark.pending_samples() {
+                pending.push((id.clone(), t, v));
+            }
+        }
+        let mut draft = SegmentDraft {
+            controls: std::mem::take(&mut self.unsealed_controls),
+            ..SegmentDraft::default()
+        };
+        for s in sealed {
+            let lane = self.intern_lane(&s.id);
+            draft.chunks.push(SegmentChunk {
+                lane,
+                after_control_seq: s.after,
+                timestamps: s.timestamps,
+                values: s.values,
+                late_dropped: s.late,
+                duplicates_dropped: s.dups,
+            });
+        }
+        let mut carry = Vec::new();
+        for (id, timestamp, value) in pending {
+            let lane = self.intern_lane(&id);
+            carry.push(WalRecord::Sample {
+                lane,
+                timestamp,
+                value,
+            });
+        }
+        for (idx, id) in self.lanes.iter().enumerate() {
+            if let Some(id) = id {
+                draft.lane_defs.push(LaneDef {
+                    lane: idx as u32,
+                    meta: encode_lane(id),
+                });
+            }
+        }
+        self.store.rotate(&draft, &carry).map_err(substrate)
+    }
+
+    fn patch_report(&self, report: &mut StreamReport) {
+        report.stats.corrupt_records = self.corrupt_records;
+        for (lane, &n) in &self.corrupt_by_lane {
+            report
+                .lane_stats
+                .entry(lane.clone())
+                .or_default()
+                .corrupt_records = n;
+        }
+    }
+
+    /// Current counters, with recovery corruption folded in.
+    pub fn stats(&self) -> StreamStats {
+        let mut stats = self.inner.stats();
+        stats.corrupt_records = self.corrupt_records;
+        stats
+    }
+
+    /// Per-lane count of samples made durable (journalled, whether or
+    /// not the detector accepted them). A resuming client resends each
+    /// lane's stream starting at this index.
+    pub fn delivered(&self) -> &BTreeMap<LaneId, u64> {
+        &self.delivered
+    }
+
+    /// Highest control sequence number journalled so far; a resuming
+    /// client resends controls with higher sequence numbers.
+    pub fn controls_applied(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// The wrapped in-memory detector (read-only).
+    pub fn detector(&self) -> &StreamDetector {
+        &self.inner
+    }
+
+    /// The underlying store (read-only; exposes WAL index and storage).
+    pub fn store(&self) -> &Store<S> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::ScorerMode;
+    use hierod_store::MemStorage;
+
+    fn lane(machine: &str, sensor: &str, kind: LaneKind) -> LaneId {
+        LaneId {
+            machine: machine.into(),
+            sensor: sensor.into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn lane_codec_round_trips() {
+        for kind in [LaneKind::Phase, LaneKind::Environment] {
+            let id = lane("m0", "m0.bed.0", kind);
+            assert_eq!(decode_lane(&encode_lane(&id)), Some(id));
+        }
+        assert_eq!(decode_lane(&[9]), None);
+        assert_eq!(decode_lane(&[]), None);
+    }
+
+    #[test]
+    fn control_codec_round_trips() {
+        let events = vec![
+            ControlEvent::MachineUp {
+                machine: "m0".into(),
+                sensors: vec![Sensor::new("m0.bed.0", SensorKind::BedTemperature)],
+                redundancy: vec![RedundancyGroup::new(
+                    SensorKind::BedTemperature,
+                    vec!["m0.bed.0".into()],
+                )],
+                env_sensors: vec!["m0.room".into()],
+            },
+            ControlEvent::JobStart {
+                machine: "m0".into(),
+                job: "j0".into(),
+                start: 17,
+                config: JobConfig::new(vec!["speed".into()], vec![1.25]),
+            },
+            ControlEvent::PhaseStart {
+                machine: "m0".into(),
+                kind: PhaseKind::Printing,
+                sensors: vec!["m0.bed.0".into(), "m0.laser".into()],
+            },
+            ControlEvent::JobComplete {
+                machine: "m0".into(),
+                caq: CaqResult::new(vec!["q".into()], vec![0.5], false),
+            },
+        ];
+        for ev in &events {
+            let bytes = ev.encode();
+            let back = ControlEvent::decode(&bytes).expect("decode");
+            assert_eq!(back.encode(), bytes, "re-encode is identity");
+        }
+        // Every truncation of a valid payload is rejected, never panics.
+        let bytes = events.first().unwrap().encode();
+        for cut in 0..bytes.len() {
+            assert!(ControlEvent::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    fn policy_and_config() -> (AlgorithmPolicy, StreamConfig) {
+        (
+            AlgorithmPolicy::default(),
+            StreamConfig {
+                lateness: 2,
+                mode: ScorerMode::BatchEquivalent,
+            },
+        )
+    }
+
+    fn run_scenario(d: &mut DurableStream<MemStorage>, rotate_mid: bool) {
+        let (machine, bed, room) = ("m0", "m0.bed.0", "m0.room");
+        d.machine_up(
+            machine,
+            vec![Sensor::new(bed, SensorKind::BedTemperature)],
+            vec![RedundancyGroup::new(
+                SensorKind::BedTemperature,
+                vec![bed.into()],
+            )],
+            &[room.to_string()],
+        )
+        .unwrap();
+        d.job_start(
+            machine,
+            "j0",
+            0,
+            JobConfig::new(vec!["p".into()], vec![1.0]),
+        )
+        .unwrap();
+        d.phase_start(machine, PhaseKind::WarmUp, &[bed.to_string()])
+            .unwrap();
+        let bed_lane = lane(machine, bed, LaneKind::Phase);
+        let room_lane = lane(machine, room, LaneKind::Environment);
+        for t in 0..48_u64 {
+            let v = if t == 30 {
+                55.0
+            } else {
+                (t as f64 * 0.3).cos()
+            };
+            d.ingest(
+                &bed_lane,
+                Sample {
+                    timestamp: t,
+                    value: v,
+                },
+            )
+            .unwrap();
+            if t % 2 == 0 {
+                d.ingest(
+                    &room_lane,
+                    Sample {
+                        timestamp: t,
+                        value: 20.0 + (t as f64 * 0.1).sin(),
+                    },
+                )
+                .unwrap();
+            }
+        }
+        if rotate_mid {
+            d.rotate().unwrap();
+        }
+        d.job_complete(machine, CaqResult::new(vec!["q".into()], vec![0.97], true))
+            .unwrap();
+    }
+
+    #[test]
+    fn clean_restart_rebuilds_identical_report() {
+        for rotate_mid in [false, true] {
+            let storage = MemStorage::new();
+            let (policy, config) = policy_and_config();
+            let (mut d, _) =
+                DurableStream::open(policy, config, storage.clone(), StoreOptions::default())
+                    .unwrap();
+            run_scenario(&mut d, rotate_mid);
+            let baseline = d.tick().unwrap();
+            let delivered = d.delivered().clone();
+            let controls = d.controls_applied();
+            drop(d);
+
+            // Reopen on the synced image (commit happened in tick()).
+            let image = storage.crash_image(false);
+            let (policy, config) = policy_and_config();
+            let (d2, recovery) =
+                DurableStream::open(policy, config, image, StoreOptions::default()).unwrap();
+            assert_eq!(d2.controls_applied(), controls);
+            assert_eq!(d2.delivered(), &delivered);
+            assert_eq!(recovery.corrupt_records, 0);
+            let report = d2.finish().unwrap();
+            let baseline_final = {
+                // The baseline detector above was only ticked; finish the
+                // same scenario in one uninterrupted life for comparison.
+                let (policy, config) = policy_and_config();
+                let (mut d3, _) =
+                    DurableStream::open(policy, config, MemStorage::new(), StoreOptions::default())
+                        .unwrap();
+                run_scenario(&mut d3, rotate_mid);
+                d3.finish().unwrap()
+            };
+            assert_eq!(
+                report.stats, baseline_final.stats,
+                "rotate_mid={rotate_mid}"
+            );
+            assert_eq!(
+                report.lane_stats, baseline_final.lane_stats,
+                "rotate_mid={rotate_mid}"
+            );
+            assert_eq!(
+                format!("{:?}", report.report),
+                format!("{:?}", baseline_final.report),
+                "rotate_mid={rotate_mid}"
+            );
+            drop(baseline);
+        }
+    }
+
+    #[test]
+    fn recovery_reports_progress_counters() {
+        let storage = MemStorage::new();
+        let (policy, config) = policy_and_config();
+        let (mut d, fresh) =
+            DurableStream::open(policy, config, storage.clone(), StoreOptions::default()).unwrap();
+        assert_eq!(fresh.controls_applied, 0);
+        assert_eq!(fresh.restored_samples + fresh.replayed_samples, 0);
+        run_scenario(&mut d, true);
+        d.tick().unwrap();
+        drop(d);
+
+        let image = storage.crash_image(false);
+        let (policy, config) = policy_and_config();
+        let (_, recovery) =
+            DurableStream::open(policy, config, image, StoreOptions::default()).unwrap();
+        assert!(recovery.restored_samples > 0, "rotation sealed chunks");
+        assert_eq!(
+            recovery.restored_samples + recovery.replayed_samples,
+            48 + 24,
+            "every journalled sample is accounted for"
+        );
+        assert_eq!(recovery.controls_applied, 4);
+    }
+
+    #[test]
+    fn journalled_but_rejected_samples_replay_deterministically() {
+        let storage = MemStorage::new();
+        let (policy, config) = policy_and_config();
+        let (mut d, _) =
+            DurableStream::open(policy, config, storage.clone(), StoreOptions::default()).unwrap();
+        d.machine_up("m0", vec![], vec![], &["m0.room".to_string()])
+            .unwrap();
+        // Phase lane with no open phase: journalled, then rejected.
+        let bad = lane("m0", "m0.bed.0", LaneKind::Phase);
+        assert!(d
+            .ingest(
+                &bad,
+                Sample {
+                    timestamp: 0,
+                    value: 1.0
+                }
+            )
+            .is_err());
+        assert_eq!(d.delivered().get(&bad), Some(&1));
+        d.tick().unwrap();
+        drop(d);
+
+        let image = storage.crash_image(false);
+        let (policy, config) = policy_and_config();
+        let (d2, recovery) =
+            DurableStream::open(policy, config, image, StoreOptions::default()).unwrap();
+        assert_eq!(recovery.replayed_samples, 1);
+        assert_eq!(d2.delivered().get(&bad), Some(&1));
+        assert_eq!(d2.stats().samples_ingested, 0, "rejection replayed");
+    }
+}

@@ -19,16 +19,25 @@
 //!   ticks, emitting the same ⟨global score, outlierness, support⟩
 //!   triples as the batch path (the stream/batch equivalence test pins
 //!   this).
+//! * [`durable`] — [`DurableStream`]: wraps the detector in a
+//!   [`hierod_store`] write-ahead log + columnar segment store, making
+//!   every accepted sample and control event crash-durable; on restart it
+//!   rebuilds the exact pre-crash detector state from segments plus the
+//!   WAL tail (the fault-injection suite pins crash-equivalence).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod detector;
+pub mod durable;
 pub mod ring;
 pub mod router;
 pub mod watermark;
 
-pub use detector::{ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats};
+pub use detector::{
+    LaneStats, ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats,
+};
+pub use durable::{DurableRecovery, DurableStream};
 pub use ring::{ring, ClosedError, Consumer, Producer, TryPushError};
 pub use router::{IngestRouter, LaneId, LaneKind, Sample};
 pub use watermark::{LatenessStats, Watermark};

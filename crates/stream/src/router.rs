@@ -19,7 +19,7 @@ pub struct Sample {
 }
 
 /// Which hierarchy level a lane's samples belong to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LaneKind {
     /// A production-phase sensor (bed/chamber temperature, laser power, …);
     /// samples are routed to the machine's *current* job and phase.
@@ -30,7 +30,7 @@ pub enum LaneKind {
 }
 
 /// Identifies a sensor lane: machine + sensor name + level.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LaneId {
     /// Machine (production line) id.
     pub machine: String,

@@ -136,6 +136,25 @@ impl Watermark {
     pub fn pending(&self) -> usize {
         self.pending.len()
     }
+
+    /// The buffered (offered but unreleased) samples in timestamp order —
+    /// the durability layer journals these as carry-over when it rotates
+    /// a WAL into a segment, so a restart can re-offer them.
+    pub fn pending_samples(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.pending.iter().map(|(&t, &v)| (t, v))
+    }
+
+    /// Rewinds this watermark to a recovered mid-stream state: `floor` is
+    /// the highest released timestamp of the restored history (also the
+    /// new `max_ts` — re-offering the journalled unreleased samples in
+    /// timestamp order rebuilds the true maximum), and `stats` are the
+    /// absolute drop counters frozen when the state was sealed. Only
+    /// meaningful on a fresh watermark with nothing buffered.
+    pub(crate) fn restore_state(&mut self, floor: Option<u64>, stats: LatenessStats) {
+        self.floor = floor;
+        self.max_ts = floor;
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,391 @@
+//! Fault-injection recovery suite: *write-crash-recover ≡ no-crash*.
+//!
+//! A scripted production scenario (machines, jobs, phases, out-of-order
+//! samples, mid-stream rotations) runs against a [`MemStorage`] with an
+//! injected write budget: once the budget is spent, the write tears at
+//! an arbitrary byte and every later storage operation fails — the
+//! process "crashes". The test then takes a crash image (optionally
+//! dropping everything unsynced, i.e. the kernel page cache is lost
+//! too), reopens a [`DurableStream`] on it, resumes the scenario from
+//! the recovered [`DurableStream::delivered`] /
+//! [`DurableStream::controls_applied`] cursors, and finishes.
+//!
+//! The resulting report — aggregate stats, per-lane stats, detections,
+//! and the full Algorithm-1 triple report — must equal the report of an
+//! uninterrupted run, for *every* crash point swept and for random
+//! scenarios under proptest.
+
+use std::collections::BTreeMap;
+
+use hierod_core::AlgorithmPolicy;
+use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor, SensorKind};
+use hierod_store::storage::Storage;
+use hierod_store::store::StoreOptions;
+use hierod_store::MemStorage;
+use hierod_stream::{
+    DurableStream, LaneId, LaneKind, Sample, ScorerMode, StreamConfig, StreamReport,
+};
+use proptest::prelude::*;
+
+/// One step of a scripted scenario.
+#[derive(Clone, Debug)]
+enum Op {
+    MachineUp(String, Vec<Sensor>, Vec<RedundancyGroup>, Vec<String>),
+    JobStart(String, String, u64, JobConfig),
+    PhaseStart(String, PhaseKind, Vec<String>),
+    JobComplete(String, CaqResult),
+    Sample(LaneId, u64, f64),
+    Rotate,
+    Tick,
+}
+
+fn lane(machine: &str, sensor: &str, kind: LaneKind) -> LaneId {
+    LaneId {
+        machine: machine.into(),
+        sensor: sensor.into(),
+        kind,
+    }
+}
+
+/// Replays `ops` into `d`, skipping the prefix the store already holds:
+/// the first `skip_controls` control events and, per lane, the first
+/// `delivered[lane]` samples — exactly the resume contract a client
+/// follows after a crash. Returns `false` when the storage was killed
+/// mid-run (the injected crash fired).
+fn run_ops(
+    d: &mut DurableStream<MemStorage>,
+    ops: &[Op],
+    skip_controls: u64,
+    delivered: &BTreeMap<LaneId, u64>,
+) -> bool {
+    let mut control_no = 0_u64;
+    let mut lane_counts: BTreeMap<LaneId, u64> = BTreeMap::new();
+    for op in ops {
+        if let Op::MachineUp(..) | Op::JobStart(..) | Op::PhaseStart(..) | Op::JobComplete(..) = op
+        {
+            control_no += 1;
+            if control_no <= skip_controls {
+                continue;
+            }
+        }
+        if let Op::Sample(id, _, _) = op {
+            let count = lane_counts.entry(id.clone()).or_insert(0);
+            *count += 1;
+            if *count <= delivered.get(id).copied().unwrap_or(0) {
+                continue;
+            }
+        }
+        let result = match op {
+            Op::MachineUp(m, sensors, groups, env) => {
+                d.machine_up(m, sensors.clone(), groups.clone(), env)
+            }
+            Op::JobStart(m, j, start, config) => d.job_start(m, j, *start, config.clone()),
+            Op::PhaseStart(m, kind, sensors) => d.phase_start(m, *kind, sensors),
+            Op::JobComplete(m, caq) => d.job_complete(m, caq.clone()),
+            Op::Sample(id, ts, v) => d.ingest(
+                id,
+                Sample {
+                    timestamp: *ts,
+                    value: *v,
+                },
+            ),
+            Op::Rotate => d.rotate(),
+            Op::Tick => d.tick().map(|_| ()),
+        };
+        if let Err(e) = result {
+            assert!(
+                d.store().storage().killed(),
+                "only the injected crash may fail the scenario: {e:?}"
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// A two-machine scenario with out-of-order samples, a duplicate, a
+/// late drop, two jobs on one machine, and mid-stream rotations.
+fn scenario(lateness_spice: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for m in ["m0", "m1"] {
+        let bed = format!("{m}.bed.0");
+        let room = format!("{m}.room");
+        ops.push(Op::MachineUp(
+            m.into(),
+            vec![Sensor::new(&bed, SensorKind::BedTemperature)],
+            vec![RedundancyGroup::new(
+                SensorKind::BedTemperature,
+                vec![bed.clone()],
+            )],
+            vec![room.clone()],
+        ));
+    }
+    let jobs: [(&str, &str, u64); 3] = [("m0", "j0", 0), ("m1", "j0", 5), ("m0", "j1", 500)];
+    for (slot, (m, j, start)) in jobs.iter().enumerate() {
+        let bed = format!("{m}.bed.0");
+        let room = format!("{m}.room");
+        ops.push(Op::JobStart(
+            (*m).into(),
+            (*j).into(),
+            *start,
+            JobConfig::new(vec!["speed".into()], vec![1.0 + slot as f64]),
+        ));
+        ops.push(Op::PhaseStart(
+            (*m).into(),
+            PhaseKind::WarmUp,
+            vec![bed.clone()],
+        ));
+        let base = *start;
+        for i in 0..40_u64 {
+            // Mild out-of-order jitter: swap each odd/even pair.
+            let t = base + (i ^ 1);
+            let v = if i == 25 {
+                80.0 + slot as f64
+            } else {
+                (t as f64 * 0.37).sin() + slot as f64 * 0.1
+            };
+            ops.push(Op::Sample(lane(m, &bed, LaneKind::Phase), t, v));
+            if i % 4 == 0 {
+                ops.push(Op::Sample(
+                    lane(m, &room, LaneKind::Environment),
+                    t + lateness_spice,
+                    21.0 + (t as f64 * 0.05).cos(),
+                ));
+            }
+        }
+        // One duplicate (still buffered in the watermark) and one late
+        // straggler (far behind the frontier) on the phase lane.
+        ops.push(Op::Sample(lane(m, &bed, LaneKind::Phase), base + 38, -1.0));
+        ops.push(Op::Sample(lane(m, &bed, LaneKind::Phase), base + 1, -1.0));
+        ops.push(Op::PhaseStart(
+            (*m).into(),
+            PhaseKind::Printing,
+            vec![bed.clone()],
+        ));
+        for i in 0..24_u64 {
+            let t = base + 100 + i;
+            ops.push(Op::Sample(
+                lane(m, &bed, LaneKind::Phase),
+                t,
+                (t as f64 * 0.21).cos(),
+            ));
+        }
+        ops.push(Op::JobComplete(
+            (*m).into(),
+            CaqResult::new(vec!["q".into()], vec![0.9 + slot as f64 * 0.01], true),
+        ));
+        if slot == 0 {
+            ops.push(Op::Rotate);
+        }
+        if slot == 1 {
+            ops.push(Op::Tick);
+        }
+    }
+    ops.push(Op::Rotate);
+    ops
+}
+
+fn policy_and_config() -> (AlgorithmPolicy, StreamConfig) {
+    (
+        AlgorithmPolicy::default(),
+        StreamConfig {
+            lateness: 3,
+            mode: ScorerMode::BatchEquivalent,
+        },
+    )
+}
+
+fn open(storage: MemStorage) -> DurableStream<MemStorage> {
+    let (policy, config) = policy_and_config();
+    let (d, _) = DurableStream::open(policy, config, storage, StoreOptions { group_commit: 8 })
+        .expect("open");
+    d
+}
+
+fn uninterrupted(ops: &[Op]) -> StreamReport {
+    let mut d = open(MemStorage::new());
+    assert!(run_ops(&mut d, ops, 0, &BTreeMap::new()), "no budget set");
+    d.finish().expect("finish")
+}
+
+fn assert_reports_equal(got: &StreamReport, want: &StreamReport, context: &str) {
+    assert_eq!(got.stats, want.stats, "stats diverged: {context}");
+    assert_eq!(
+        got.lane_stats, want.lane_stats,
+        "lane stats diverged: {context}"
+    );
+    assert_eq!(
+        format!("{:?}", got.detections),
+        format!("{:?}", want.detections),
+        "detections diverged: {context}"
+    );
+    assert_eq!(
+        format!("{:?}", got.report),
+        format!("{:?}", want.report),
+        "report diverged: {context}"
+    );
+}
+
+/// Crashes the scenario at `budget` written bytes, recovers, resumes,
+/// and returns the final report.
+fn crash_recover_resume(ops: &[Op], budget: u64, keep_unsynced: bool) -> StreamReport {
+    let storage = MemStorage::new();
+    storage.set_write_budget(Some(budget));
+    let (policy, config) = policy_and_config();
+    let survived = match DurableStream::open(
+        policy,
+        config,
+        storage.clone(),
+        StoreOptions { group_commit: 8 },
+    ) {
+        Ok((mut d, _)) => run_ops(&mut d, ops, 0, &BTreeMap::new()),
+        // The crash can fire while the store itself bootstraps.
+        Err(_) => false,
+    };
+    let image = storage.crash_image(keep_unsynced);
+    let (policy, config) = policy_and_config();
+    let (mut d, recovery) =
+        DurableStream::open(policy, config, image, StoreOptions { group_commit: 8 })
+            .expect("recovery must always succeed");
+    if survived {
+        // Budget outlasted the scenario: nothing to resume beyond the
+        // cursors (which then cover the whole scenario).
+        assert_eq!(recovery.controls_applied, d.controls_applied());
+    }
+    let skip = d.controls_applied();
+    let delivered = d.delivered().clone();
+    assert!(
+        run_ops(&mut d, ops, skip, &delivered),
+        "resume runs on healthy storage"
+    );
+    let mut report = d.finish().expect("finish after recovery");
+    // A budget kill tears the in-flight write, which recovery rightly
+    // reports as a (survived) corruption; the uninterrupted baseline
+    // never saw damage, so mask the corruption counters before the
+    // equivalence comparison — everything else must match exactly.
+    report.stats.corrupt_records = 0;
+    for stats in report.lane_stats.values_mut() {
+        stats.corrupt_records = 0;
+    }
+    report
+}
+
+#[test]
+fn crash_recover_resume_equals_uninterrupted_across_budgets() {
+    let ops = scenario(1);
+    let baseline = uninterrupted(&ops);
+
+    // Measure the full-run write volume to bound the sweep.
+    let probe = MemStorage::new();
+    {
+        let mut d = open(probe.clone());
+        assert!(run_ops(&mut d, &ops, 0, &BTreeMap::new()));
+        d.finish().expect("finish");
+    }
+    let total = probe.bytes_written();
+    assert!(
+        total > 2_000,
+        "scenario writes enough to be interesting: {total}"
+    );
+
+    // Sweep crash points across the whole write stream; a prime stride
+    // keeps the sampled offsets unaligned with record boundaries.
+    let mut swept = 0;
+    for budget in (0..=total).step_by(211) {
+        for keep_unsynced in [false, true] {
+            let report = crash_recover_resume(&ops, budget, keep_unsynced);
+            assert_reports_equal(
+                &report,
+                &baseline,
+                &format!("budget={budget} keep_unsynced={keep_unsynced}"),
+            );
+            swept += 1;
+        }
+    }
+    assert!(swept >= 40, "sweep covered {swept} crash points");
+}
+
+#[test]
+fn torn_and_bit_flipped_wal_tails_are_survived() {
+    let ops = scenario(1);
+    let baseline = uninterrupted(&ops);
+
+    // Run ~60% of the scenario, then damage the active WAL image.
+    let cut = ops.len() * 3 / 5;
+    for damage in 0..3_u32 {
+        let storage = MemStorage::new();
+        let mut d = open(storage.clone());
+        assert!(run_ops(&mut d, &ops[..cut], 0, &BTreeMap::new()));
+        drop(d);
+        let image = storage.crash_image(true);
+        let wal_name = image
+            .list()
+            .expect("list")
+            .into_iter()
+            .find(|n| n.starts_with("wal-"))
+            .expect("active wal");
+        let len = image.file_len(&wal_name).expect("wal length");
+        let hit = match damage {
+            0 => image.tear(&wal_name, len.saturating_sub(5)),
+            1 => image.flip_bit(&wal_name, len.saturating_sub(20), 3),
+            _ => image.flip_bit(&wal_name, len / 2 + 7, 6),
+        };
+        assert!(hit, "damage {damage} targeted a real byte");
+        let (policy, config) = policy_and_config();
+        let (mut d, recovery) =
+            DurableStream::open(policy, config, image, StoreOptions { group_commit: 8 })
+                .expect("recovery survives a damaged tail");
+        assert!(
+            recovery.corrupt_records > 0 || recovery.store.wal_truncated_bytes > 0,
+            "damage {damage} was actually hit"
+        );
+        assert_eq!(
+            d.stats().corrupt_records,
+            recovery.corrupt_records,
+            "corruption surfaces in the stats"
+        );
+        let skip = d.controls_applied();
+        let delivered = d.delivered().clone();
+        assert!(run_ops(&mut d, &ops, skip, &delivered));
+        let report = d.finish().expect("finish");
+        // Corruption counters are part of the durable report; mask them
+        // out for the equivalence comparison (the baseline never saw
+        // damage).
+        let mut got = report;
+        got.stats.corrupt_records = 0;
+        for stats in got.lane_stats.values_mut() {
+            stats.corrupt_records = 0;
+        }
+        assert_reports_equal(&got, &baseline, &format!("damage={damage}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random crash points × random environment lateness spice: the
+    /// recovered-and-resumed report always equals the uninterrupted one.
+    #[test]
+    fn random_crash_points_recover_equivalently(
+        budget_seed in any::<u64>(),
+        keep_unsynced in any::<bool>(),
+        spice in 0_u64..3,
+    ) {
+        let ops = scenario(spice);
+        let baseline = uninterrupted(&ops);
+        let probe = MemStorage::new();
+        {
+            let mut d = open(probe.clone());
+            prop_assert!(run_ops(&mut d, &ops, 0, &BTreeMap::new()));
+            d.finish().expect("finish");
+        }
+        let total = probe.bytes_written();
+        let budget = budget_seed % total.max(1);
+        let report = crash_recover_resume(&ops, budget, keep_unsynced);
+        assert_reports_equal(
+            &report,
+            &baseline,
+            &format!("budget={budget} keep_unsynced={keep_unsynced} spice={spice}"),
+        );
+    }
+}

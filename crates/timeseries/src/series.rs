@@ -113,6 +113,38 @@ impl TimeSeries {
         Self::from_parts(name.into().into(), timestamps.into(), values.into())
     }
 
+    /// Adopts already-shared column storage without copying: the series
+    /// becomes a full window over `timestamps`/`values`, bumping two
+    /// reference counts. This is how columns decoded from a `hierod-store`
+    /// segment become live series — a recovered plant shares storage with
+    /// the decoded segment instead of duplicating it.
+    ///
+    /// # Errors
+    /// Returns an error if the columns differ in length or the timestamps
+    /// are not strictly increasing (the same invariants
+    /// [`TimeSeries::new`] enforces).
+    pub fn from_shared(
+        name: impl Into<String>,
+        timestamps: Arc<[u64]>,
+        values: Arc<[f64]>,
+    ) -> Result<Self> {
+        if timestamps.len() != values.len() {
+            return Err(Error::LengthMismatch {
+                what: "TimeSeries::from_shared",
+                left: timestamps.len(),
+                right: values.len(),
+            });
+        }
+        let ordered = timestamps
+            .iter()
+            .zip(timestamps.iter().skip(1))
+            .all(|(a, b)| a < b);
+        if !ordered {
+            return Err(Error::invalid("timestamps", "must be strictly increasing"));
+        }
+        Ok(Self::from_parts(name.into().into(), timestamps, values))
+    }
+
     /// Assembles a full-window series over already-shared storage. The
     /// invariants (equal lengths, strictly increasing timestamps) must hold.
     fn from_parts(name: Arc<str>, timestamps: Arc<[u64]>, values: Arc<[f64]>) -> Self {
@@ -569,6 +601,23 @@ mod tests {
         drop(before); // unique again
         s.values_mut()[1] = 5.0;
         assert_eq!(s.values(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn from_shared_adopts_columns_without_copying() {
+        let ts: Arc<[u64]> = vec![1_u64, 5, 9].into();
+        let vals: Arc<[f64]> = vec![1.0, 2.0, 3.0].into();
+        let s = TimeSeries::from_shared("seg", Arc::clone(&ts), Arc::clone(&vals)).unwrap();
+        assert_eq!(s.timestamps(), &[1, 5, 9]);
+        // Zero-copy: the series' storage IS the adopted Arc.
+        assert!(Arc::ptr_eq(&s.values_shared(), &vals));
+        assert!(Arc::ptr_eq(&s.timestamps_shared(), &ts));
+        // Invariants still enforced.
+        let bad: Arc<[u64]> = vec![3_u64, 3].into();
+        let v2: Arc<[f64]> = vec![0.0, 0.0].into();
+        assert!(TimeSeries::from_shared("seg", bad, Arc::clone(&v2)).is_err());
+        let short: Arc<[u64]> = vec![1_u64].into();
+        assert!(TimeSeries::from_shared("seg", short, v2).is_err());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`stream`] — streaming ingestion and online hierarchical detection:
 //!   SPSC ring lanes, per-sensor watermarks, incremental scorers, and a
 //!   batch-equivalent streaming driver for Algorithm 1.
+//! * [`store`] — durable substrate for the stream: CRC-checksummed
+//!   write-ahead log, immutable columnar segments, crash recovery, and a
+//!   deterministic fault-injection harness.
 
 pub use hierod_core as core;
 pub use hierod_corpus as corpus;
@@ -26,6 +29,7 @@ pub use hierod_detect as detect;
 pub use hierod_eval as eval;
 pub use hierod_hierarchy as hierarchy;
 pub use hierod_olap as olap;
+pub use hierod_store as store;
 pub use hierod_stream as stream;
 pub use hierod_synth as synth;
 pub use hierod_timeseries as timeseries;

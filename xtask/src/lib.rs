@@ -27,16 +27,22 @@ use rules::taxonomy::{TaxonomyInputs, CATALOG, COVERAGE, DESIGN, REGISTRY};
 pub const ALLOWLIST_PATH: &str = "xtask/lint.allow";
 
 /// The crates whose library code is under the `panic-site` rule.
-const PANIC_SCOPE: [&str; 5] = [
+const PANIC_SCOPE: [&str; 6] = [
     "crates/detect/src/",
     "crates/core/src/",
     "crates/hierarchy/src/",
     "crates/timeseries/src/",
     "crates/stream/src/",
+    "crates/store/src/",
 ];
 
 /// The crates under the `nan-cmp` rule (library *and* test code).
-const NAN_SCOPE: [&str; 3] = ["crates/detect/", "crates/core/", "crates/stream/"];
+const NAN_SCOPE: [&str; 4] = [
+    "crates/detect/",
+    "crates/core/",
+    "crates/stream/",
+    "crates/store/",
+];
 
 /// The result of a lint run.
 #[derive(Debug)]
