@@ -159,6 +159,11 @@ fn run_router(sensors: usize, per_sensor: u64) -> f64 {
 }
 
 fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# bench_stream — cores available: {cores}");
+    println!();
     let scorers = [
         "windowed-batch robust-z (hop 64)",
         "rolling robust-z (w=256)",
@@ -166,34 +171,43 @@ fn main() {
         "sliding kNN (w=64, k=5)",
         "sliding LOF (w=64, k=5)",
     ];
+    // The lane experiment runs two threads (producer + consumer); the
+    // per-core column normalizes by how many cores those can occupy.
+    let lane_cores = cores.min(2) as f64;
     println!("# single-lane throughput + pop->emit latency (2,000,000 samples)");
     println!(
-        "{:<36} {:>14} {:>10} {:>10}",
-        "scorer", "samples/s", "p50", "p99"
+        "{:<36} {:>14} {:>14} {:>10} {:>10}",
+        "scorer", "samples/s", "/core", "p50", "p99"
     );
     for name in scorers {
         // Warm-up run keeps first-touch page faults out of the measurement.
         run_lane(name, 100_000);
         let r = run_lane(name, 2_000_000);
         println!(
-            "{:<36} {:>14.0} {:>10.1?} {:>10.1?}",
-            name, r.samples_per_sec, r.p50, r.p99
+            "{:<36} {:>14.0} {:>14.0} {:>10.1?} {:>10.1?}",
+            name,
+            r.samples_per_sec,
+            r.samples_per_sec / lane_cores,
+            r.p50,
+            r.p99
         );
     }
     println!();
     println!("# sensor scaling: router lanes, windowed-batch robust-z per lane");
+    println!("# (single-threaded drain: /core normalizes by 1 core occupied)");
     println!(
-        "{:<10} {:>16} {:>16}",
-        "sensors", "total samples/s", "per-lane/s"
+        "{:<10} {:>16} {:>16} {:>16}",
+        "sensors", "total samples/s", "per-lane/s", "/core"
     );
     for sensors in [1_usize, 8, 64] {
         let per_sensor = (2_000_000 / sensors as u64).max(10_000);
         let total = run_router(sensors, per_sensor);
         println!(
-            "{:<10} {:>16.0} {:>16.0}",
+            "{:<10} {:>16.0} {:>16.0} {:>16.0}",
             sensors,
             total,
-            total / sensors as f64
+            total / sensors as f64,
+            total
         );
     }
 }

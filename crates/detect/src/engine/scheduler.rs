@@ -16,6 +16,7 @@
 //! the same task list always produces the same output vector.
 
 use std::collections::VecDeque;
+use std::sync::PoisonError;
 
 // Under `--features loom` the pool runs on model-checked primitives (see
 // shims/loom and tests/loom_pool.rs); the shim degrades to plain `std`
@@ -84,7 +85,7 @@ impl TaskPool {
         for (i, task) in tasks.into_iter().enumerate() {
             deques[i % workers]
                 .get_mut()
-                .expect("fresh")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push_back((i, task));
         }
         let deques = &deques;
@@ -96,23 +97,36 @@ impl TaskPool {
                     loop {
                         // Own deque first: pop the back (most recently
                         // seeded work; LIFO keeps the footprint warm).
-                        let own = deques[w].lock().expect("deque").pop_back();
+                        // Poisoned locks are recovered, not propagated: a
+                        // panicking task resurfaces at scope join anyway,
+                        // and a deque/slot is consistent at every await
+                        // point (push/pop are atomic under the lock).
+                        let own = deques[w]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_back();
                         if let Some((idx, task)) = own {
-                            *slots[idx].lock().expect("slot") = Some(task());
+                            *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(task());
                             continue;
                         }
                         // Steal sweep: oldest work from the other deques.
                         let mut stolen = None;
                         for off in 1..workers {
                             let victim = (w + off) % workers;
-                            if let Some(t) = deques[victim].lock().expect("deque").pop_front() {
+                            if let Some(t) = deques[victim]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .pop_front()
+                            {
                                 stolen = Some(t);
                                 break;
                             }
                         }
                         match stolen {
                             Some((idx, task)) => {
-                                *slots[idx].lock().expect("slot") = Some(task());
+                                *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                                    Some(task());
                             }
                             // Tasks never spawn tasks: an empty sweep means
                             // all queues are drained for good.
@@ -124,7 +138,12 @@ impl TaskPool {
         });
         slots
             .iter()
-            .map(|s| s.lock().expect("slot").take().expect("every task ran"))
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("every task ran")
+            })
             .collect()
     }
 }

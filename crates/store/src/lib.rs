@@ -19,6 +19,10 @@
 //! * [`store`] — the [`Store`] facade: one active WAL with group-commit
 //!   batching, sealed segments, the crash-safe rotation protocol, and
 //!   full recovery on open.
+//! * [`tenants`] — per-plant storage roots
+//!   (`<root>/<plant-id>/shard-<k>/`) behind the [`StorageFactory`]
+//!   trait, keeping every tenant's WAL and segments disjoint so one
+//!   plant's corruption can never poison another's recovery.
 //!
 //! The crate is deliberately dependency-free (std only) and contains no
 //! panic sites in library code — the `xtask` panic lint holds it at a
@@ -34,6 +38,7 @@ pub mod faultfs;
 pub mod segment;
 pub mod storage;
 pub mod store;
+pub mod tenants;
 pub mod wal;
 
 pub use faultfs::MemStorage;
@@ -42,4 +47,5 @@ pub use segment::{
 };
 pub use storage::{DiskStorage, Storage, StorageFile};
 pub use store::{Recovered, RecoveryStats, Store, StoreOptions};
+pub use tenants::{valid_tenant_id, DiskFactory, MemFactory, StorageFactory, MAX_TENANT_ID_LEN};
 pub use wal::{CorruptionKind, WalCorruption, WalRecord, WalScan};

@@ -138,6 +138,52 @@ pub struct StreamReport {
     pub lane_stats: BTreeMap<LaneId, LaneStats>,
 }
 
+/// One machine/job/phase lifecycle event in value form — the common
+/// currency of the durability WAL, the shard runtime (controls are
+/// broadcast to every shard so all shard detectors hold congruent
+/// skeletons), and the tenant registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlEvent {
+    /// A machine comes online with its sensor inventory.
+    MachineUp {
+        /// Machine identifier.
+        machine: String,
+        /// Full sensor inventory.
+        sensors: Vec<Sensor>,
+        /// Redundancy groups over those sensors.
+        redundancy: Vec<RedundancyGroup>,
+        /// Ambient sensors sampled outside any job.
+        env_sensors: Vec<String>,
+    },
+    /// A job starts with its configuration vector.
+    JobStart {
+        /// Machine identifier.
+        machine: String,
+        /// Job identifier.
+        job: String,
+        /// First tick of the job.
+        start: u64,
+        /// Configuration the operator submitted.
+        config: JobConfig,
+    },
+    /// A phase begins; subsequent phase samples belong to it.
+    PhaseStart {
+        /// Machine identifier.
+        machine: String,
+        /// Which of the five phases.
+        kind: PhaseKind,
+        /// The sensors that will report during this phase.
+        sensors: Vec<String>,
+    },
+    /// The machine's open job is closed with its CAQ result.
+    JobComplete {
+        /// Machine identifier.
+        machine: String,
+        /// Computer-aided quality result for the finished part.
+        caq: CaqResult,
+    },
+}
+
 /// A mutable view of one open pipeline with its lane coordinates —
 /// the durability layer walks these to seal chunks and tag pipelines
 /// with the control sequence that opened them.
@@ -260,12 +306,16 @@ impl Pipeline {
     }
 }
 
-/// One executed (or executing) phase: its kind and per-sensor pipelines in
-/// declaration order (which is the plant's series order, so the
-/// materialized view ordering matches batch).
+/// One executed (or executing) phase: its kind and per-sensor pipeline
+/// slots in declaration order (which is the plant's series order, so the
+/// materialized view ordering matches batch). A slot is `None` when the
+/// sensor's lane hashes to a different shard: every shard keeps the full
+/// declaration skeleton — same machines, jobs, phases, and slot order —
+/// and owns only the pipelines of its own lanes, which is what makes the
+/// fixed-order shard merge structurally trivial and deterministic.
 struct PhaseState {
     kind: PhaseKind,
-    pipes: Vec<(String, Pipeline)>,
+    pipes: Vec<(String, Option<Pipeline>)>,
 }
 
 /// One job's event-sourced state; `caq: None` marks it still open.
@@ -282,8 +332,9 @@ struct MachineState {
     sensors: Vec<Sensor>,
     redundancy: Vec<RedundancyGroup>,
     jobs: Vec<JobState>,
-    /// Environment pipelines, continuous across jobs, in declaration order.
-    env: Vec<(String, Pipeline)>,
+    /// Environment pipeline slots, continuous across jobs, in declaration
+    /// order; `None` for lanes owned by a different shard.
+    env: Vec<(String, Option<Pipeline>)>,
 }
 
 impl MachineState {
@@ -300,6 +351,11 @@ pub struct StreamDetector {
     policy: AlgorithmPolicy,
     config: StreamConfig,
     phase_algo: PointAlgo,
+    /// `Some((index, count))` when this detector is one shard of a set:
+    /// it applies every control event (keeping the skeleton congruent
+    /// with its siblings) but opens pipelines only for lanes whose
+    /// machine×sensor hash lands on `index`.
+    shard: Option<(usize, usize)>,
     /// Machines in arrival order (plant line order).
     machines: Vec<(String, MachineState)>,
     scratch: Vec<(u64, f64)>,
@@ -314,6 +370,37 @@ impl StreamDetector {
     /// across completed jobs and have no per-sample online form; use the
     /// batch pipeline for profile mode.
     pub fn new(policy: AlgorithmPolicy, config: StreamConfig) -> Result<Self> {
+        Self::with_shard(policy, config, None)
+    }
+
+    /// Creates shard `index` of a set of `count` detectors: structurally
+    /// identical to [`StreamDetector::new`] but only lanes with
+    /// [`shard_of(machine, sensor, count)`](crate::shard::shard_of)` ==
+    /// index` get pipelines. Control events must be broadcast to every
+    /// shard of the set, in the same order.
+    ///
+    /// # Errors
+    /// As [`StreamDetector::new`], plus `index >= count`.
+    pub fn new_shard(
+        policy: AlgorithmPolicy,
+        config: StreamConfig,
+        index: usize,
+        count: usize,
+    ) -> Result<Self> {
+        if index >= count {
+            return Err(DetectError::invalid(
+                "shard",
+                format!("shard index {index} out of range for {count} shards"),
+            ));
+        }
+        Self::with_shard(policy, config, Some((index, count)))
+    }
+
+    fn with_shard(
+        policy: AlgorithmPolicy,
+        config: StreamConfig,
+        shard: Option<(usize, usize)>,
+    ) -> Result<Self> {
         let PhaseChoice::PerSeries(phase_algo) = policy.phase else {
             return Err(DetectError::invalid(
                 "policy.phase",
@@ -324,10 +411,49 @@ impl StreamDetector {
             policy,
             config,
             phase_algo,
+            shard,
             machines: Vec::new(),
             scratch: Vec::new(),
             samples_ingested: 0,
         })
+    }
+
+    /// Whether this detector owns the pipeline of `machine`×`sensor`
+    /// (always true for an unsharded detector).
+    fn owns(&self, machine: &str, sensor: &str) -> bool {
+        match self.shard {
+            None => true,
+            Some((index, count)) => crate::shard::shard_of(machine, sensor, count) == index,
+        }
+    }
+
+    /// Applies one lifecycle event in value form — the dispatch used by
+    /// the durability WAL replay, the shard broadcast path, and the
+    /// tenant registry.
+    ///
+    /// # Errors
+    /// As the corresponding lifecycle method.
+    pub fn apply(&mut self, event: &ControlEvent) -> Result<()> {
+        match event {
+            ControlEvent::MachineUp {
+                machine,
+                sensors,
+                redundancy,
+                env_sensors,
+            } => self.machine_up(machine, sensors.clone(), redundancy.clone(), env_sensors),
+            ControlEvent::JobStart {
+                machine,
+                job,
+                start,
+                config,
+            } => self.job_start(machine, job, *start, config.clone()),
+            ControlEvent::PhaseStart {
+                machine,
+                kind,
+                sensors,
+            } => self.phase_start(machine, *kind, sensors),
+            ControlEvent::JobComplete { machine, caq } => self.job_complete(machine, caq.clone()),
+        }
     }
 
     /// Registers a machine: its sensor inventory, redundancy groups (the
@@ -352,8 +478,13 @@ impl StreamDetector {
         }
         let mut env = Vec::with_capacity(env_sensors.len());
         for name in env_sensors {
-            let scorer = self.build_scorer(self.policy.environment)?;
-            env.push((name.clone(), Pipeline::new(self.config.lateness, scorer)));
+            let pipe = if self.owns(machine, name) {
+                let scorer = self.build_scorer(self.policy.environment)?;
+                Some(Pipeline::new(self.config.lateness, scorer))
+            } else {
+                None
+            };
+            env.push((name.clone(), pipe));
         }
         self.machines.push((
             machine.to_string(),
@@ -412,8 +543,13 @@ impl StreamDetector {
     ) -> Result<()> {
         let mut pipes = Vec::with_capacity(sensors.len());
         for name in sensors {
-            let scorer = self.build_scorer(self.phase_algo)?;
-            pipes.push((name.clone(), Pipeline::new(self.config.lateness, scorer)));
+            let pipe = if self.owns(machine, name) {
+                let scorer = self.build_scorer(self.phase_algo)?;
+                Some(Pipeline::new(self.config.lateness, scorer))
+            } else {
+                None
+            };
+            pipes.push((name.clone(), pipe));
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         let result = (|| {
@@ -424,7 +560,7 @@ impl StreamDetector {
                 });
             };
             if let Some(prev) = job.phases.last_mut() {
-                for (_, pipe) in prev.pipes.iter_mut() {
+                for pipe in prev.pipes.iter_mut().filter_map(|(_, p)| p.as_mut()) {
                     pipe.finish(&mut scratch);
                 }
             }
@@ -450,7 +586,7 @@ impl StreamDetector {
                 });
             };
             if let Some(last) = job.phases.last_mut() {
-                for (_, pipe) in last.pipes.iter_mut() {
+                for pipe in last.pipes.iter_mut().filter_map(|(_, p)| p.as_mut()) {
                     pipe.finish(&mut scratch);
                 }
             }
@@ -495,7 +631,7 @@ impl StreamDetector {
                 .env
                 .iter_mut()
                 .find(|(n, _)| *n == lane.sensor)
-                .map(|(_, p)| p),
+                .and_then(|(_, p)| p.as_mut()),
             LaneKind::Phase => m
                 .open_job_mut()
                 .and_then(|j| j.phases.last_mut())
@@ -503,7 +639,7 @@ impl StreamDetector {
                     p.pipes
                         .iter_mut()
                         .find(|(n, _)| *n == lane.sensor)
-                        .map(|(_, p)| p)
+                        .and_then(|(_, p)| p.as_mut())
                 }),
         };
         let Some(pipe) = pipe else {
@@ -553,12 +689,12 @@ impl StreamDetector {
             }
         };
         for (_, m) in &self.machines {
-            for (_, pipe) in &m.env {
+            for pipe in m.env.iter().filter_map(|(_, p)| p.as_ref()) {
                 tally(pipe);
             }
             for job in &m.jobs {
                 for phase in &job.phases {
-                    for (_, pipe) in &phase.pipes {
+                    for pipe in phase.pipes.iter().filter_map(|(_, p)| p.as_ref()) {
                         tally(pipe);
                     }
                 }
@@ -585,12 +721,16 @@ impl StreamDetector {
             entry.duplicates_dropped += w.duplicates_dropped as u64;
         };
         for (machine, m) in &self.machines {
-            for (name, pipe) in &m.env {
+            for (name, pipe) in m.env.iter().filter_map(|(n, p)| Some((n, p.as_ref()?))) {
                 tally(machine, name, LaneKind::Environment, pipe);
             }
             for job in &m.jobs {
                 for phase in &job.phases {
-                    for (name, pipe) in &phase.pipes {
+                    for (name, pipe) in phase
+                        .pipes
+                        .iter()
+                        .filter_map(|(n, p)| Some((n, p.as_ref()?)))
+                    {
                         tally(machine, name, LaneKind::Phase, pipe);
                     }
                 }
@@ -606,7 +746,7 @@ impl StreamDetector {
     pub(crate) fn pipelines_mut(&mut self) -> Vec<PipeSlot<'_>> {
         let mut slots = Vec::new();
         for (machine, m) in self.machines.iter_mut() {
-            for (name, pipe) in m.env.iter_mut() {
+            for (name, pipe) in m.env.iter_mut().filter_map(|(n, p)| Some((n, p.as_mut()?))) {
                 slots.push(PipeSlot {
                     machine,
                     sensor: name,
@@ -616,7 +756,11 @@ impl StreamDetector {
             }
             for job in m.jobs.iter_mut() {
                 for phase in job.phases.iter_mut() {
-                    for (name, pipe) in phase.pipes.iter_mut() {
+                    for (name, pipe) in phase
+                        .pipes
+                        .iter_mut()
+                        .filter_map(|(n, p)| Some((n, p.as_mut()?)))
+                    {
                         slots.push(PipeSlot {
                             machine,
                             sensor: name,
@@ -657,63 +801,32 @@ impl StreamDetector {
     /// # Errors
     /// Propagates upper-level detector failures.
     pub fn finish(mut self) -> Result<StreamReport> {
+        self.finalize_pipelines();
+        self.assemble()
+    }
+
+    /// Flushes every watermark and finishes every scorer without
+    /// assembling. The shard runtime runs this per shard (through the
+    /// detect `TaskPool`) before the merged assembly.
+    pub(crate) fn finalize_pipelines(&mut self) {
         let mut scratch = std::mem::take(&mut self.scratch);
         for (_, m) in self.machines.iter_mut() {
-            for (_, pipe) in m.env.iter_mut() {
+            for pipe in m.env.iter_mut().filter_map(|(_, p)| p.as_mut()) {
                 pipe.finish(&mut scratch);
             }
             for job in m.jobs.iter_mut() {
                 for phase in job.phases.iter_mut() {
-                    for (_, pipe) in phase.pipes.iter_mut() {
+                    for pipe in phase.pipes.iter_mut().filter_map(|(_, p)| p.as_mut()) {
                         pipe.finish(&mut scratch);
                     }
                 }
             }
         }
         self.scratch = scratch;
-        self.assemble()
     }
 
     fn assemble(&self) -> Result<StreamReport> {
-        let plant = self.materialize();
-        let mut detections = BTreeMap::new();
-        detections.insert(Level::Phase, self.emit_level(&plant, Level::Phase));
-        detections.insert(
-            Level::Environment,
-            self.emit_level(&plant, Level::Environment),
-        );
-        for level in [Level::Job, Level::ProductionLine, Level::Production] {
-            detections.insert(level, detect_level(&plant, level, &self.policy)?);
-        }
-        let report = build_report(&plant, Level::Phase, &detections, &self.policy)?;
-        Ok(StreamReport {
-            detections,
-            report,
-            stats: self.stats(),
-            lane_stats: self.lane_stats(),
-        })
-    }
-
-    /// Builds the phase or environment detections from pipeline scores,
-    /// iterating the materialized plant's level view so the result order
-    /// is exactly the batch order. Series whose scorer failed or whose
-    /// scores are not yet complete (open phase in batch-equivalent mode)
-    /// are skipped — the batch path skips unscorable series the same way.
-    fn emit_level(&self, plant: &Plant, level: Level) -> LevelDetections {
-        let view = LevelView::extract(plant, level);
-        let threshold = self.policy.threshold(level);
-        let mut det = LevelDetections::empty(level);
-        for at in &view.series {
-            let Some(pipe) = self.pipeline_for(at) else {
-                continue;
-            };
-            if pipe.failed || pipe.scored.len() != at.series.len() {
-                continue;
-            }
-            let raw: Vec<f64> = pipe.scored.iter().map(|p| p.score).collect();
-            emit_series(plant, level, threshold, at, &raw, false, &mut det);
-        }
-        det
+        assemble_multi(&[self])
     }
 
     fn pipeline_for(&self, at: &SeriesAt) -> Option<&Pipeline> {
@@ -733,55 +846,13 @@ impl StreamDetector {
                 .pipes
                 .iter()
                 .find(|(n, _)| n == at.series.name())
-                .map(|(_, p)| p),
+                .and_then(|(_, p)| p.as_ref()),
             _ => m
                 .env
                 .iter()
                 .find(|(n, _)| n == at.series.name())
-                .map(|(_, p)| p),
+                .and_then(|(_, p)| p.as_ref()),
         }
-    }
-
-    /// Materializes the released state as a [`Plant`]. Only completed jobs
-    /// (CAQ present) are included — their feature vectors would otherwise
-    /// change dimension mid-job and poison the line-level series.
-    fn materialize(&self) -> Plant {
-        let mut lines = Vec::with_capacity(self.machines.len());
-        for (machine_id, m) in &self.machines {
-            let mut jobs = Vec::new();
-            for j in &m.jobs {
-                let Some(caq) = &j.caq else { continue };
-                let mut phases = Vec::with_capacity(j.phases.len());
-                for p in &j.phases {
-                    let series = p
-                        .pipes
-                        .iter()
-                        .filter_map(|(name, pipe)| pipe.series(name))
-                        .collect();
-                    phases.push(Phase::new(p.kind, series, Vec::new()));
-                }
-                jobs.push(Job {
-                    id: j.id.clone(),
-                    start: j.start,
-                    config: j.config.clone(),
-                    phases,
-                    caq: caq.clone(),
-                });
-            }
-            let env_series = m
-                .env
-                .iter()
-                .filter_map(|(name, pipe)| pipe.series(name))
-                .collect();
-            lines.push(ProductionLine {
-                machine_id: machine_id.clone(),
-                sensors: m.sensors.clone(),
-                redundancy: m.redundancy.clone(),
-                jobs,
-                environment: Environment::new(env_series),
-            });
-        }
-        Plant::new("streamed-plant", lines)
     }
 
     fn machine_mut(&mut self, machine: &str) -> Result<&mut MachineState> {
@@ -811,6 +882,214 @@ impl StreamDetector {
             },
         }
     }
+}
+
+/// Assembles one merged [`StreamReport`] from a fixed-order slice of
+/// shard detectors (a single unsharded detector is the 1-shard case).
+///
+/// Determinism and equivalence argument: every shard received the same
+/// control sequence, so all skeletons are congruent — same machines,
+/// jobs, phases, and pipeline slots in the same order — and each slot is
+/// `Some` in exactly one shard (the lane's hash owner). The merge
+/// therefore walks the first shard's skeleton and fills each slot from
+/// its unique owner: no ordering decision depends on thread timing, and
+/// the materialized plant, detections, and Algorithm-1 report are
+/// byte-identical to the unsharded run, whose pipelines saw the exact
+/// same per-lane sample sequences.
+///
+/// # Errors
+/// Invalid when the shard skeletons diverge (control events were not
+/// broadcast identically); propagates upper-level detector failures.
+pub(crate) fn assemble_multi(shards: &[&StreamDetector]) -> Result<StreamReport> {
+    let Some(first) = shards.first() else {
+        return Err(DetectError::invalid("shards", "empty shard set"));
+    };
+    for (i, other) in shards.iter().enumerate().skip(1) {
+        if !skeletons_congruent(first, other) {
+            return Err(DetectError::invalid(
+                "shards",
+                format!("shard {i} skeleton diverges from shard 0"),
+            ));
+        }
+    }
+    let plant = materialize_multi(shards);
+    let policy = &first.policy;
+    let mut detections = BTreeMap::new();
+    detections.insert(Level::Phase, emit_level_multi(shards, &plant, Level::Phase));
+    detections.insert(
+        Level::Environment,
+        emit_level_multi(shards, &plant, Level::Environment),
+    );
+    for level in [Level::Job, Level::ProductionLine, Level::Production] {
+        detections.insert(level, detect_level(&plant, level, policy)?);
+    }
+    let report = build_report(&plant, Level::Phase, &detections, policy)?;
+    let mut stats = StreamStats::default();
+    let mut lane_stats: BTreeMap<LaneId, LaneStats> = BTreeMap::new();
+    for shard in shards {
+        let s = shard.stats();
+        stats.samples_ingested += s.samples_ingested;
+        stats.samples_released += s.samples_released;
+        stats.late_dropped += s.late_dropped;
+        stats.duplicates_dropped += s.duplicates_dropped;
+        stats.series_failed += s.series_failed;
+        stats.corrupt_records += s.corrupt_records;
+        for (lane, l) in shard.lane_stats() {
+            let entry = lane_stats.entry(lane).or_default();
+            entry.released += l.released;
+            entry.late_dropped += l.late_dropped;
+            entry.duplicates_dropped += l.duplicates_dropped;
+            entry.corrupt_records += l.corrupt_records;
+        }
+    }
+    Ok(StreamReport {
+        detections,
+        report,
+        stats,
+        lane_stats,
+    })
+}
+
+/// Structural congruence of two shard skeletons: same machines, jobs,
+/// phases, and pipeline slot names in the same order. Pipeline contents
+/// are deliberately not compared — slots differ by ownership.
+fn skeletons_congruent(a: &StreamDetector, b: &StreamDetector) -> bool {
+    a.machines.len() == b.machines.len()
+        && a.machines
+            .iter()
+            .zip(&b.machines)
+            .all(|((ida, ma), (idb, mb))| {
+                ida == idb
+                    && ma.env.len() == mb.env.len()
+                    && ma
+                        .env
+                        .iter()
+                        .zip(&mb.env)
+                        .all(|((na, _), (nb, _))| na == nb)
+                    && ma.jobs.len() == mb.jobs.len()
+                    && ma.jobs.iter().zip(&mb.jobs).all(|(ja, jb)| {
+                        ja.id == jb.id
+                            && ja.caq.is_some() == jb.caq.is_some()
+                            && ja.phases.len() == jb.phases.len()
+                            && ja.phases.iter().zip(&jb.phases).all(|(pa, pb)| {
+                                pa.kind == pb.kind
+                                    && pa.pipes.len() == pb.pipes.len()
+                                    && pa
+                                        .pipes
+                                        .iter()
+                                        .zip(&pb.pipes)
+                                        .all(|((na, _), (nb, _))| na == nb)
+                            })
+                    })
+            })
+}
+
+/// The pipeline owning phase slot `(machine, job, phase, pipe)` across the
+/// shard set — `None` when no shard released anything into it yet.
+fn phase_pipe_at<'a>(
+    shards: &[&'a StreamDetector],
+    mi: usize,
+    ji: usize,
+    pi: usize,
+    ki: usize,
+) -> Option<&'a Pipeline> {
+    shards.iter().find_map(|d| {
+        d.machines
+            .get(mi)?
+            .1
+            .jobs
+            .get(ji)?
+            .phases
+            .get(pi)?
+            .pipes
+            .get(ki)?
+            .1
+            .as_ref()
+    })
+}
+
+/// The pipeline owning environment slot `(machine, pipe)` across the set.
+fn env_pipe_at<'a>(shards: &[&'a StreamDetector], mi: usize, ki: usize) -> Option<&'a Pipeline> {
+    shards
+        .iter()
+        .find_map(|d| d.machines.get(mi)?.1.env.get(ki)?.1.as_ref())
+}
+
+/// Materializes the released state of a shard set as a [`Plant`], walking
+/// the first shard's skeleton and filling every slot from its owner. Only
+/// completed jobs (CAQ present) are included — their feature vectors would
+/// otherwise change dimension mid-job and poison the line-level series.
+fn materialize_multi(shards: &[&StreamDetector]) -> Plant {
+    let Some(first) = shards.first() else {
+        return Plant::new("streamed-plant", Vec::new());
+    };
+    let mut lines = Vec::with_capacity(first.machines.len());
+    for (mi, (machine_id, m)) in first.machines.iter().enumerate() {
+        let mut jobs = Vec::new();
+        for (ji, j) in m.jobs.iter().enumerate() {
+            let Some(caq) = &j.caq else { continue };
+            let mut phases = Vec::with_capacity(j.phases.len());
+            for (pi, p) in j.phases.iter().enumerate() {
+                let series = p
+                    .pipes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(ki, (name, _))| {
+                        phase_pipe_at(shards, mi, ji, pi, ki).and_then(|pipe| pipe.series(name))
+                    })
+                    .collect();
+                phases.push(Phase::new(p.kind, series, Vec::new()));
+            }
+            jobs.push(Job {
+                id: j.id.clone(),
+                start: j.start,
+                config: j.config.clone(),
+                phases,
+                caq: caq.clone(),
+            });
+        }
+        let env_series = m
+            .env
+            .iter()
+            .enumerate()
+            .filter_map(|(ki, (name, _))| {
+                env_pipe_at(shards, mi, ki).and_then(|pipe| pipe.series(name))
+            })
+            .collect();
+        lines.push(ProductionLine {
+            machine_id: machine_id.clone(),
+            sensors: m.sensors.clone(),
+            redundancy: m.redundancy.clone(),
+            jobs,
+            environment: Environment::new(env_series),
+        });
+    }
+    Plant::new("streamed-plant", lines)
+}
+
+/// Builds the phase or environment detections from pipeline scores,
+/// iterating the materialized plant's level view so the result order is
+/// exactly the batch order. Each series' pipeline lives in exactly one
+/// shard; series whose scorer failed or whose scores are not yet complete
+/// (open phase in batch-equivalent mode) are skipped — the batch path
+/// skips unscorable series the same way.
+fn emit_level_multi(shards: &[&StreamDetector], plant: &Plant, level: Level) -> LevelDetections {
+    let view = LevelView::extract(plant, level);
+    let mut det = LevelDetections::empty(level);
+    let Some(threshold) = shards.first().map(|d| d.policy.threshold(level)) else {
+        return det;
+    };
+    for at in &view.series {
+        let Some(pipe) = shards.iter().find_map(|d| d.pipeline_for(at)) else {
+            continue;
+        };
+        if pipe.failed || pipe.scored.len() != at.series.len() {
+            continue;
+        }
+        let raw: Vec<f64> = pipe.scored.iter().map(|p| p.score).collect();
+        emit_series(plant, level, threshold, at, &raw, false, &mut det);
+    }
+    det
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ use hierod_store::storage::Storage;
 use hierod_store::store::{RecoveryStats, Store, StoreOptions};
 use hierod_store::wal::WalRecord;
 
-use crate::detector::{StreamConfig, StreamDetector, StreamReport, StreamStats};
+use crate::detector::{ControlEvent, StreamConfig, StreamDetector, StreamReport, StreamStats};
 use crate::router::{IngestRouter, LaneId, LaneKind, Sample};
 
 /// Maps a storage failure into the detection error domain.
@@ -149,32 +149,6 @@ const EV_JOB_START: u8 = 2;
 const EV_PHASE_START: u8 = 3;
 const EV_JOB_COMPLETE: u8 = 4;
 
-/// A journalled control event — the WAL/segment form of the four
-/// [`StreamDetector`] lifecycle calls.
-enum ControlEvent {
-    MachineUp {
-        machine: String,
-        sensors: Vec<Sensor>,
-        redundancy: Vec<RedundancyGroup>,
-        env_sensors: Vec<String>,
-    },
-    JobStart {
-        machine: String,
-        job: String,
-        start: u64,
-        config: JobConfig,
-    },
-    PhaseStart {
-        machine: String,
-        kind: PhaseKind,
-        sensors: Vec<String>,
-    },
-    JobComplete {
-        machine: String,
-        caq: CaqResult,
-    },
-}
-
 fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
     codec::put_varint(out, items.len() as u64);
     for s in items {
@@ -191,10 +165,11 @@ fn take_str_list(buf: &mut &[u8]) -> Option<Vec<String>> {
     Some(out)
 }
 
-impl ControlEvent {
-    fn encode(&self) -> Vec<u8> {
+/// Serialises a [`ControlEvent`] as a WAL/segment payload.
+fn encode_control(event: &ControlEvent) -> Vec<u8> {
+    {
         let mut out = Vec::new();
-        match self {
+        match event {
             ControlEvent::MachineUp {
                 machine,
                 sensors,
@@ -260,12 +235,13 @@ impl ControlEvent {
         }
         out
     }
+}
 
-    /// Total inverse of [`ControlEvent::encode`]; `None` on any
-    /// malformation (payloads come from CRC-verified records, so a
-    /// `None` here means a logic error, not disk damage — recovery
-    /// skips it deterministically).
-    fn decode(bytes: &[u8]) -> Option<ControlEvent> {
+/// Total inverse of [`encode_control`]; `None` on any malformation
+/// (payloads come from CRC-verified records, so a `None` here means a
+/// logic error, not disk damage — recovery skips it deterministically).
+fn decode_control(bytes: &[u8]) -> Option<ControlEvent> {
+    {
         let mut buf = bytes;
         let buf = &mut buf;
         let event = match codec::take_u8(buf)? {
@@ -357,30 +333,6 @@ impl ControlEvent {
     }
 }
 
-/// Applies a decoded control event to the detector.
-fn apply(inner: &mut StreamDetector, event: ControlEvent) -> Result<()> {
-    match event {
-        ControlEvent::MachineUp {
-            machine,
-            sensors,
-            redundancy,
-            env_sensors,
-        } => inner.machine_up(&machine, sensors, redundancy, &env_sensors),
-        ControlEvent::JobStart {
-            machine,
-            job,
-            start,
-            config,
-        } => inner.job_start(&machine, &job, start, config),
-        ControlEvent::PhaseStart {
-            machine,
-            kind,
-            sensors,
-        } => inner.phase_start(&machine, kind, &sensors),
-        ControlEvent::JobComplete { machine, caq } => inner.job_complete(&machine, caq),
-    }
-}
-
 /// Stamps every pipeline the control `seq` just opened. Pipelines only
 /// come into existence through control events, so "untagged" means
 /// "created by the event that was just applied".
@@ -460,8 +412,46 @@ impl<S: Storage> DurableStream<S> {
         storage: S,
         options: StoreOptions,
     ) -> Result<(Self, DurableRecovery)> {
+        Self::open_with(policy, config, storage, options, None)
+    }
+
+    /// Opens (or recovers) shard `index` of a set of `count` durable
+    /// detectors — see [`StreamDetector::new_shard`]. Each shard journals
+    /// to its **own** storage: its WAL carries the broadcast control
+    /// events plus only the samples of lanes it owns, so shard recoveries
+    /// are fully independent of each other.
+    ///
+    /// # Errors
+    /// As [`DurableStream::open`], plus `index >= count`.
+    pub fn open_shard(
+        policy: AlgorithmPolicy,
+        config: StreamConfig,
+        storage: S,
+        options: StoreOptions,
+        index: usize,
+        count: usize,
+    ) -> Result<(Self, DurableRecovery)> {
+        if index >= count {
+            return Err(DetectError::invalid(
+                "shard",
+                format!("shard index {index} out of range for {count} shards"),
+            ));
+        }
+        Self::open_with(policy, config, storage, options, Some((index, count)))
+    }
+
+    fn open_with(
+        policy: AlgorithmPolicy,
+        config: StreamConfig,
+        storage: S,
+        options: StoreOptions,
+        shard: Option<(usize, usize)>,
+    ) -> Result<(Self, DurableRecovery)> {
         let (store, recovered) = Store::open(storage, options).map_err(substrate)?;
-        let mut inner = StreamDetector::new(policy, config)?;
+        let mut inner = match shard {
+            None => StreamDetector::new(policy, config)?,
+            Some((index, count)) => StreamDetector::new_shard(policy, config, index, count)?,
+        };
         let mut lanes: Vec<Option<LaneId>> = Vec::new();
         let mut next_seq = 1_u64;
         let mut delivered: BTreeMap<LaneId, u64> = BTreeMap::new();
@@ -492,8 +482,8 @@ impl<S: Storage> DurableStream<S> {
                 match item {
                     Item::Control(c) => {
                         next_seq = next_seq.max(c.seq.saturating_add(1));
-                        if let Some(event) = ControlEvent::decode(&c.payload) {
-                            if apply(&mut inner, event).is_ok() {
+                        if let Some(event) = decode_control(&c.payload) {
+                            if inner.apply(&event).is_ok() {
                                 tag_new_pipelines(&mut inner, c.seq);
                             }
                         }
@@ -552,8 +542,8 @@ impl<S: Storage> DurableStream<S> {
                         seq: *seq,
                         payload: payload.clone(),
                     });
-                    if let Some(event) = ControlEvent::decode(payload) {
-                        if apply(&mut inner, event).is_ok() {
+                    if let Some(event) = decode_control(payload) {
+                        if inner.apply(&event).is_ok() {
                             tag_new_pipelines(&mut inner, *seq);
                         }
                     }
@@ -674,6 +664,21 @@ impl<S: Storage> DurableStream<S> {
         Ok(seq)
     }
 
+    /// Journals (fsynced) and applies one control event — the value-form
+    /// entry point the tenant registry and shard broadcast use.
+    ///
+    /// # Errors
+    /// Storage failures as [`DetectError::Substrate`], then the inner
+    /// detector's lifecycle errors.
+    pub fn control(&mut self, event: &ControlEvent) -> Result<()> {
+        let seq = self.journal_control(encode_control(event))?;
+        let result = self.inner.apply(event);
+        if result.is_ok() {
+            tag_new_pipelines(&mut self.inner, seq);
+        }
+        result
+    }
+
     /// Durable [`StreamDetector::machine_up`].
     ///
     /// # Errors
@@ -686,18 +691,12 @@ impl<S: Storage> DurableStream<S> {
         redundancy: Vec<RedundancyGroup>,
         env_sensors: &[String],
     ) -> Result<()> {
-        let event = ControlEvent::MachineUp {
+        self.control(&ControlEvent::MachineUp {
             machine: machine.to_string(),
             sensors,
             redundancy,
             env_sensors: env_sensors.to_vec(),
-        };
-        let seq = self.journal_control(event.encode())?;
-        let result = apply(&mut self.inner, event);
-        if result.is_ok() {
-            tag_new_pipelines(&mut self.inner, seq);
-        }
-        result
+        })
     }
 
     /// Durable [`StreamDetector::job_start`].
@@ -712,18 +711,12 @@ impl<S: Storage> DurableStream<S> {
         start: u64,
         config: JobConfig,
     ) -> Result<()> {
-        let event = ControlEvent::JobStart {
+        self.control(&ControlEvent::JobStart {
             machine: machine.to_string(),
             job: job.to_string(),
             start,
             config,
-        };
-        let seq = self.journal_control(event.encode())?;
-        let result = apply(&mut self.inner, event);
-        if result.is_ok() {
-            tag_new_pipelines(&mut self.inner, seq);
-        }
-        result
+        })
     }
 
     /// Durable [`StreamDetector::phase_start`].
@@ -737,17 +730,11 @@ impl<S: Storage> DurableStream<S> {
         kind: PhaseKind,
         sensors: &[String],
     ) -> Result<()> {
-        let event = ControlEvent::PhaseStart {
+        self.control(&ControlEvent::PhaseStart {
             machine: machine.to_string(),
             kind,
             sensors: sensors.to_vec(),
-        };
-        let seq = self.journal_control(event.encode())?;
-        let result = apply(&mut self.inner, event);
-        if result.is_ok() {
-            tag_new_pipelines(&mut self.inner, seq);
-        }
-        result
+        })
     }
 
     /// Durable [`StreamDetector::job_complete`].
@@ -756,16 +743,10 @@ impl<S: Storage> DurableStream<S> {
     /// Storage failures as [`DetectError::Substrate`], then the inner
     /// detector's lifecycle errors.
     pub fn job_complete(&mut self, machine: &str, caq: CaqResult) -> Result<()> {
-        let event = ControlEvent::JobComplete {
+        self.control(&ControlEvent::JobComplete {
             machine: machine.to_string(),
             caq,
-        };
-        let seq = self.journal_control(event.encode())?;
-        let result = apply(&mut self.inner, event);
-        if result.is_ok() {
-            tag_new_pipelines(&mut self.inner, seq);
-        }
-        result
+        })
     }
 
     /// Durable [`StreamDetector::ingest`]: the sample is journalled
@@ -928,15 +909,32 @@ impl<S: Storage> DurableStream<S> {
         self.store.rotate(&draft, &carry).map_err(substrate)
     }
 
-    fn patch_report(&self, report: &mut StreamReport) {
-        report.stats.corrupt_records = self.corrupt_records;
+    /// Folds this stream's recovery corruption counters into `report`.
+    /// Accumulating (`+=`) so a merged multi-shard report can be patched
+    /// by every shard in turn — shard lane sets are disjoint.
+    pub(crate) fn patch_report(&self, report: &mut StreamReport) {
+        report.stats.corrupt_records += self.corrupt_records;
         for (lane, &n) in &self.corrupt_by_lane {
             report
                 .lane_stats
                 .entry(lane.clone())
                 .or_default()
-                .corrupt_records = n;
+                .corrupt_records += n;
         }
+    }
+
+    /// Hard-commits the WAL so everything journalled is durable.
+    pub(crate) fn commit_wal(&mut self) -> Result<()> {
+        self.store.commit().map_err(substrate)
+    }
+
+    /// Hard-commits the WAL, then flushes every watermark and finishes
+    /// every scorer — the per-shard half of a merged multi-shard finish
+    /// (the tenant layer assembles across shards afterwards).
+    pub(crate) fn finalize_pipelines(&mut self) -> Result<()> {
+        self.commit_wal()?;
+        self.inner.finalize_pipelines();
+        Ok(())
     }
 
     /// Current counters, with recovery corruption folded in.
@@ -1023,14 +1021,14 @@ mod tests {
             },
         ];
         for ev in &events {
-            let bytes = ev.encode();
-            let back = ControlEvent::decode(&bytes).expect("decode");
-            assert_eq!(back.encode(), bytes, "re-encode is identity");
+            let bytes = encode_control(ev);
+            let back = decode_control(&bytes).expect("decode");
+            assert_eq!(encode_control(&back), bytes, "re-encode is identity");
         }
         // Every truncation of a valid payload is rejected, never panics.
-        let bytes = events.first().unwrap().encode();
+        let bytes = encode_control(events.first().unwrap());
         for cut in 0..bytes.len() {
-            assert!(ControlEvent::decode(&bytes[..cut]).is_none(), "cut {cut}");
+            assert!(decode_control(&bytes[..cut]).is_none(), "cut {cut}");
         }
     }
 

@@ -24,6 +24,13 @@
 //!   every accepted sample and control event crash-durable; on restart it
 //!   rebuilds the exact pre-crash detector state from segments plus the
 //!   WAL tail (the fault-injection suite pins crash-equivalence).
+//! * [`shard`] — multi-core scale-out: N shard-scoped detectors behind
+//!   per-shard SPSC rings, keyed by a stable machine×sensor hash, merged
+//!   in fixed order into one report byte-identical to the single-shard
+//!   run.
+//! * [`tenant`] — multi-plant tenancy: a [`PlantRegistry`] hosting N
+//!   independent plants in one process, each with its own shard set and
+//!   per-tenant durable directory, recovered in isolation.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -32,12 +39,16 @@ pub mod detector;
 pub mod durable;
 pub mod ring;
 pub mod router;
+pub mod shard;
+pub mod tenant;
 pub mod watermark;
 
 pub use detector::{
-    LaneStats, ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats,
+    ControlEvent, LaneStats, ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats,
 };
 pub use durable::{DurableRecovery, DurableStream};
 pub use ring::{ring, ClosedError, Consumer, Producer, TryPushError};
 pub use router::{IngestRouter, LaneId, LaneKind, Sample};
+pub use shard::{shard_of, ShardEvent, ShardSet, ShardedStream, DEFAULT_SHARD_CAPACITY};
+pub use tenant::{PlantRegistry, Tenant, TenantConfig, TenantRecovery};
 pub use watermark::{LatenessStats, Watermark};

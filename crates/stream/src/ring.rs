@@ -16,6 +16,17 @@
 //! uses `SeqCst`, whose single total order rules out the missed-wakeup
 //! window; the loom model in `tests/loom_ring.rs` explores the
 //! interleavings mechanically.
+//!
+//! The waiting flag is a *wake token*, not a level: the waker clears it
+//! (under the gate) as it notifies, and a sleeper re-raises it before
+//! every wait. One park therefore costs one notify — without the clear,
+//! the flag would stay raised from the moment the peer parks until the
+//! OS actually reschedules it, and on a loaded core every operation in
+//! that window would pay the gate lock and a futex wake for a peer that
+//! is already runnable. Clearing cannot strand a sleeper: raise and
+//! clear are both gate-serialized, so when the waker holds the gate a
+//! raised flag means the sleeper is inside `wait` (it releases the gate
+//! only by waiting) and the notify is guaranteed to reach it.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -111,9 +122,13 @@ impl<T> Shared<T> {
     fn wake_consumer(&self) {
         if self.pop_waiting.load(Ordering::SeqCst) {
             // Taking the gate orders this notify after the waiter's
-            // recheck-then-wait, closing the missed-wakeup window.
-            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+            // recheck-then-wait, closing the missed-wakeup window. The
+            // token is consumed under the same gate: follow-up pushes
+            // skip the wake until the consumer parks again.
+            let gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            self.pop_waiting.store(false, Ordering::SeqCst);
             self.not_empty.notify_all();
+            drop(gate);
         }
     }
 
@@ -133,9 +148,13 @@ impl<T> Shared<T> {
         let tail = self.tail.load(Ordering::SeqCst);
         if tail.wrapping_sub(head) <= self.capacity() / 2 {
             // Taking the gate orders this notify after the waiter's
-            // recheck-then-wait, closing the missed-wakeup window.
-            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+            // recheck-then-wait, closing the missed-wakeup window. The
+            // token is consumed under the same gate: follow-up pops
+            // skip the wake until the producer parks again.
+            let gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            self.push_waiting.store(false, Ordering::SeqCst);
             self.not_full.notify_all();
+            drop(gate);
         }
     }
 
@@ -246,8 +265,16 @@ impl<T> Producer<T> {
     fn park_until_space(&self) {
         let s = &*self.shared;
         let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
-        s.push_waiting.store(true, Ordering::SeqCst);
-        while s.is_full_now() && !s.closed.load(Ordering::SeqCst) {
+        loop {
+            // Raise the wake token *before* rechecking the ring — on
+            // every iteration, since a notify consumes it. The SeqCst
+            // store-then-load here against the consumer's
+            // store-`head`-then-load-token keeps the missed-wakeup
+            // window closed.
+            s.push_waiting.store(true, Ordering::SeqCst);
+            if !s.is_full_now() || s.closed.load(Ordering::SeqCst) {
+                break;
+            }
             gate = s
                 .not_full
                 .wait(gate)
@@ -316,8 +343,16 @@ impl<T> Consumer<T> {
     fn park_until_data(&self) {
         let s = &*self.shared;
         let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
-        s.pop_waiting.store(true, Ordering::SeqCst);
-        while s.is_empty_now() && !s.closed.load(Ordering::SeqCst) {
+        loop {
+            // Raise the wake token *before* rechecking the ring — on
+            // every iteration, since a notify consumes it. The SeqCst
+            // store-then-load here against the producer's
+            // store-`tail`-then-load-token keeps the missed-wakeup
+            // window closed.
+            s.pop_waiting.store(true, Ordering::SeqCst);
+            if !s.is_empty_now() || s.closed.load(Ordering::SeqCst) {
+                break;
+            }
             gate = s
                 .not_empty
                 .wait(gate)

@@ -1,0 +1,281 @@
+//! Two-tenant crash recovery: pins the tenancy tentpole's isolation
+//! contract on [`PlantRegistry`].
+//!
+//! * A tenant that crashes mid-stream recovers from its own durable
+//!   directory and — after the client resends the undelivered suffix —
+//!   finishes with a report byte-identical to an uninterrupted run.
+//! * The sibling tenant is entirely unaffected: same recovery counters
+//!   and byte-identical report whether or not its neighbour crashed,
+//!   was corrupted, or failed recovery outright.
+//! * Hard damage (a corrupt sealed segment) parks only the damaged
+//!   tenant in [`PlantRegistry::failed`]; soft damage (a flipped WAL
+//!   bit) is truncated and counted only on the damaged tenant.
+
+use hierod_core::AlgorithmPolicy;
+use hierod_store::tenants::MemFactory;
+use hierod_store::Storage;
+use hierod_stream::{
+    ControlEvent, LaneId, LaneKind, PlantRegistry, Sample, ScorerMode, StreamConfig, StreamReport,
+    Tenant, TenantConfig,
+};
+use hierod_synth::{ReplayEvent, ScenarioBuilder};
+
+const SHARDS: usize = 2;
+
+fn config() -> TenantConfig {
+    TenantConfig {
+        shards: SHARDS,
+        stream: StreamConfig {
+            lateness: 0,
+            mode: ScorerMode::BatchEquivalent,
+        },
+        ..TenantConfig::default()
+    }
+}
+
+fn registry(factory: MemFactory) -> PlantRegistry<MemFactory> {
+    PlantRegistry::open(factory, AlgorithmPolicy::default(), config())
+        .expect("open registry")
+        .0
+}
+
+/// The replay, lowered to (control | sample) steps in stream order.
+enum Step {
+    Control(ControlEvent),
+    Sample(LaneId, Sample),
+}
+
+/// One machine, two jobs — returns the step stream and the index of
+/// the clean crash boundary (just after the first `JobComplete`).
+fn steps() -> (Vec<Step>, usize) {
+    let scenario = ScenarioBuilder::new(11)
+        .machines(1)
+        .jobs_per_machine(2)
+        .redundancy(2)
+        .phase_samples(40)
+        .anomaly_rate(1.0)
+        .build();
+    let mut steps = Vec::new();
+    let mut boundary = None;
+    for event in scenario.replay() {
+        let step = match event {
+            ReplayEvent::MachineUp {
+                machine,
+                sensors,
+                redundancy,
+                env_sensors,
+            } => Step::Control(ControlEvent::MachineUp {
+                machine,
+                sensors,
+                redundancy,
+                env_sensors,
+            }),
+            ReplayEvent::JobStart {
+                machine,
+                job,
+                start,
+                config,
+            } => Step::Control(ControlEvent::JobStart {
+                machine,
+                job,
+                start,
+                config,
+            }),
+            ReplayEvent::PhaseStart {
+                machine,
+                kind,
+                sensors,
+            } => Step::Control(ControlEvent::PhaseStart {
+                machine,
+                kind,
+                sensors,
+            }),
+            ReplayEvent::PhaseSample {
+                machine,
+                sensor,
+                timestamp,
+                value,
+            } => Step::Sample(
+                LaneId {
+                    machine,
+                    sensor,
+                    kind: LaneKind::Phase,
+                },
+                Sample { timestamp, value },
+            ),
+            ReplayEvent::EnvSample {
+                machine,
+                sensor,
+                timestamp,
+                value,
+            } => Step::Sample(
+                LaneId {
+                    machine,
+                    sensor,
+                    kind: LaneKind::Environment,
+                },
+                Sample { timestamp, value },
+            ),
+            ReplayEvent::JobComplete { machine, caq, .. } => {
+                Step::Control(ControlEvent::JobComplete { machine, caq })
+            }
+        };
+        steps.push(step);
+        if boundary.is_none()
+            && matches!(
+                steps.last(),
+                Some(Step::Control(ControlEvent::JobComplete { .. }))
+            )
+        {
+            boundary = Some(steps.len());
+        }
+    }
+    (steps, boundary.expect("at least one completed job"))
+}
+
+fn drive(tenant: &mut Tenant<hierod_store::MemStorage>, steps: &[Step]) {
+    for step in steps {
+        match step {
+            Step::Control(event) => tenant.control(event).expect("control"),
+            Step::Sample(lane, sample) => tenant.ingest(lane, *sample).expect("ingest"),
+        }
+    }
+}
+
+/// Uninterrupted single-tenant run over `steps`, as a Debug rendering
+/// (covers every score bit of the report).
+fn baseline(steps: &[Step]) -> String {
+    let mut reg = registry(MemFactory::new());
+    drive(reg.create_tenant("base").expect("create"), steps);
+    let report: StreamReport = reg.finish_tenant("base").expect("finish");
+    format!("{report:?}")
+}
+
+/// Flips one bit near the durable tail of the first matching file on
+/// one shard of a tenant. Returns the damaged file's name.
+fn damage(factory: &MemFactory, tenant: &str, prefix: &str) -> String {
+    let storage = factory.storage(tenant, 0).expect("shard 0 storage");
+    let name = storage
+        .list()
+        .expect("list")
+        .into_iter()
+        .find(|n| n.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no {prefix} file on {tenant}/shard-0"));
+    let len = storage.file_len(&name).expect("file length");
+    assert!(storage.flip_bit(&name, len - 2, 3), "flip bit");
+    name
+}
+
+#[test]
+fn crashed_tenant_recovers_equivalent_and_sibling_is_untouched() {
+    let (steps, boundary) = steps();
+    let want = baseline(&steps);
+
+    // Live run: plant-a crashes at the job boundary, plant-b runs to
+    // the end (but the process dies before plant-b's finish).
+    let mut reg = registry(MemFactory::new());
+    drop(reg.create_tenant("plant-a"));
+    drop(reg.create_tenant("plant-b"));
+    drive(reg.tenant_mut("plant-a").expect("a"), &steps[..boundary]);
+    drive(reg.tenant_mut("plant-b").expect("b"), &steps);
+    // Durability points: both tenants hard-commit their WALs.
+    reg.tenant_mut("plant-a")
+        .expect("a")
+        .tick()
+        .expect("tick a");
+    reg.tenant_mut("plant-b")
+        .expect("b")
+        .tick()
+        .expect("tick b");
+
+    // Crash: only fsynced bytes survive.
+    let (mut recovered, recoveries) = PlantRegistry::open(
+        reg.factory().crash_image(false),
+        AlgorithmPolicy::default(),
+        config(),
+    )
+    .expect("reopen");
+    assert!(recovered.failed().is_empty(), "{:?}", recovered.failed());
+    assert_eq!(recovered.tenant_ids(), ["plant-a", "plant-b"]);
+    for id in ["plant-a", "plant-b"] {
+        let rec = &recoveries[id];
+        assert_eq!(rec.shards.len(), SHARDS, "{id} shard layout");
+        assert_eq!(rec.corrupt_records(), 0, "{id} clean crash");
+        assert!(rec.replayed_samples() + rec.restored_samples() > 0, "{id}");
+    }
+
+    // The crashed tenant resumes with the undelivered suffix and ends
+    // byte-identical to the uninterrupted run...
+    drive(
+        recovered.tenant_mut("plant-a").expect("a"),
+        &steps[boundary..],
+    );
+    let a = recovered.finish_tenant("plant-a").expect("finish a");
+    assert_eq!(
+        format!("{a:?}"),
+        want,
+        "plant-a diverged from uninterrupted run"
+    );
+
+    // ...and the sibling, which lost nothing, is also byte-identical.
+    let b = recovered.finish_tenant("plant-b").expect("finish b");
+    assert_eq!(format!("{b:?}"), want, "plant-b affected by sibling crash");
+}
+
+#[test]
+fn corrupt_tenant_storage_cannot_poison_sibling_recovery() {
+    let (steps, _) = steps();
+    let want = baseline(&steps);
+
+    let mut reg = registry(MemFactory::new());
+    drop(reg.create_tenant("plant-a"));
+    drop(reg.create_tenant("plant-b"));
+    drive(reg.tenant_mut("plant-a").expect("a"), &steps);
+    drive(reg.tenant_mut("plant-b").expect("b"), &steps);
+    // Seal plant-a's history into a segment so hard (segment) damage is
+    // possible; commit plant-b's WAL.
+    reg.tenant_mut("plant-a")
+        .expect("a")
+        .rotate()
+        .expect("rotate a");
+    reg.tenant_mut("plant-b")
+        .expect("b")
+        .tick()
+        .expect("tick b");
+
+    // Soft damage: flip a bit in plant-a's WAL tail. Recovery truncates
+    // and counts it — on plant-a only.
+    let soft = reg.factory().crash_image(false);
+    damage(&soft, "plant-a", "wal-");
+    let (mut recovered, recoveries) =
+        PlantRegistry::open(soft, AlgorithmPolicy::default(), config()).expect("reopen soft");
+    assert!(recovered.failed().is_empty());
+    assert!(
+        recoveries["plant-a"].corrupt_records() > 0,
+        "damage detected"
+    );
+    assert_eq!(recoveries["plant-b"].corrupt_records(), 0, "sibling clean");
+    let b = recovered.finish_tenant("plant-b").expect("finish b");
+    assert_eq!(
+        format!("{b:?}"),
+        want,
+        "plant-b affected by sibling corruption"
+    );
+
+    // Hard damage: flip a bit in a sealed segment. Segments are fully
+    // checksummed and fail recovery outright — plant-a is parked in
+    // `failed()`, plant-b recovers as if nothing happened.
+    let hard = reg.factory().crash_image(false);
+    damage(&hard, "plant-a", "seg-");
+    let (mut recovered, recoveries) =
+        PlantRegistry::open(hard, AlgorithmPolicy::default(), config()).expect("reopen hard");
+    assert!(recovered.failed().contains_key("plant-a"), "plant-a parked");
+    assert!(!recoveries.contains_key("plant-a"));
+    assert_eq!(recovered.tenant_ids(), ["plant-b"]);
+    let b = recovered.finish_tenant("plant-b").expect("finish b");
+    assert_eq!(
+        format!("{b:?}"),
+        want,
+        "plant-b affected by sibling hard failure"
+    );
+}
