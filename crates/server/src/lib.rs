@@ -1,0 +1,270 @@
+//! `hierod-server`: the api layer of the api → service → engine split —
+//! a std-only TCP server exposing a [`PlantService`] to concurrent
+//! clients over the `hierod-wire` protocol.
+//!
+//! ## Threading model
+//!
+//! One [`TaskPool::run`](hierod_detect::engine::TaskPool) call hosts the
+//! whole server: an acceptor task plus `workers` connection tasks, all
+//! scoped threads (no detached threads, nothing outlives
+//! [`Server::serve`]). The acceptor pushes sockets onto a **bounded**
+//! queue (condvar-backed; at capacity new connections are refused, not
+//! buffered without limit); each worker pops one socket and serves it to
+//! completion before taking the next.
+//!
+//! The service itself sits behind one mutex — the engine already
+//! parallelises detection across its shard pool internally, so the
+//! serving layer stays an ordinary monitor and correctness never
+//! depends on lock juggling. Concurrency at this layer is about keeping
+//! many sockets serviced, not about parallel scoring.
+//!
+//! ## Graceful drain
+//!
+//! [`ServerHandle::shutdown`] flips one atomic flag. The acceptor stops
+//! accepting; workers — whose reads carry a short timeout precisely so
+//! [`FrameReader::poll`](hierod_wire::FrameReader) surfaces
+//! [`Poll::Idle`](hierod_wire::Poll) between frames — notice the flag at
+//! the next frame boundary, answer any further request with
+//! [`ErrorCode::Draining`](hierod_wire::ErrorCode), and hang up.
+//! [`Server::serve`] returns once every worker has drained.
+//!
+//! ## Protocol state
+//!
+//! Each connection holds its own lane table (built from `LaneDef`
+//! frames, mirroring WAL replay) and its admitted plant. Ingest frames
+//! are deliberately not acknowledged one-by-one — the first ingest
+//! error is parked and surfaces at the connection's next synchronous
+//! request, so a firehose of samples costs no response traffic.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use hierod_detect::engine::{Task, TaskPool};
+use hierod_service::PlantService;
+
+pub mod client;
+mod conn;
+
+pub use client::Client;
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 to let the OS pick).
+    pub addr: String,
+    /// Connection-serving workers (the acceptor is extra).
+    pub workers: usize,
+    /// Bound on the accepted-but-unserved socket queue; beyond it new
+    /// sockets are refused immediately instead of queueing unboundedly.
+    pub accept_queue: usize,
+    /// Socket read timeout — the drain poll interval: how long a worker
+    /// can sit in a blocking read before it re-checks the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            accept_queue: 64,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Counters accumulated over one [`Server::serve`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections served to completion.
+    pub connections: u64,
+    /// Frames handled across all connections (requests and ingest).
+    pub frames: u64,
+    /// Connections refused because the accept queue was full.
+    pub refused: u64,
+}
+
+/// State shared between the server, its tasks, and detached handles.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    refused: AtomicU64,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Cloneable controller for a running server: carries the bound address
+/// and the shutdown switch, and stays valid while [`Server::serve`]
+/// blocks on another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight
+    /// frames, answer further requests with `Draining`, return from
+    /// [`Server::serve`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A bound-but-not-yet-serving TCP front-end over any [`PlantService`].
+pub struct Server<S: PlantService> {
+    service: Mutex<conn::ServiceState<S>>,
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl<S: PlantService + Send> Server<S> {
+    /// Binds the listener (without serving yet, so callers can grab a
+    /// [`ServerHandle`] before the blocking [`Server::serve`] call).
+    ///
+    /// # Errors
+    /// Bind or local-address query failures.
+    pub fn bind(service: S, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // The acceptor polls: it must wake up to observe shutdown even
+        // when no client ever connects.
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            service: Mutex::new(conn::ServiceState::new(service)),
+            listener,
+            config,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                frames: AtomicU64::new(0),
+                refused: AtomicU64::new(0),
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }),
+            addr,
+        })
+    }
+
+    /// A controller handle; clone freely across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`], then drains and returns
+    /// the run's counters. Blocks the calling thread; the acceptor and
+    /// all workers are scoped inside this call.
+    ///
+    /// # Errors
+    /// Currently infallible at this layer (per-connection I/O errors
+    /// close that connection only); the `Result` reserves the right to
+    /// surface listener failures.
+    pub fn serve(self) -> io::Result<ServerStats> {
+        let workers = self.config.workers.max(1);
+        let pool = TaskPool::new(workers + 1);
+        let mut tasks: Vec<Task<'_, ()>> = Vec::with_capacity(workers + 1);
+        let shared = &self.shared;
+        let listener = &self.listener;
+        let config = &self.config;
+        let service = &self.service;
+        tasks.push(Box::new(move || accept_loop(listener, shared, config)));
+        for _ in 0..workers {
+            tasks.push(Box::new(move || worker_loop(service, shared, config)));
+        }
+        pool.run(tasks);
+        Ok(ServerStats {
+            connections: self.shared.connections.load(Ordering::SeqCst),
+            frames: self.shared.frames.load(Ordering::SeqCst),
+            refused: self.shared.refused.load(Ordering::SeqCst),
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, config: &ServerConfig) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= config.accept_queue.max(1) {
+                    // Refuse at the door: dropping the socket resets the
+                    // connection rather than parking it unbounded.
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.read_timeout.min(Duration::from_millis(20)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept errors (aborted handshakes, fd pressure):
+            // back off briefly and keep listening.
+            Err(_) => std::thread::sleep(config.read_timeout),
+        }
+    }
+    // Release every worker blocked on the condvar.
+    shared.available.notify_all();
+}
+
+fn worker_loop<S: PlantService>(
+    service: &Mutex<conn::ServiceState<S>>,
+    shared: &Shared,
+    config: &ServerConfig,
+) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, config.read_timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else {
+            return; // shutdown with an empty queue: drained
+        };
+        // Per-connection I/O errors end that connection only.
+        let _ = conn::serve_connection(stream, service, shared, config);
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+    }
+}

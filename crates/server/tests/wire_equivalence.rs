@@ -1,0 +1,298 @@
+//! Acceptance pin for the api → service → engine split: a report
+//! obtained **over the wire** (ingest via TCP frames, query via TCP)
+//! is byte-identical to the report produced by driving the same
+//! scenario through the embedded [`PlantService`] path — the network
+//! layer adds transport, never meaning.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use hierod_core::AlgorithmPolicy;
+use hierod_hierarchy::{
+    CaqResult, JobConfig, Level, PhaseKind, RedundancyGroup, Sensor, SensorKind,
+};
+use hierod_server::client::DeltaReply;
+use hierod_server::{Client, Server, ServerConfig, ServerHandle, ServerStats};
+use hierod_service::{PlantService, RegistryService};
+use hierod_store::tenants::MemFactory;
+use hierod_stream::tenant::TenantConfig;
+use hierod_stream::{ControlEvent, LaneId, LaneKind, Sample};
+use hierod_wire::{decode_report, encode_report};
+
+fn spawn_server() -> (ServerHandle, thread::JoinHandle<ServerStats>) {
+    let svc = RegistryService::open(
+        MemFactory::new(),
+        AlgorithmPolicy::default(),
+        TenantConfig::default(),
+    )
+    .unwrap();
+    let server = Server::bind(svc, ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.serve().unwrap());
+    (handle, join)
+}
+
+const MACHINE: &str = "m0";
+const BED: &str = "m0.bed.0";
+const ROOM: &str = "m0.room";
+const BED_LANE: u32 = 1;
+
+fn bed_lane_id() -> LaneId {
+    LaneId {
+        machine: MACHINE.into(),
+        sensor: BED.into(),
+        kind: LaneKind::Phase,
+    }
+}
+
+fn scenario_events() -> Vec<ControlEvent> {
+    vec![
+        ControlEvent::MachineUp {
+            machine: MACHINE.into(),
+            sensors: vec![Sensor::new(BED, SensorKind::BedTemperature)],
+            redundancy: vec![RedundancyGroup::new(
+                SensorKind::BedTemperature,
+                vec![BED.into()],
+            )],
+            env_sensors: vec![ROOM.to_string()],
+        },
+        ControlEvent::JobStart {
+            machine: MACHINE.into(),
+            job: "j0".into(),
+            start: 0,
+            config: JobConfig::new(vec!["p".into()], vec![1.0]),
+        },
+        ControlEvent::PhaseStart {
+            machine: MACHINE.into(),
+            kind: PhaseKind::WarmUp,
+            sensors: vec![BED.to_string()],
+        },
+    ]
+}
+
+fn sample_at(t: u64) -> f64 {
+    if t == 20 {
+        60.0
+    } else {
+        (t as f64 * 0.4).sin()
+    }
+}
+
+fn job_complete() -> ControlEvent {
+    ControlEvent::JobComplete {
+        machine: MACHINE.into(),
+        caq: CaqResult::new(vec!["q".into()], vec![0.9], true),
+    }
+}
+
+/// Drives the scenario over TCP: lane defs, controls, and samples as
+/// unacknowledged ingest frames, then a synchronous finish.
+fn drive_wire(client: &mut Client, samples: u64) {
+    client.lane_def(BED_LANE, &bed_lane_id()).unwrap();
+    for event in scenario_events() {
+        client.control(&event).unwrap();
+    }
+    for t in 0..samples {
+        client.sample(BED_LANE, t, sample_at(t)).unwrap();
+    }
+    client.control(&job_complete()).unwrap();
+}
+
+/// The identical scenario through the embedded service path.
+fn drive_embedded(svc: &mut RegistryService<MemFactory>, plant: &str, samples: u64) {
+    let lane = bed_lane_id();
+    for event in scenario_events() {
+        svc.control(plant, &event).unwrap();
+    }
+    for t in 0..samples {
+        svc.ingest(
+            plant,
+            &lane,
+            Sample {
+                timestamp: t,
+                value: sample_at(t),
+            },
+        )
+        .unwrap();
+    }
+    svc.control(plant, &job_complete()).unwrap();
+}
+
+#[test]
+fn report_over_wire_is_byte_identical_to_embedded() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert!(client.admit("plant-a", true).unwrap());
+    drive_wire(&mut client, 32);
+    let (version, wire_bytes) = client.finish().unwrap();
+    assert_eq!(version, 1);
+
+    let mut svc = RegistryService::open(
+        MemFactory::new(),
+        AlgorithmPolicy::default(),
+        TenantConfig::default(),
+    )
+    .unwrap();
+    svc.admit("plant-a", true).unwrap();
+    drive_embedded(&mut svc, "plant-a", 32);
+    let embedded = svc.finish("plant-a").unwrap();
+    let embedded_bytes = encode_report(&embedded);
+
+    assert_eq!(
+        wire_bytes, embedded_bytes,
+        "wire report must be byte-identical to the embedded path"
+    );
+    // And the bytes decode back to the embedded report exactly.
+    let decoded = decode_report(&wire_bytes).unwrap();
+    assert_eq!(format!("{decoded:?}"), format!("{embedded:?}"));
+    assert!(decoded.stats.samples_ingested == 32);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn lane_stats_and_corrupt_counter_flow_through_the_query_path() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    drive_wire(&mut client, 32);
+    let (stats, lanes) = client.query_lane_stats().unwrap();
+    assert_eq!(stats.samples_ingested, 32);
+    assert_eq!(stats.corrupt_records, 0);
+    let lanes: BTreeMap<_, _> = lanes.into_iter().collect();
+    assert_eq!(lanes.len(), 2, "phase lane + environment lane");
+    assert!(lanes.contains_key(&bed_lane_id()));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn scores_and_deltas_follow_report_versions() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    drive_wire(&mut client, 32);
+
+    let (v1, n1) = client.tick().unwrap();
+    assert_eq!(v1, 1);
+    let (sv, scores) = client.query_scores(None).unwrap();
+    assert_eq!(sv, 1);
+    assert_eq!(scores.len() as u64, n1);
+    // Level filter never widens the set.
+    let (_, l5) = client.query_scores(Some(Level::Phase)).unwrap();
+    assert!(l5.len() <= scores.len());
+
+    // Caught-up client: no change.
+    assert_eq!(
+        client.query_deltas(v1).unwrap(),
+        DeltaReply::NoChange { version: 1 }
+    );
+    // One version behind after another tick: an incremental delta.
+    let (v2, _) = client.tick().unwrap();
+    assert_eq!(v2, 2);
+    match client.query_deltas(1).unwrap() {
+        DeltaReply::Deltas { from, to, .. } => {
+            assert_eq!((from, to), (1, 2));
+        }
+        other => panic!("expected Deltas, got {other:?}"),
+    }
+    // Too far behind: full resync carrying a decodable report.
+    match client.query_deltas(0).unwrap() {
+        DeltaReply::Resync { version, report } => {
+            assert_eq!(version, 2);
+            assert!(decode_report(&report).is_some());
+        }
+        other => panic!("expected Resync, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn health_endpoint_maps_registry_state_onto_readiness() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    let health = client.query_health().unwrap();
+    assert!(health.ready());
+    assert_eq!(health.live.len(), 1);
+    assert_eq!(health.live[0].id, "plant-a");
+    assert!(health.failed.is_empty());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn admission_rejects_traversal_ids_over_the_wire() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert!(client.admit("../evil", true).is_err());
+    assert!(client.admit("a..b", true).is_err());
+    // The connection survives a rejected admission.
+    assert!(client.admit("plant-a", true).unwrap());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn parked_ingest_errors_surface_at_the_next_request() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    // Sample on a lane that was never defined: parked, not answered.
+    client.sample(99, 0, 1.0).unwrap();
+    let err = client.tick().unwrap_err();
+    assert!(
+        err.to_string().contains("undefined lane"),
+        "parked error should surface: {err}"
+    );
+    // The park is cleared; the connection keeps working.
+    drive_wire(&mut client, 8);
+    client.finish().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_drive_isolated_plants() {
+    let (handle, join) = spawn_server();
+    let mut workers = Vec::new();
+    for i in 0..8 {
+        let addr = handle.local_addr();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let plant = format!("plant-{i}");
+            assert!(client.admit(&plant, true).unwrap());
+            drive_wire(&mut client, 32);
+            let (_, bytes) = client.finish().unwrap();
+            decode_report(&bytes).unwrap()
+        }));
+    }
+    let reports: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // Isolation: every plant saw exactly its own 32 samples.
+    for report in &reports {
+        assert_eq!(report.stats.samples_ingested, 32);
+    }
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.connections >= 8);
+
+    // All clients ran the same scenario: identical bytes everywhere.
+    let first = encode_report(&reports[0]);
+    for report in &reports[1..] {
+        assert_eq!(encode_report(report), first);
+    }
+}
+
+#[test]
+fn graceful_drain_stops_accepting_and_serve_returns() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.connections, 1);
+    // Further requests on the old connection fail (Draining or EOF).
+    assert!(client.query_health().is_err());
+}

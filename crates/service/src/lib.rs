@@ -1,0 +1,574 @@
+//! `hierod-service`: the service layer of the api → service → engine
+//! split.
+//!
+//! [`PlantService`] is the one plant-driving entry point shared by the
+//! embedded-library path (call it directly) and the network path
+//! (`hierod-server` maps wire frames onto it). The engine behind it —
+//! [`Tenant`]/[`PlantRegistry`](hierod_stream::PlantRegistry) with
+//! their broadcast controls, routed ingest, merged tick/finish, and
+//! isolated recovery — is no longer the public surface: anything a
+//! consumer can do, it does through this trait, so the two paths cannot
+//! drift apart (the wire-equivalence test pins byte-identical reports
+//! across them).
+//!
+//! The typed plant-driving calls ([`PlantService::machine_up`],
+//! [`PlantService::job_start`], [`PhaseStart`](ControlEvent::PhaseStart)
+//! …) that used to live on `Tenant` are default trait methods lowering
+//! onto [`PlantService::control`] — one implementation, every backend.
+//!
+//! [`RegistryService`] is the production implementation over a
+//! [`PlantRegistry`](hierod_stream::PlantRegistry); its
+//! [`health`](PlantService::health) maps the registry's
+//! [`failed`](hierod_stream::PlantRegistry::failed) set and per-tenant
+//! recovery summaries directly onto a readiness answer.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::BTreeMap;
+
+use hierod_core::AlgorithmPolicy;
+use hierod_detect::{DetectError, Result};
+use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor};
+use hierod_store::tenants::StorageFactory;
+use hierod_stream::tenant::{PlantRegistry, Tenant, TenantConfig, TenantRecovery};
+use hierod_stream::{ControlEvent, LaneId, LaneStats, Sample, StreamReport, StreamStats};
+
+/// What [`PlantService::admit`] did for the requested plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The plant already existed (recovered or previously created).
+    Existing,
+    /// The plant was created fresh.
+    Created,
+}
+
+/// Aggregated recovery accounting of one plant, suitable for a health
+/// endpoint (the full per-shard detail stays on [`TenantRecovery`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Highest control sequence found durable on any shard.
+    pub controls_applied: u64,
+    /// Samples restored from sealed segments, across all shards.
+    pub restored_samples: u64,
+    /// WAL samples replayed through live ingest, across all shards.
+    pub replayed_samples: u64,
+    /// Corruption events survived, across all shards.
+    pub corrupt_records: u64,
+}
+
+impl RecoverySummary {
+    /// Collapses a per-shard [`TenantRecovery`] into endpoint form.
+    pub fn from_recovery(rec: &TenantRecovery) -> Self {
+        RecoverySummary {
+            controls_applied: rec.controls_applied(),
+            restored_samples: rec.restored_samples(),
+            replayed_samples: rec.replayed_samples(),
+            corrupt_records: rec.corrupt_records(),
+        }
+    }
+}
+
+/// One live plant in a [`Health`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantHealth {
+    /// Plant id.
+    pub id: String,
+    /// Shard count the plant is laid out with.
+    pub shards: u32,
+    /// What recovery rebuilt when this plant was opened (all zeros for
+    /// plants created fresh in this process).
+    pub recovery: RecoverySummary,
+}
+
+/// A point-in-time health snapshot of the whole service: the readiness
+/// answer is `failed` mapped straight onto "not ready" — a plant whose
+/// storage could not be recovered parks the deployment in a degraded
+/// state until an operator repairs or removes it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Health {
+    /// Live plants with their recovery summaries, sorted by id.
+    pub live: Vec<PlantHealth>,
+    /// Plants that failed hard to recover, with their errors, sorted.
+    pub failed: Vec<(String, String)>,
+}
+
+impl Health {
+    /// Ready means every discovered plant recovered: nothing is parked
+    /// in the failed set.
+    pub fn ready(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// The plant-driving entry point shared by the embedded-library path
+/// and the network path. See the module docs for the layering contract.
+///
+/// All operations address a plant by id; the id grammar is
+/// [`valid_tenant_id`](hierod_store::valid_tenant_id) (enforced by
+/// implementations at admission).
+pub trait PlantService {
+    /// Ensures `plant` is live: admits an existing plant, creates a
+    /// fresh one when `create` is set, and fails otherwise (or when the
+    /// plant is parked in the failed set).
+    ///
+    /// # Errors
+    /// Invalid plant id, unknown plant without `create`, or a plant
+    /// whose storage failed recovery.
+    fn admit(&mut self, plant: &str, create: bool) -> Result<Admission>;
+
+    /// Ids of all live plants, sorted.
+    fn plants(&self) -> Vec<String>;
+
+    /// Applies one lifecycle control event to `plant` (broadcast to all
+    /// its shards by the engine).
+    ///
+    /// # Errors
+    /// Unknown plant, storage failures, or lifecycle violations.
+    fn control(&mut self, plant: &str, event: &ControlEvent) -> Result<()>;
+
+    /// Ingests one sample into `plant` on `lane` (routed to the shard
+    /// owning the lane).
+    ///
+    /// # Errors
+    /// Unknown plant or storage failures; samples with no open pipeline
+    /// are counted, not errors.
+    fn ingest(&mut self, plant: &str, lane: &LaneId, sample: Sample) -> Result<()>;
+
+    /// Assembles an interim merged report for `plant`, hard-committing
+    /// its WALs first (every exposed score is backed by durable input).
+    ///
+    /// # Errors
+    /// Unknown plant, storage failures, or upper-level detector errors.
+    fn tick(&mut self, plant: &str) -> Result<StreamReport>;
+
+    /// Finalizes `plant` — flushes watermarks, finishes scorers — and
+    /// removes it from the live set, returning the final merged report.
+    ///
+    /// # Errors
+    /// Unknown plant, storage failures, or upper-level detector errors.
+    fn finish(&mut self, plant: &str) -> Result<StreamReport>;
+
+    /// Current ingestion counters of `plant`, merged across shards,
+    /// without assembling a report.
+    ///
+    /// # Errors
+    /// Unknown plant.
+    fn stats(&self, plant: &str) -> Result<StreamStats>;
+
+    /// Per-lane release/drop/corruption counters of `plant`, merged
+    /// across shards, without assembling a report.
+    ///
+    /// # Errors
+    /// Unknown plant.
+    fn lane_stats(&self, plant: &str) -> Result<BTreeMap<LaneId, LaneStats>>;
+
+    /// Point-in-time health snapshot: live plants with recovery
+    /// summaries, plus the failed set that gates readiness.
+    fn health(&self) -> Health;
+
+    /// A machine comes online with its sensor inventory (typed form of
+    /// [`ControlEvent::MachineUp`]).
+    ///
+    /// # Errors
+    /// As [`PlantService::control`].
+    fn machine_up(
+        &mut self,
+        plant: &str,
+        machine: &str,
+        sensors: Vec<Sensor>,
+        redundancy: Vec<RedundancyGroup>,
+        env_sensors: &[String],
+    ) -> Result<()> {
+        self.control(
+            plant,
+            &ControlEvent::MachineUp {
+                machine: machine.to_string(),
+                sensors,
+                redundancy,
+                env_sensors: env_sensors.to_vec(),
+            },
+        )
+    }
+
+    /// A job starts with its configuration vector (typed form of
+    /// [`ControlEvent::JobStart`]).
+    ///
+    /// # Errors
+    /// As [`PlantService::control`].
+    fn job_start(
+        &mut self,
+        plant: &str,
+        machine: &str,
+        job: &str,
+        start: u64,
+        config: JobConfig,
+    ) -> Result<()> {
+        self.control(
+            plant,
+            &ControlEvent::JobStart {
+                machine: machine.to_string(),
+                job: job.to_string(),
+                start,
+                config,
+            },
+        )
+    }
+
+    /// A phase begins (typed form of [`ControlEvent::PhaseStart`]).
+    ///
+    /// # Errors
+    /// As [`PlantService::control`].
+    fn phase_start(
+        &mut self,
+        plant: &str,
+        machine: &str,
+        kind: PhaseKind,
+        sensors: &[String],
+    ) -> Result<()> {
+        self.control(
+            plant,
+            &ControlEvent::PhaseStart {
+                machine: machine.to_string(),
+                kind,
+                sensors: sensors.to_vec(),
+            },
+        )
+    }
+
+    /// The machine's open job closes with its CAQ result (typed form of
+    /// [`ControlEvent::JobComplete`]).
+    ///
+    /// # Errors
+    /// As [`PlantService::control`].
+    fn job_complete(&mut self, plant: &str, machine: &str, caq: CaqResult) -> Result<()> {
+        self.control(
+            plant,
+            &ControlEvent::JobComplete {
+                machine: machine.to_string(),
+                caq,
+            },
+        )
+    }
+}
+
+/// The production [`PlantService`]: a
+/// [`PlantRegistry`](hierod_stream::PlantRegistry) engine plus the
+/// recovery summaries its opening produced, kept for the health
+/// endpoint.
+pub struct RegistryService<F: StorageFactory> {
+    registry: PlantRegistry<F>,
+    recoveries: BTreeMap<String, RecoverySummary>,
+}
+
+impl<F: StorageFactory> RegistryService<F> {
+    /// Opens the service over `factory`, recovering every tenant that
+    /// already has storage — each in isolation (a plant that fails hard
+    /// lands in [`Health::failed`], its siblings recover normally).
+    ///
+    /// # Errors
+    /// Only on failure to enumerate tenants at all or policy rejection.
+    pub fn open(factory: F, policy: AlgorithmPolicy, config: TenantConfig) -> Result<Self> {
+        let (registry, recovered) = PlantRegistry::open(factory, policy, config)?;
+        let recoveries = recovered
+            .iter()
+            .map(|(id, rec)| (id.clone(), RecoverySummary::from_recovery(rec)))
+            .collect();
+        Ok(RegistryService {
+            registry,
+            recoveries,
+        })
+    }
+
+    /// The engine underneath (read-only; tests use it for fault
+    /// injection and direct inspection).
+    pub fn registry(&self) -> &PlantRegistry<F> {
+        &self.registry
+    }
+
+    /// Per-plant recovery summaries from this process's opening.
+    pub fn recoveries(&self) -> &BTreeMap<String, RecoverySummary> {
+        &self.recoveries
+    }
+
+    fn tenant(&self, plant: &str) -> Result<&Tenant<F::Storage>> {
+        self.registry
+            .tenant(plant)
+            .ok_or_else(|| DetectError::Missing {
+                what: format!("plant {plant:?}"),
+            })
+    }
+
+    fn tenant_mut(&mut self, plant: &str) -> Result<&mut Tenant<F::Storage>> {
+        self.registry
+            .tenant_mut(plant)
+            .ok_or_else(|| DetectError::Missing {
+                what: format!("plant {plant:?}"),
+            })
+    }
+}
+
+impl<F: StorageFactory> PlantService for RegistryService<F> {
+    fn admit(&mut self, plant: &str, create: bool) -> Result<Admission> {
+        if self.registry.tenant(plant).is_some() {
+            return Ok(Admission::Existing);
+        }
+        if let Some(err) = self.registry.failed().get(plant) {
+            return Err(DetectError::Substrate(format!(
+                "plant {plant:?} failed recovery: {err}"
+            )));
+        }
+        if !create {
+            return Err(DetectError::Missing {
+                what: format!("plant {plant:?}"),
+            });
+        }
+        self.registry.create_tenant(plant)?;
+        Ok(Admission::Created)
+    }
+
+    fn plants(&self) -> Vec<String> {
+        self.registry
+            .tenant_ids()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn control(&mut self, plant: &str, event: &ControlEvent) -> Result<()> {
+        self.tenant_mut(plant)?.control(event)
+    }
+
+    fn ingest(&mut self, plant: &str, lane: &LaneId, sample: Sample) -> Result<()> {
+        self.tenant_mut(plant)?.ingest(lane, sample)
+    }
+
+    fn tick(&mut self, plant: &str) -> Result<StreamReport> {
+        self.tenant_mut(plant)?.tick()
+    }
+
+    fn finish(&mut self, plant: &str) -> Result<StreamReport> {
+        self.registry.finish_tenant(plant)
+    }
+
+    fn stats(&self, plant: &str) -> Result<StreamStats> {
+        Ok(self.tenant(plant)?.stats())
+    }
+
+    fn lane_stats(&self, plant: &str) -> Result<BTreeMap<LaneId, LaneStats>> {
+        Ok(self.tenant(plant)?.lane_stats())
+    }
+
+    fn health(&self) -> Health {
+        let live = self
+            .registry
+            .tenant_ids()
+            .into_iter()
+            .map(|id| PlantHealth {
+                id: id.to_string(),
+                shards: self
+                    .registry
+                    .tenant(id)
+                    .map(|t| t.shard_count() as u32)
+                    .unwrap_or(0),
+                recovery: self.recoveries.get(id).copied().unwrap_or_default(),
+            })
+            .collect();
+        let failed = self
+            .registry
+            .failed()
+            .iter()
+            .map(|(id, err)| (id.clone(), err.clone()))
+            .collect();
+        Health { live, failed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierod_hierarchy::SensorKind;
+    use hierod_store::tenants::MemFactory;
+    use hierod_stream::tenant::TenantConfig;
+    use hierod_stream::LaneKind;
+
+    fn service() -> RegistryService<MemFactory> {
+        RegistryService::open(
+            MemFactory::new(),
+            AlgorithmPolicy::default(),
+            TenantConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn drive(svc: &mut RegistryService<MemFactory>, plant: &str) {
+        let (machine, bed, room) = ("m0", "m0.bed.0", "m0.room");
+        svc.machine_up(
+            plant,
+            machine,
+            vec![Sensor::new(bed, SensorKind::BedTemperature)],
+            vec![RedundancyGroup::new(
+                SensorKind::BedTemperature,
+                vec![bed.into()],
+            )],
+            &[room.to_string()],
+        )
+        .unwrap();
+        svc.job_start(
+            plant,
+            machine,
+            "j0",
+            0,
+            JobConfig::new(vec!["p".into()], vec![1.0]),
+        )
+        .unwrap();
+        svc.phase_start(plant, machine, PhaseKind::WarmUp, &[bed.to_string()])
+            .unwrap();
+        let bed_lane = LaneId {
+            machine: machine.into(),
+            sensor: bed.into(),
+            kind: LaneKind::Phase,
+        };
+        for t in 0..32_u64 {
+            svc.ingest(
+                plant,
+                &bed_lane,
+                Sample {
+                    timestamp: t,
+                    value: if t == 20 {
+                        60.0
+                    } else {
+                        (t as f64 * 0.4).sin()
+                    },
+                },
+            )
+            .unwrap();
+        }
+        svc.job_complete(
+            plant,
+            machine,
+            CaqResult::new(vec!["q".into()], vec![0.9], true),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn admission_create_then_existing() {
+        let mut svc = service();
+        assert_eq!(svc.admit("plant-a", true).unwrap(), Admission::Created);
+        assert_eq!(svc.admit("plant-a", true).unwrap(), Admission::Existing);
+        assert_eq!(svc.admit("plant-a", false).unwrap(), Admission::Existing);
+        assert!(svc.admit("plant-b", false).is_err());
+        assert!(svc.admit("../evil", true).is_err());
+        assert_eq!(svc.plants(), vec!["plant-a".to_string()]);
+    }
+
+    #[test]
+    fn typed_drivers_lower_onto_control_and_reports_flow() {
+        let mut svc = service();
+        svc.admit("plant-a", true).unwrap();
+        drive(&mut svc, "plant-a");
+        let stats = svc.stats("plant-a").unwrap();
+        assert_eq!(stats.samples_ingested, 32);
+        let lanes = svc.lane_stats("plant-a").unwrap();
+        assert_eq!(lanes.len(), 2, "phase lane + environment lane");
+        let report = svc.tick("plant-a").unwrap();
+        assert_eq!(report.stats.samples_ingested, 32);
+        let last = svc.finish("plant-a").unwrap();
+        assert_eq!(last.stats.samples_released, 32);
+        assert!(svc.plants().is_empty());
+        assert!(svc.finish("plant-a").is_err());
+    }
+
+    #[test]
+    fn health_maps_failed_onto_readiness() {
+        let mut svc = service();
+        svc.admit("plant-a", true).unwrap();
+        let health = svc.health();
+        assert!(health.ready());
+        assert_eq!(health.live.len(), 1);
+        assert_eq!(health.live[0].id, "plant-a");
+        assert_eq!(health.live[0].shards, 1);
+        assert_eq!(health.failed.len(), 0);
+    }
+
+    #[test]
+    fn embedded_path_equals_raw_engine_path() {
+        // The service is a pure lowering: driving through PlantService
+        // must yield the same report as driving the registry directly.
+        let mut svc = service();
+        svc.admit("p", true).unwrap();
+        drive(&mut svc, "p");
+        let via_service = svc.finish("p").unwrap();
+
+        let (mut registry, _) = PlantRegistry::open(
+            MemFactory::new(),
+            AlgorithmPolicy::default(),
+            TenantConfig::default(),
+        )
+        .unwrap();
+        registry.create_tenant("p").unwrap();
+        {
+            let mut svc2 = RegistryServiceFacade(&mut registry);
+            drive_facade(&mut svc2, "p");
+        }
+        let via_engine = registry.finish_tenant("p").unwrap();
+        assert_eq!(format!("{via_service:?}"), format!("{via_engine:?}"));
+    }
+
+    /// Minimal shim driving the raw engine with the same scenario the
+    /// service test drives, without going through PlantService.
+    struct RegistryServiceFacade<'a>(&'a mut PlantRegistry<MemFactory>);
+
+    fn drive_facade(f: &mut RegistryServiceFacade<'_>, plant: &str) {
+        let (machine, bed, room) = ("m0", "m0.bed.0", "m0.room");
+        let t = f.0.tenant_mut(plant).unwrap();
+        t.control(&ControlEvent::MachineUp {
+            machine: machine.into(),
+            sensors: vec![Sensor::new(bed, SensorKind::BedTemperature)],
+            redundancy: vec![RedundancyGroup::new(
+                SensorKind::BedTemperature,
+                vec![bed.into()],
+            )],
+            env_sensors: vec![room.to_string()],
+        })
+        .unwrap();
+        t.control(&ControlEvent::JobStart {
+            machine: machine.into(),
+            job: "j0".into(),
+            start: 0,
+            config: JobConfig::new(vec!["p".into()], vec![1.0]),
+        })
+        .unwrap();
+        t.control(&ControlEvent::PhaseStart {
+            machine: machine.into(),
+            kind: PhaseKind::WarmUp,
+            sensors: vec![bed.to_string()],
+        })
+        .unwrap();
+        let bed_lane = LaneId {
+            machine: machine.into(),
+            sensor: bed.into(),
+            kind: LaneKind::Phase,
+        };
+        for ts in 0..32_u64 {
+            t.ingest(
+                &bed_lane,
+                Sample {
+                    timestamp: ts,
+                    value: if ts == 20 {
+                        60.0
+                    } else {
+                        (ts as f64 * 0.4).sin()
+                    },
+                },
+            )
+            .unwrap();
+        }
+        t.control(&ControlEvent::JobComplete {
+            machine: machine.into(),
+            caq: CaqResult::new(vec!["q".into()], vec![0.9], true),
+        })
+        .unwrap();
+    }
+}

@@ -14,7 +14,10 @@ use std::io::{self, Read, Seek, Write};
 use std::path::PathBuf;
 
 /// An append-only handle to one storage file.
-pub trait StorageFile {
+///
+/// `Send` is part of the contract: handles end up inside tenants that
+/// the serving layer moves across worker threads.
+pub trait StorageFile: Send {
     /// Appends bytes at the end of the file. May buffer; only
     /// [`StorageFile::sync`] makes the data crash-durable.
     fn append(&mut self, bytes: &[u8]) -> io::Result<()>;

@@ -32,23 +32,38 @@ pub const MAX_TENANT_ID_LEN: usize = 64;
 
 /// Returns `true` when `id` is a well-formed tenant id.
 ///
-/// Tenant ids become directory names, so the grammar is deliberately
-/// strict: 1–[`MAX_TENANT_ID_LEN`] bytes of `[A-Za-z0-9._-]`, not
-/// starting with `.` (no hidden directories, no `.`/`..` traversal)
-/// and not starting with `-` (no option-like names). `shard-<k>`
-/// never collides because tenants live one level above shard
-/// directories.
+/// Tenant ids become directory names — and since the network front-end
+/// they arrive over the wire from untrusted clients — so the grammar is
+/// deliberately strict and pinned by proptest
+/// (`tests/tenant_id_props.rs`):
+///
+/// * 1–[`MAX_TENANT_ID_LEN`] bytes, all of `[A-Za-z0-9._-]` — no path
+///   separators, no NUL, nothing the filesystem could interpret;
+/// * split on `.`, every segment is non-empty — this rejects leading
+///   dots (hidden directories), trailing dots (stripped on some
+///   filesystems), bare `.`/`..`, and any embedded `..` traversal
+///   shape like `a..b`;
+/// * the first byte is not `-` (no option-like names).
+///
+/// `shard-<k>` never collides because tenants live one level above
+/// shard directories.
 pub fn valid_tenant_id(id: &str) -> bool {
     let bytes = id.as_bytes();
     if bytes.is_empty() || bytes.len() > MAX_TENANT_ID_LEN {
         return false;
     }
-    if matches!(bytes.first(), Some(b'.' | b'-')) {
+    if bytes.first() == Some(&b'-') {
         return false;
     }
-    bytes
+    if !bytes
         .iter()
         .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return false;
+    }
+    // Every dot-separated segment must be non-empty: catches ".", "..",
+    // ".hidden", "trailing.", and "a..b" in one rule.
+    id.split('.').all(|segment| !segment.is_empty())
 }
 
 fn invalid_tenant(id: &str) -> io::Error {

@@ -1,0 +1,146 @@
+//! Property tests pinning the tenant-id grammar.
+//!
+//! Tenant ids become storage directory names and — since the network
+//! front-end — arrive over the wire from untrusted clients, so the
+//! grammar in [`valid_tenant_id`] is security-relevant: any accepted id
+//! must be safe to join onto a storage root. These properties pin the
+//! grammar from both sides: everything the positive generator builds is
+//! accepted, and every path-traversal shape is rejected no matter how
+//! it is embedded.
+
+use proptest::prelude::*;
+
+use hierod_store::tenants::{valid_tenant_id, MAX_TENANT_ID_LEN};
+
+/// Segment alphabet: everything a segment may contain. `-` is legal
+/// inside an id as long as it is not the very first byte.
+const SEGMENT_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_-";
+
+/// The exact character set the grammar admits.
+fn id_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-')
+}
+
+/// Reference implementation of the documented grammar, written
+/// independently of the production code path.
+fn reference_valid(id: &str) -> bool {
+    let bytes = id.as_bytes();
+    (1..=MAX_TENANT_ID_LEN).contains(&bytes.len())
+        && bytes.first() != Some(&b'-')
+        && bytes.iter().all(|&b| id_char(b))
+        && id.split('.').all(|seg| !seg.is_empty())
+}
+
+fn segment_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| SEGMENT_CHARS[i % SEGMENT_CHARS.len()] as char)
+        .collect()
+}
+
+/// A generator for ids the grammar must accept: 1–4 non-empty segments
+/// of the segment alphabet joined by single dots, first byte forced
+/// alphanumeric, capped at the length limit.
+fn well_formed_id() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::collection::vec(0_usize..SEGMENT_CHARS.len(), 1..15),
+        1..4,
+    )
+    .prop_map(|segments| {
+        let mut id = segments
+            .iter()
+            .map(|seg| segment_from(seg))
+            .collect::<Vec<_>>()
+            .join(".");
+        // `-` may not lead; force the first byte alphanumeric instead.
+        if id.starts_with('-') {
+            id.replace_range(0..1, "x");
+        }
+        id.truncate(MAX_TENANT_ID_LEN);
+        // Truncation can strand a trailing dot; drop it.
+        while id.ends_with('.') {
+            id.pop();
+        }
+        id
+    })
+}
+
+/// Arbitrary printable-and-control ASCII soup a hostile client could
+/// send (NUL, separators, quotes, dots — everything).
+fn ascii_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0_u8..128, 0..80)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+/// Short alphanumeric stems for embedding tests.
+fn stem() -> impl Strategy<Value = String> {
+    prop::collection::vec(0_usize..62, 0..10).prop_map(|idx| {
+        idx.iter()
+            .map(|&i| SEGMENT_CHARS[i % 62] as char) // first 62 = alphanumeric
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Everything the positive generator produces is accepted.
+    #[test]
+    fn well_formed_ids_accepted(id in well_formed_id()) {
+        prop_assert!(valid_tenant_id(&id), "rejected well-formed id {:?}", id);
+    }
+
+    /// The production grammar and the independent reference agree on
+    /// arbitrary ASCII inputs.
+    #[test]
+    fn grammar_matches_reference(id in ascii_soup()) {
+        prop_assert_eq!(valid_tenant_id(&id), reference_valid(&id));
+    }
+
+    /// No accepted id contains a path-traversal or hidden-file shape:
+    /// embedding `..` anywhere, or a leading/trailing dot, is rejected
+    /// regardless of the surrounding characters.
+    #[test]
+    fn traversal_shapes_rejected(prefix in stem(), suffix in stem()) {
+        let embedded = format!("{prefix}..{suffix}");
+        prop_assert!(!valid_tenant_id(&embedded), "accepted {:?}", embedded);
+        prop_assert!(!valid_tenant_id(&format!(".{suffix}")));
+        prop_assert!(!valid_tenant_id(&format!("{prefix}.")));
+    }
+
+    /// Separators and parent-directory escapes never survive, even when
+    /// the rest of the id is pristine.
+    #[test]
+    fn separators_rejected(s in stem(), pick in 0_usize..6) {
+        let seps = ["/", "\\", "\0", "/..", "\\..", "/etc"];
+        let sep = seps[pick % seps.len()];
+        prop_assert!(!valid_tenant_id(&format!("{s}{sep}")));
+        prop_assert!(!valid_tenant_id(&format!("{sep}{s}")));
+    }
+}
+
+#[test]
+fn grammar_examples_pinned() {
+    for good in ["plant-a", "a", "p1.site2", "x_y-z.0", "A.B.C"] {
+        assert!(valid_tenant_id(good), "should accept {good:?}");
+    }
+    for bad in [
+        "",
+        ".",
+        "..",
+        "...",
+        "../evil",
+        ".hidden",
+        "trailing.",
+        "a..b",
+        "-flag",
+        "a/b",
+        "a\\b",
+        "a b",
+        "a\0b",
+        &"x".repeat(MAX_TENANT_ID_LEN + 1),
+    ] {
+        assert!(!valid_tenant_id(bad), "should reject {bad:?}");
+    }
+    assert!(valid_tenant_id(&"x".repeat(MAX_TENANT_ID_LEN)));
+}

@@ -31,10 +31,15 @@
 //! * [`tenant`] — multi-plant tenancy: a [`PlantRegistry`] hosting N
 //!   independent plants in one process, each with its own shard set and
 //!   per-tenant durable directory, recovered in isolation.
+//! * [`codec`] — the public value ↔ byte codecs for lanes and control
+//!   events shared by the durability WAL and the network wire protocol
+//!   (`hierod-wire`): both serialise the same opaque bodies, so a
+//!   captured ingest stream is replayable through the store.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod codec;
 pub mod detector;
 pub mod durable;
 pub mod ring;

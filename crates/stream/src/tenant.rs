@@ -27,13 +27,21 @@
 //! A tenant's merged report is assembled across its shards in fixed
 //! shard order (see [`crate::shard`]): for a given event stream it is
 //! byte-identical to a single-shard, single-tenant run.
+//!
+//! ## Layering
+//!
+//! [`Tenant`] and [`PlantRegistry`] are the **engine**: raw
+//! [`ControlEvent`] broadcast, routed ingest, merged tick/finish, and
+//! isolated recovery. The typed plant-driving surface (machine-up /
+//! job-start / phase-start / job-complete convenience calls) lives one
+//! layer up, in `hierod-service`'s `PlantService` trait — the shared
+//! entry point of the embedded-library path and the network path.
 
 use std::collections::BTreeMap;
 use std::io;
 
 use hierod_core::AlgorithmPolicy;
 use hierod_detect::{DetectError, Result};
-use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor};
 use hierod_store::store::StoreOptions;
 use hierod_store::tenants::{valid_tenant_id, StorageFactory};
 
@@ -152,72 +160,6 @@ impl<S: hierod_store::Storage> Tenant<S> {
         }
     }
 
-    /// Broadcast [`DurableStream::machine_up`].
-    ///
-    /// # Errors
-    /// As [`Tenant::control`].
-    pub fn machine_up(
-        &mut self,
-        machine: &str,
-        sensors: Vec<Sensor>,
-        redundancy: Vec<RedundancyGroup>,
-        env_sensors: &[String],
-    ) -> Result<()> {
-        self.control(&ControlEvent::MachineUp {
-            machine: machine.to_string(),
-            sensors,
-            redundancy,
-            env_sensors: env_sensors.to_vec(),
-        })
-    }
-
-    /// Broadcast [`DurableStream::job_start`].
-    ///
-    /// # Errors
-    /// As [`Tenant::control`].
-    pub fn job_start(
-        &mut self,
-        machine: &str,
-        job: &str,
-        start: u64,
-        config: JobConfig,
-    ) -> Result<()> {
-        self.control(&ControlEvent::JobStart {
-            machine: machine.to_string(),
-            job: job.to_string(),
-            start,
-            config,
-        })
-    }
-
-    /// Broadcast [`DurableStream::phase_start`].
-    ///
-    /// # Errors
-    /// As [`Tenant::control`].
-    pub fn phase_start(
-        &mut self,
-        machine: &str,
-        kind: PhaseKind,
-        sensors: &[String],
-    ) -> Result<()> {
-        self.control(&ControlEvent::PhaseStart {
-            machine: machine.to_string(),
-            kind,
-            sensors: sensors.to_vec(),
-        })
-    }
-
-    /// Broadcast [`DurableStream::job_complete`].
-    ///
-    /// # Errors
-    /// As [`Tenant::control`].
-    pub fn job_complete(&mut self, machine: &str, caq: CaqResult) -> Result<()> {
-        self.control(&ControlEvent::JobComplete {
-            machine: machine.to_string(),
-            caq,
-        })
-    }
-
     /// Journals and ingests a sample on the shard owning its lane.
     ///
     /// # Errors
@@ -252,6 +194,41 @@ impl<S: hierod_store::Storage> Tenant<S> {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Current ingestion counters merged across all shards — the same
+    /// totals a [`tick`](Tenant::tick) report would carry, without
+    /// assembling one.
+    pub fn stats(&self) -> crate::detector::StreamStats {
+        let mut out = crate::detector::StreamStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            out.samples_ingested += s.samples_ingested;
+            out.samples_released += s.samples_released;
+            out.late_dropped += s.late_dropped;
+            out.duplicates_dropped += s.duplicates_dropped;
+            out.series_failed += s.series_failed;
+            out.corrupt_records += s.corrupt_records;
+        }
+        out
+    }
+
+    /// Per-lane release/drop/corruption counters merged across all
+    /// shards (each lane lives on exactly one shard, so the merge is a
+    /// disjoint union). This is the direct query-path accessor — callers
+    /// no longer need to assemble a full report to read lane health.
+    pub fn lane_stats(&self) -> BTreeMap<LaneId, crate::detector::LaneStats> {
+        let mut out: BTreeMap<LaneId, crate::detector::LaneStats> = BTreeMap::new();
+        for shard in &self.shards {
+            for (lane, l) in shard.lane_stats() {
+                let entry = out.entry(lane).or_default();
+                entry.released += l.released;
+                entry.late_dropped += l.late_dropped;
+                entry.duplicates_dropped += l.duplicates_dropped;
+                entry.corrupt_records += l.corrupt_records;
+            }
+        }
+        out
     }
 
     /// Hard-commits every shard's WAL, then assembles an interim merged
@@ -461,7 +438,7 @@ mod tests {
     use super::*;
     use crate::detector::ScorerMode;
     use crate::router::LaneKind;
-    use hierod_hierarchy::SensorKind;
+    use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor, SensorKind};
     use hierod_store::tenants::MemFactory;
 
     fn config() -> TenantConfig {
@@ -478,26 +455,30 @@ mod tests {
     fn drive(tenant: &mut Tenant<hierod_store::MemStorage>, bias: f64) {
         let (machine, bed, room) = ("m0", "m0.bed.0", "m0.room");
         tenant
-            .machine_up(
-                machine,
-                vec![Sensor::new(bed, SensorKind::BedTemperature)],
-                vec![RedundancyGroup::new(
+            .control(&ControlEvent::MachineUp {
+                machine: machine.into(),
+                sensors: vec![Sensor::new(bed, SensorKind::BedTemperature)],
+                redundancy: vec![RedundancyGroup::new(
                     SensorKind::BedTemperature,
                     vec![bed.into()],
                 )],
-                &[room.to_string()],
-            )
+                env_sensors: vec![room.to_string()],
+            })
             .unwrap();
         tenant
-            .job_start(
-                machine,
-                "j0",
-                0,
-                JobConfig::new(vec!["p".into()], vec![1.0]),
-            )
+            .control(&ControlEvent::JobStart {
+                machine: machine.into(),
+                job: "j0".into(),
+                start: 0,
+                config: JobConfig::new(vec!["p".into()], vec![1.0]),
+            })
             .unwrap();
         tenant
-            .phase_start(machine, PhaseKind::WarmUp, &[bed.to_string()])
+            .control(&ControlEvent::PhaseStart {
+                machine: machine.into(),
+                kind: PhaseKind::WarmUp,
+                sensors: vec![bed.to_string()],
+            })
             .unwrap();
         let bed_lane = LaneId {
             machine: machine.into(),
@@ -534,7 +515,10 @@ mod tests {
                 .unwrap();
         }
         tenant
-            .job_complete(machine, CaqResult::new(vec!["q".into()], vec![0.9], true))
+            .control(&ControlEvent::JobComplete {
+                machine: machine.into(),
+                caq: CaqResult::new(vec!["q".into()], vec![0.9], true),
+            })
             .unwrap();
     }
 

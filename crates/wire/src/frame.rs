@@ -1,0 +1,653 @@
+//! Frame types, payload codecs, and the incremental frame reader.
+
+use std::io::{self, Read, Write};
+
+use hierod_core::HierOutlier;
+use hierod_hierarchy::Level;
+use hierod_service::{Health, PlantHealth, RecoverySummary};
+use hierod_store::codec;
+use hierod_store::crc::crc32;
+use hierod_store::wal::WalRecord;
+use hierod_stream::codec::{decode_lane, encode_lane};
+use hierod_stream::{LaneId, LaneStats, StreamStats};
+
+use crate::report;
+
+/// Sanity cap on one frame's payload (64 MiB — reports carry full score
+/// vectors). A length field above this is corruption, not an allocation
+/// request.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+// Tags 1–3 are the WAL record tags, verbatim (hierod_store::wal).
+const TAG_LANE_DEF: u8 = 1;
+const TAG_CONTROL: u8 = 2;
+const TAG_SAMPLE: u8 = 3;
+// Request frames.
+const TAG_ADMIT: u8 = 16;
+const TAG_TICK: u8 = 17;
+const TAG_FINISH: u8 = 18;
+const TAG_QUERY_SCORES: u8 = 19;
+const TAG_QUERY_LANE_STATS: u8 = 20;
+const TAG_QUERY_DELTAS: u8 = 21;
+const TAG_QUERY_HEALTH: u8 = 22;
+// Response frames.
+const TAG_OK: u8 = 32;
+const TAG_ERROR: u8 = 33;
+const TAG_TICK_DONE: u8 = 34;
+const TAG_REPORT: u8 = 35;
+const TAG_SCORES: u8 = 36;
+const TAG_LANE_STATS: u8 = 37;
+const TAG_DELTAS: u8 = 38;
+const TAG_NO_CHANGE: u8 = 39;
+const TAG_HEALTH: u8 = 40;
+
+/// Machine-readable error class carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or out-of-sequence request (e.g. ingest before admit).
+    Protocol,
+    /// The request addressed a plant/lane/machine that does not exist.
+    Missing,
+    /// The request was structurally valid but semantically rejected
+    /// (bad tenant id, lifecycle violation, duplicate admission).
+    Invalid,
+    /// The plant is parked in the failed set — storage too damaged to
+    /// recover; an operator must intervene.
+    Failed,
+    /// A storage or substrate failure while handling the request.
+    Substrate,
+    /// The server is shutting down and draining connections.
+    Draining,
+}
+
+impl ErrorCode {
+    /// Stable one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::Missing => 2,
+            ErrorCode::Invalid => 3,
+            ErrorCode::Failed => 4,
+            ErrorCode::Substrate => 5,
+            ErrorCode::Draining => 6,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::code`].
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::Protocol),
+            2 => Some(ErrorCode::Missing),
+            3 => Some(ErrorCode::Invalid),
+            4 => Some(ErrorCode::Failed),
+            5 => Some(ErrorCode::Substrate),
+            6 => Some(ErrorCode::Draining),
+            _ => None,
+        }
+    }
+}
+
+/// One wire frame, either direction. See the module docs for the frame
+/// format and DESIGN.md §4.16 for the full tag table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An ingest frame: a WAL record, byte-for-byte ([`WalRecord`]
+    /// tags 1–3 — lane definition, control event, sample). Not
+    /// individually acknowledged; errors surface at the next
+    /// synchronous request.
+    Ingest(WalRecord),
+    /// Selects (or creates) the plant this connection drives.
+    Admit {
+        /// Plant id (validated against the tenant-id grammar).
+        plant: String,
+        /// Create the plant when it does not exist yet.
+        create: bool,
+    },
+    /// Assembles an interim durable report; answered by
+    /// [`Frame::TickDone`].
+    Tick,
+    /// Finalizes the plant and returns the final report; answered by
+    /// [`Frame::Report`].
+    Finish,
+    /// Asks for the current ⟨global score, outlierness, support⟩
+    /// triples, optionally restricted to one level; answered by
+    /// [`Frame::Scores`].
+    QueryScores {
+        /// Restrict to one level (`None` = all levels).
+        level: Option<Level>,
+    },
+    /// Asks for per-lane ingest counters and aggregate stream stats;
+    /// answered by [`Frame::LaneStatsReply`].
+    QueryLaneStats,
+    /// Asks for report changes since version `since`; answered by
+    /// [`Frame::Deltas`], [`Frame::Report`] (resync), or
+    /// [`Frame::NoChange`].
+    QueryDeltas {
+        /// The last report version this client has seen (0 = none).
+        since: u64,
+    },
+    /// Asks for the service health snapshot; answered by
+    /// [`Frame::HealthReply`].
+    QueryHealth,
+    /// Generic success acknowledgement.
+    Ok {
+        /// Request-specific detail (e.g. admission outcome).
+        info: u64,
+    },
+    /// Request failure; the connection stays usable.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A tick completed: the report cache now holds `version`.
+    TickDone {
+        /// New report version.
+        version: u64,
+        /// Number of hierarchical outliers in the report.
+        outliers: u64,
+    },
+    /// A full serialized [`StreamReport`](hierod_stream::StreamReport)
+    /// (see [`report::encode_report`]).
+    Report {
+        /// Report version (monotone per plant).
+        version: u64,
+        /// `encode_report` bytes.
+        report: Vec<u8>,
+    },
+    /// Current outlier triples, filtered as requested.
+    Scores {
+        /// Report version the scores came from.
+        version: u64,
+        /// The triples with full provenance.
+        outliers: Vec<HierOutlier>,
+    },
+    /// Per-lane counters plus aggregate stream stats.
+    LaneStatsReply {
+        /// Aggregate counters (including `corrupt_records`).
+        stats: StreamStats,
+        /// Per-lane counters, sorted by lane.
+        lanes: Vec<(LaneId, LaneStats)>,
+    },
+    /// Outlier-set changes between two report versions.
+    Deltas {
+        /// Version the delta starts from.
+        from: u64,
+        /// Version the delta ends at (the current one).
+        to: u64,
+        /// Triples present in `to` but not `from`.
+        added: Vec<HierOutlier>,
+        /// Triples present in `from` but not `to`.
+        removed: Vec<HierOutlier>,
+    },
+    /// Nothing changed since the queried version.
+    NoChange {
+        /// The current report version.
+        version: u64,
+    },
+    /// Service health snapshot.
+    HealthReply(Health),
+}
+
+// ---------------------------------------------------------------------
+// Optional-value helpers shared with the report codec.
+
+pub(crate) fn put_opt_str(out: &mut Vec<u8>, v: Option<&str>) {
+    match v {
+        Some(s) => {
+            out.push(1);
+            codec::put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+pub(crate) fn take_opt_str(buf: &mut &[u8]) -> Option<Option<String>> {
+    match codec::take_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(codec::take_str(buf)?)),
+        _ => None,
+    }
+}
+
+pub(crate) fn put_opt_varint(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(n) => {
+            out.push(1);
+            codec::put_varint(out, n);
+        }
+        None => out.push(0),
+    }
+}
+
+pub(crate) fn take_opt_varint(buf: &mut &[u8]) -> Option<Option<u64>> {
+    match codec::take_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(codec::take_varint(buf)?)),
+        _ => None,
+    }
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+pub(crate) fn take_bool(buf: &mut &[u8]) -> Option<bool> {
+    match codec::take_u8(buf)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn put_outliers(out: &mut Vec<u8>, outliers: &[HierOutlier]) {
+    codec::put_varint(out, outliers.len() as u64);
+    for o in outliers {
+        report::put_hier_outlier(out, o);
+    }
+}
+
+fn take_outliers(buf: &mut &[u8]) -> Option<Vec<HierOutlier>> {
+    let n = codec::take_varint(buf)?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(report::take_hier_outlier(buf)?);
+    }
+    Some(out)
+}
+
+fn put_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
+    codec::put_varint(out, s.samples_ingested);
+    codec::put_varint(out, s.samples_released);
+    codec::put_varint(out, s.late_dropped);
+    codec::put_varint(out, s.duplicates_dropped);
+    codec::put_varint(out, s.series_failed);
+    codec::put_varint(out, s.corrupt_records);
+}
+
+fn take_stream_stats(buf: &mut &[u8]) -> Option<StreamStats> {
+    Some(StreamStats {
+        samples_ingested: codec::take_varint(buf)?,
+        samples_released: codec::take_varint(buf)?,
+        late_dropped: codec::take_varint(buf)?,
+        duplicates_dropped: codec::take_varint(buf)?,
+        series_failed: codec::take_varint(buf)?,
+        corrupt_records: codec::take_varint(buf)?,
+    })
+}
+
+fn put_lane_stats(out: &mut Vec<u8>, lanes: &[(LaneId, LaneStats)]) {
+    codec::put_varint(out, lanes.len() as u64);
+    for (lane, l) in lanes {
+        codec::put_bytes(out, &encode_lane(lane));
+        codec::put_varint(out, l.released);
+        codec::put_varint(out, l.late_dropped);
+        codec::put_varint(out, l.duplicates_dropped);
+        codec::put_varint(out, l.corrupt_records);
+    }
+}
+
+fn take_lane_stats(buf: &mut &[u8]) -> Option<Vec<(LaneId, LaneStats)>> {
+    let n = codec::take_varint(buf)?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let lane = decode_lane(codec::take_bytes(buf)?)?;
+        let stats = LaneStats {
+            released: codec::take_varint(buf)?,
+            late_dropped: codec::take_varint(buf)?,
+            duplicates_dropped: codec::take_varint(buf)?,
+            corrupt_records: codec::take_varint(buf)?,
+        };
+        out.push((lane, stats));
+    }
+    Some(out)
+}
+
+fn put_health(out: &mut Vec<u8>, h: &Health) {
+    codec::put_varint(out, h.live.len() as u64);
+    for p in &h.live {
+        codec::put_str(out, &p.id);
+        codec::put_varint(out, u64::from(p.shards));
+        codec::put_varint(out, p.recovery.controls_applied);
+        codec::put_varint(out, p.recovery.restored_samples);
+        codec::put_varint(out, p.recovery.replayed_samples);
+        codec::put_varint(out, p.recovery.corrupt_records);
+    }
+    codec::put_varint(out, h.failed.len() as u64);
+    for (id, err) in &h.failed {
+        codec::put_str(out, id);
+        codec::put_str(out, err);
+    }
+}
+
+fn take_health(buf: &mut &[u8]) -> Option<Health> {
+    let n = codec::take_varint(buf)?;
+    let mut live = Vec::new();
+    for _ in 0..n {
+        let id = codec::take_str(buf)?;
+        let shards = u32::try_from(codec::take_varint(buf)?).ok()?;
+        let recovery = RecoverySummary {
+            controls_applied: codec::take_varint(buf)?,
+            restored_samples: codec::take_varint(buf)?,
+            replayed_samples: codec::take_varint(buf)?,
+            corrupt_records: codec::take_varint(buf)?,
+        };
+        live.push(PlantHealth {
+            id,
+            shards,
+            recovery,
+        });
+    }
+    let m = codec::take_varint(buf)?;
+    let mut failed = Vec::new();
+    for _ in 0..m {
+        failed.push((codec::take_str(buf)?, codec::take_str(buf)?));
+    }
+    Some(Health { live, failed })
+}
+
+impl Frame {
+    /// Serialises the frame's payload (tag + body). Ingest frames defer
+    /// to the WAL record encoder so their bytes are WAL-verbatim.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Ingest(record) => {
+                // WalRecord::encode emits the whole framed record; strip
+                // the 8-byte header to get exactly the payload bytes.
+                let mut framed = Vec::with_capacity(32);
+                record.encode(&mut framed);
+                out.extend_from_slice(framed.get(8..).unwrap_or_default());
+            }
+            Frame::Admit { plant, create } => {
+                out.push(TAG_ADMIT);
+                codec::put_str(out, plant);
+                put_bool(out, *create);
+            }
+            Frame::Tick => out.push(TAG_TICK),
+            Frame::Finish => out.push(TAG_FINISH),
+            Frame::QueryScores { level } => {
+                out.push(TAG_QUERY_SCORES);
+                out.push(level.map_or(0, Level::number));
+            }
+            Frame::QueryLaneStats => out.push(TAG_QUERY_LANE_STATS),
+            Frame::QueryDeltas { since } => {
+                out.push(TAG_QUERY_DELTAS);
+                codec::put_varint(out, *since);
+            }
+            Frame::QueryHealth => out.push(TAG_QUERY_HEALTH),
+            Frame::Ok { info } => {
+                out.push(TAG_OK);
+                codec::put_varint(out, *info);
+            }
+            Frame::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.push(code.code());
+                codec::put_str(out, message);
+            }
+            Frame::TickDone { version, outliers } => {
+                out.push(TAG_TICK_DONE);
+                codec::put_varint(out, *version);
+                codec::put_varint(out, *outliers);
+            }
+            Frame::Report { version, report } => {
+                out.push(TAG_REPORT);
+                codec::put_varint(out, *version);
+                codec::put_bytes(out, report);
+            }
+            Frame::Scores { version, outliers } => {
+                out.push(TAG_SCORES);
+                codec::put_varint(out, *version);
+                put_outliers(out, outliers);
+            }
+            Frame::LaneStatsReply { stats, lanes } => {
+                out.push(TAG_LANE_STATS);
+                put_stream_stats(out, stats);
+                put_lane_stats(out, lanes);
+            }
+            Frame::Deltas {
+                from,
+                to,
+                added,
+                removed,
+            } => {
+                out.push(TAG_DELTAS);
+                codec::put_varint(out, *from);
+                codec::put_varint(out, *to);
+                put_outliers(out, added);
+                put_outliers(out, removed);
+            }
+            Frame::NoChange { version } => {
+                out.push(TAG_NO_CHANGE);
+                codec::put_varint(out, *version);
+            }
+            Frame::HealthReply(health) => {
+                out.push(TAG_HEALTH);
+                put_health(out, health);
+            }
+        }
+    }
+
+    /// Appends the fully framed record (`[len][crc][payload]`) to
+    /// `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        if let Frame::Ingest(record) = self {
+            // The framed WAL record IS the framed wire frame.
+            record.encode(out);
+            return;
+        }
+        let mut payload = Vec::with_capacity(64);
+        self.encode_payload(&mut payload);
+        codec::put_u32(out, payload.len() as u32);
+        codec::put_u32(out, crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+
+    /// Decodes one payload (tag + body); total — `None` on any
+    /// malformation, trailing bytes included.
+    pub fn decode_payload(bytes: &[u8]) -> Option<Frame> {
+        let mut buf = bytes;
+        let buf = &mut buf;
+        let frame = match codec::take_u8(buf)? {
+            TAG_LANE_DEF => {
+                let lane = u32::try_from(codec::take_varint(buf)?).ok()?;
+                let meta = codec::take_bytes(buf)?.to_vec();
+                Frame::Ingest(WalRecord::LaneDef { lane, meta })
+            }
+            TAG_CONTROL => {
+                let seq = codec::take_varint(buf)?;
+                let payload = codec::take_bytes(buf)?.to_vec();
+                Frame::Ingest(WalRecord::Control { seq, payload })
+            }
+            TAG_SAMPLE => {
+                let lane = u32::try_from(codec::take_varint(buf)?).ok()?;
+                let timestamp = codec::take_varint(buf)?;
+                let value = codec::take_f64(buf)?;
+                Frame::Ingest(WalRecord::Sample {
+                    lane,
+                    timestamp,
+                    value,
+                })
+            }
+            TAG_ADMIT => Frame::Admit {
+                plant: codec::take_str(buf)?,
+                create: take_bool(buf)?,
+            },
+            TAG_TICK => Frame::Tick,
+            TAG_FINISH => Frame::Finish,
+            TAG_QUERY_SCORES => {
+                let level = match codec::take_u8(buf)? {
+                    0 => None,
+                    n => Some(Level::from_number(n)?),
+                };
+                Frame::QueryScores { level }
+            }
+            TAG_QUERY_LANE_STATS => Frame::QueryLaneStats,
+            TAG_QUERY_DELTAS => Frame::QueryDeltas {
+                since: codec::take_varint(buf)?,
+            },
+            TAG_QUERY_HEALTH => Frame::QueryHealth,
+            TAG_OK => Frame::Ok {
+                info: codec::take_varint(buf)?,
+            },
+            TAG_ERROR => Frame::Error {
+                code: ErrorCode::from_code(codec::take_u8(buf)?)?,
+                message: codec::take_str(buf)?,
+            },
+            TAG_TICK_DONE => Frame::TickDone {
+                version: codec::take_varint(buf)?,
+                outliers: codec::take_varint(buf)?,
+            },
+            TAG_REPORT => Frame::Report {
+                version: codec::take_varint(buf)?,
+                report: codec::take_bytes(buf)?.to_vec(),
+            },
+            TAG_SCORES => Frame::Scores {
+                version: codec::take_varint(buf)?,
+                outliers: take_outliers(buf)?,
+            },
+            TAG_LANE_STATS => Frame::LaneStatsReply {
+                stats: take_stream_stats(buf)?,
+                lanes: take_lane_stats(buf)?,
+            },
+            TAG_DELTAS => Frame::Deltas {
+                from: codec::take_varint(buf)?,
+                to: codec::take_varint(buf)?,
+                added: take_outliers(buf)?,
+                removed: take_outliers(buf)?,
+            },
+            TAG_NO_CHANGE => Frame::NoChange {
+                version: codec::take_varint(buf)?,
+            },
+            TAG_HEALTH => Frame::HealthReply(take_health(buf)?),
+            _ => return None,
+        };
+        buf.is_empty().then_some(frame)
+    }
+}
+
+/// Writes one framed frame to `w` (no internal buffering; callers batch
+/// by wrapping `w` in a `BufWriter` and flushing at protocol
+/// boundaries).
+///
+/// # Errors
+/// Propagates the underlying write error.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut out = Vec::with_capacity(64);
+    frame.encode(&mut out);
+    w.write_all(&out)
+}
+
+/// What one [`FrameReader::poll`] observed.
+#[derive(Debug)]
+pub enum Poll {
+    /// One complete, checksum-verified frame.
+    Frame(Frame),
+    /// No complete frame buffered and the reader would block (read
+    /// timeout / `WouldBlock`); partial bytes stay buffered.
+    Idle,
+    /// Clean end of stream at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame decoder over any [`Read`].
+///
+/// Tolerates arbitrary read fragmentation (a frame split across reads
+/// stays buffered) and read timeouts (mid-frame timeouts return
+/// [`Poll::Idle`] without losing bytes — the server's drain loop relies
+/// on this to poll its shutdown flag between frames).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to decode one frame from the buffered bytes.
+    ///
+    /// # Errors
+    /// `InvalidData` on oversized lengths, checksum mismatches, or
+    /// malformed payloads — the connection is unrecoverable after any
+    /// of these (framing is lost).
+    fn try_decode(&mut self) -> io::Result<Option<Frame>> {
+        let avail = self.buf.get(self.start..).unwrap_or_default();
+        let mut cursor = avail;
+        let (Some(len), Some(crc)) = (codec::take_u32(&mut cursor), codec::take_u32(&mut cursor))
+        else {
+            return Ok(None);
+        };
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+            ));
+        }
+        let Some(payload) = codec::take(&mut cursor, len as usize) else {
+            return Ok(None);
+        };
+        if crc32(payload) != crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+        let frame = Frame::decode_payload(payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame payload"))?;
+        self.start += 8 + len as usize;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Reads until one complete frame, a would-block, or EOF.
+    ///
+    /// # Errors
+    /// `InvalidData` for protocol damage (see [`FrameReader::try_decode`]),
+    /// `UnexpectedEof` for a connection cut mid-frame, and any other
+    /// underlying I/O error.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<Poll> {
+        loop {
+            if let Some(frame) = self.try_decode()? {
+                return Ok(Poll::Frame(frame));
+            }
+            let mut tmp = [0_u8; 8192];
+            match r.read(&mut tmp) {
+                Ok(0) => {
+                    return if self.start == self.buf.len() {
+                        Ok(Poll::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => {
+                    if let Some(chunk) = tmp.get(..n) {
+                        self.buf.extend_from_slice(chunk);
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Poll::Idle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic full-report serialisation.
+//!
+//! [`encode_report`] turns a [`StreamReport`] — per-level detections,
+//! the Algorithm-1 ⟨global score, outlierness, support⟩ triples with
+//! warnings, aggregate stream stats, and per-lane stats — into one
+//! byte string; [`decode_report`] is its total inverse. Both paths
+//! iterate the report's `BTreeMap`s, so the encoding is a pure function
+//! of the report's value: two equal reports encode to equal bytes, no
+//! matter which process produced them. That determinism is what the
+//! wire-equivalence test leans on when it pins *report over TCP ≡
+//! report from the embedded service, byte for byte*.
+//!
+//! Floats are encoded bit-exactly ([`codec::put_f64`]), so NaN scores
+//! survive the round trip unchanged.
+
+use std::collections::BTreeMap;
+
+use hierod_core::detect_level::{LevelDetections, LevelOutlier, SeriesScores, VectorScore};
+use hierod_core::{HierOutlier, HierReport, Warning};
+use hierod_hierarchy::{Level, PhaseKind};
+use hierod_store::codec;
+use hierod_stream::codec::{decode_lane, encode_lane, phase_kind_code, phase_kind_from};
+use hierod_stream::{LaneId, LaneStats, StreamReport, StreamStats};
+
+use crate::frame::{put_opt_str, put_opt_varint, take_opt_str, take_opt_varint};
+
+fn put_opt_phase(out: &mut Vec<u8>, v: Option<PhaseKind>) {
+    match v {
+        Some(kind) => {
+            out.push(1);
+            out.push(phase_kind_code(kind));
+        }
+        None => out.push(0),
+    }
+}
+
+fn take_opt_phase(buf: &mut &[u8]) -> Option<Option<PhaseKind>> {
+    match codec::take_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(phase_kind_from(codec::take_u8(buf)?)?)),
+        _ => None,
+    }
+}
+
+fn take_opt_index(buf: &mut &[u8]) -> Option<Option<usize>> {
+    match take_opt_varint(buf)? {
+        None => Some(None),
+        Some(v) => Some(Some(usize::try_from(v).ok()?)),
+    }
+}
+
+pub(crate) fn put_hier_outlier(out: &mut Vec<u8>, o: &HierOutlier) {
+    out.push(o.level.number());
+    codec::put_str(out, &o.machine);
+    put_opt_str(out, o.job.as_deref());
+    put_opt_phase(out, o.phase);
+    put_opt_str(out, o.sensor.as_deref());
+    put_opt_varint(out, o.index.map(|i| i as u64));
+    put_opt_varint(out, o.timestamp);
+    codec::put_f64(out, o.outlierness);
+    codec::put_f64(out, o.support);
+    out.push(o.global_score);
+}
+
+pub(crate) fn take_hier_outlier(buf: &mut &[u8]) -> Option<HierOutlier> {
+    Some(HierOutlier {
+        level: Level::from_number(codec::take_u8(buf)?)?,
+        machine: codec::take_str(buf)?,
+        job: take_opt_str(buf)?,
+        phase: take_opt_phase(buf)?,
+        sensor: take_opt_str(buf)?,
+        index: take_opt_index(buf)?,
+        timestamp: take_opt_varint(buf)?,
+        outlierness: codec::take_f64(buf)?,
+        support: codec::take_f64(buf)?,
+        global_score: codec::take_u8(buf)?,
+    })
+}
+
+fn put_level_outlier(out: &mut Vec<u8>, o: &LevelOutlier) {
+    out.push(o.level.number());
+    codec::put_str(out, &o.machine);
+    put_opt_str(out, o.job.as_deref());
+    put_opt_phase(out, o.phase);
+    put_opt_str(out, o.sensor.as_deref());
+    put_opt_varint(out, o.index.map(|i| i as u64));
+    put_opt_varint(out, o.timestamp);
+    codec::put_f64(out, o.outlierness);
+    codec::put_f64(out, o.raw_score);
+}
+
+fn take_level_outlier(buf: &mut &[u8]) -> Option<LevelOutlier> {
+    Some(LevelOutlier {
+        level: Level::from_number(codec::take_u8(buf)?)?,
+        machine: codec::take_str(buf)?,
+        job: take_opt_str(buf)?,
+        phase: take_opt_phase(buf)?,
+        sensor: take_opt_str(buf)?,
+        index: take_opt_index(buf)?,
+        timestamp: take_opt_varint(buf)?,
+        outlierness: codec::take_f64(buf)?,
+        raw_score: codec::take_f64(buf)?,
+    })
+}
+
+fn put_series_scores(out: &mut Vec<u8>, s: &SeriesScores) {
+    codec::put_str(out, &s.machine);
+    put_opt_str(out, s.job.as_deref());
+    put_opt_phase(out, s.phase);
+    codec::put_str(out, &s.sensor);
+    codec::put_varint(out, s.timestamps.len() as u64);
+    for &t in &s.timestamps {
+        codec::put_varint(out, t);
+    }
+    codec::put_varint(out, s.z.len() as u64);
+    for &z in &s.z {
+        codec::put_f64(out, z);
+    }
+}
+
+fn take_series_scores(buf: &mut &[u8]) -> Option<SeriesScores> {
+    let machine = codec::take_str(buf)?;
+    let job = take_opt_str(buf)?;
+    let phase = take_opt_phase(buf)?;
+    let sensor = codec::take_str(buf)?;
+    let n = codec::take_varint(buf)?;
+    let mut timestamps = Vec::new();
+    for _ in 0..n {
+        timestamps.push(codec::take_varint(buf)?);
+    }
+    let m = codec::take_varint(buf)?;
+    let mut z = Vec::new();
+    for _ in 0..m {
+        z.push(codec::take_f64(buf)?);
+    }
+    Some(SeriesScores {
+        machine,
+        job,
+        phase,
+        sensor,
+        timestamps,
+        z,
+    })
+}
+
+fn put_vector_score(out: &mut Vec<u8>, v: &VectorScore) {
+    codec::put_str(out, &v.machine);
+    codec::put_str(out, &v.job);
+    codec::put_f64(out, v.z);
+}
+
+fn take_vector_score(buf: &mut &[u8]) -> Option<VectorScore> {
+    Some(VectorScore {
+        machine: codec::take_str(buf)?,
+        job: codec::take_str(buf)?,
+        z: codec::take_f64(buf)?,
+    })
+}
+
+fn put_detections(out: &mut Vec<u8>, d: &LevelDetections) {
+    out.push(d.level.number());
+    codec::put_varint(out, d.outliers.len() as u64);
+    for o in &d.outliers {
+        put_level_outlier(out, o);
+    }
+    codec::put_varint(out, d.series_scores.len() as u64);
+    for s in &d.series_scores {
+        put_series_scores(out, s);
+    }
+    codec::put_varint(out, d.vector_scores.len() as u64);
+    for v in &d.vector_scores {
+        put_vector_score(out, v);
+    }
+}
+
+fn take_detections(buf: &mut &[u8]) -> Option<LevelDetections> {
+    let level = Level::from_number(codec::take_u8(buf)?)?;
+    let mut d = LevelDetections::empty(level);
+    let n = codec::take_varint(buf)?;
+    for _ in 0..n {
+        d.outliers.push(take_level_outlier(buf)?);
+    }
+    let n = codec::take_varint(buf)?;
+    for _ in 0..n {
+        d.series_scores.push(take_series_scores(buf)?);
+    }
+    let n = codec::take_varint(buf)?;
+    for _ in 0..n {
+        d.vector_scores.push(take_vector_score(buf)?);
+    }
+    Some(d)
+}
+
+/// Serialises a full [`StreamReport`] deterministically. See the module
+/// docs for the determinism contract.
+pub fn encode_report(report: &StreamReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.push(1); // report codec version
+    codec::put_varint(&mut out, report.detections.len() as u64);
+    for d in report.detections.values() {
+        put_detections(&mut out, d);
+    }
+    codec::put_varint(&mut out, report.report.outliers.len() as u64);
+    for o in &report.report.outliers {
+        put_hier_outlier(&mut out, o);
+    }
+    codec::put_varint(&mut out, report.report.warnings.len() as u64);
+    for w in &report.report.warnings {
+        let Warning::SuspectedMeasurementError {
+            outlier_idx,
+            missing_level,
+        } = w;
+        codec::put_varint(&mut out, *outlier_idx as u64);
+        out.push(missing_level.number());
+    }
+    codec::put_varint(&mut out, report.stats.samples_ingested);
+    codec::put_varint(&mut out, report.stats.samples_released);
+    codec::put_varint(&mut out, report.stats.late_dropped);
+    codec::put_varint(&mut out, report.stats.duplicates_dropped);
+    codec::put_varint(&mut out, report.stats.series_failed);
+    codec::put_varint(&mut out, report.stats.corrupt_records);
+    codec::put_varint(&mut out, report.lane_stats.len() as u64);
+    for (lane, l) in &report.lane_stats {
+        codec::put_bytes(&mut out, &encode_lane(lane));
+        codec::put_varint(&mut out, l.released);
+        codec::put_varint(&mut out, l.late_dropped);
+        codec::put_varint(&mut out, l.duplicates_dropped);
+        codec::put_varint(&mut out, l.corrupt_records);
+    }
+    out
+}
+
+/// Total inverse of [`encode_report`]; `None` on any malformation
+/// (truncation, bad level codes, trailing bytes).
+pub fn decode_report(bytes: &[u8]) -> Option<StreamReport> {
+    let mut buf = bytes;
+    let buf = &mut buf;
+    if codec::take_u8(buf)? != 1 {
+        return None;
+    }
+    let n = codec::take_varint(buf)?;
+    let mut detections = BTreeMap::new();
+    for _ in 0..n {
+        let d = take_detections(buf)?;
+        detections.insert(d.level, d);
+    }
+    let n = codec::take_varint(buf)?;
+    let mut outliers = Vec::new();
+    for _ in 0..n {
+        outliers.push(take_hier_outlier(buf)?);
+    }
+    let n = codec::take_varint(buf)?;
+    let mut warnings = Vec::new();
+    for _ in 0..n {
+        let outlier_idx = usize::try_from(codec::take_varint(buf)?).ok()?;
+        let missing_level = Level::from_number(codec::take_u8(buf)?)?;
+        warnings.push(Warning::SuspectedMeasurementError {
+            outlier_idx,
+            missing_level,
+        });
+    }
+    let stats = StreamStats {
+        samples_ingested: codec::take_varint(buf)?,
+        samples_released: codec::take_varint(buf)?,
+        late_dropped: codec::take_varint(buf)?,
+        duplicates_dropped: codec::take_varint(buf)?,
+        series_failed: codec::take_varint(buf)?,
+        corrupt_records: codec::take_varint(buf)?,
+    };
+    let n = codec::take_varint(buf)?;
+    let mut lane_stats: BTreeMap<LaneId, LaneStats> = BTreeMap::new();
+    for _ in 0..n {
+        let lane = decode_lane(codec::take_bytes(buf)?)?;
+        let l = LaneStats {
+            released: codec::take_varint(buf)?,
+            late_dropped: codec::take_varint(buf)?,
+            duplicates_dropped: codec::take_varint(buf)?,
+            corrupt_records: codec::take_varint(buf)?,
+        };
+        lane_stats.insert(lane, l);
+    }
+    buf.is_empty().then_some(StreamReport {
+        detections,
+        report: HierReport { outliers, warnings },
+        stats,
+        lane_stats,
+    })
+}

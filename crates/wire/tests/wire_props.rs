@@ -1,0 +1,510 @@
+//! Property tests for the wire protocol, mirroring the store's
+//! `segment_props.rs`: every frame type round-trips encode → decode
+//! exactly; truncated and bit-flipped frames are rejected without
+//! panics; and ingest frames are WAL records **verbatim** — a captured
+//! ingest byte stream, prefixed with the WAL magic, scans and replays
+//! through `hierod_store::wal` unchanged.
+
+use std::collections::BTreeMap;
+use std::io::{Cursor, Read};
+
+use proptest::prelude::*;
+
+use hierod_core::detect_level::{LevelDetections, LevelOutlier, SeriesScores, VectorScore};
+use hierod_core::{HierOutlier, HierReport, Warning};
+use hierod_hierarchy::{Level, PhaseKind};
+use hierod_service::{Health, PlantHealth, RecoverySummary};
+use hierod_store::wal::{self, WalRecord, WAL_MAGIC};
+use hierod_stream::router::{LaneId, LaneKind};
+use hierod_stream::{LaneStats, StreamReport, StreamStats};
+use hierod_wire::{decode_report, encode_report, write_frame, ErrorCode, Frame, FrameReader, Poll};
+
+// -----------------------------------------------------------------
+// Generators (the shim has no regex strategies: build strings from
+// index vectors over an explicit alphabet).
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+
+fn arb_str() -> impl Strategy<Value = String> {
+    prop::collection::vec(0_usize..NAME_CHARS.len(), 0..10).prop_map(|idx| {
+        idx.iter()
+            .map(|&i| NAME_CHARS[i % NAME_CHARS.len()] as char)
+            .collect()
+    })
+}
+
+fn arb_opt_str() -> impl Strategy<Value = Option<String>> {
+    (0_u8..2, arb_str()).prop_map(|(sel, s)| (sel == 1).then_some(s))
+}
+
+/// Floats including the awkward ones: NaN and infinities must survive
+/// the wire bit-exactly.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (0_u8..6, -1.0e12_f64..1.0e12).prop_map(|(sel, v)| match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        _ => v,
+    })
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    (1_u8..6).prop_map(|n| Level::from_number(n).unwrap_or(Level::Phase))
+}
+
+fn arb_opt_level() -> impl Strategy<Value = Option<Level>> {
+    (0_u8..2, arb_level()).prop_map(|(sel, l)| (sel == 1).then_some(l))
+}
+
+fn arb_opt_phase() -> impl Strategy<Value = Option<PhaseKind>> {
+    (0_u8..6).prop_map(|sel| match sel {
+        0 => None,
+        1 => Some(PhaseKind::Preparation),
+        2 => Some(PhaseKind::WarmUp),
+        3 => Some(PhaseKind::Calibration),
+        4 => Some(PhaseKind::Printing),
+        _ => Some(PhaseKind::Cooling),
+    })
+}
+
+fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
+    (0_u8..2, any::<u64>()).prop_map(|(sel, v)| (sel == 1).then_some(v))
+}
+
+fn arb_outlier() -> impl Strategy<Value = HierOutlier> {
+    (
+        (arb_level(), arb_str(), arb_opt_str(), arb_opt_phase()),
+        (arb_opt_str(), arb_opt_u64(), arb_opt_u64()),
+        (arb_f64(), arb_f64(), any::<u8>()),
+    )
+        .prop_map(
+            |(
+                (level, machine, job, phase),
+                (sensor, index, timestamp),
+                (outlierness, support, global_score),
+            )| HierOutlier {
+                level,
+                machine,
+                job,
+                phase,
+                sensor,
+                index: index.map(|i| i as usize),
+                timestamp,
+                outlierness,
+                support,
+                global_score,
+            },
+        )
+}
+
+fn arb_outliers() -> impl Strategy<Value = Vec<HierOutlier>> {
+    prop::collection::vec(arb_outlier(), 0..4)
+}
+
+fn arb_lane() -> impl Strategy<Value = LaneId> {
+    (0_u8..2, arb_str(), arb_str()).prop_map(|(kind, machine, sensor)| LaneId {
+        machine,
+        sensor,
+        kind: if kind == 0 {
+            LaneKind::Phase
+        } else {
+            LaneKind::Environment
+        },
+    })
+}
+
+fn arb_lane_stats() -> impl Strategy<Value = Vec<(LaneId, LaneStats)>> {
+    prop::collection::vec(
+        (
+            arb_lane(),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        ),
+        0..4,
+    )
+    .prop_map(|lanes| {
+        // Deduplicate lanes: reply frames carry a map flattened to a
+        // sorted vec, so generator duplicates would not round-trip.
+        let map: BTreeMap<LaneId, LaneStats> = lanes
+            .into_iter()
+            .map(|(lane, (a, b, c, d))| {
+                (
+                    lane,
+                    LaneStats {
+                        released: a,
+                        late_dropped: b,
+                        duplicates_dropped: c,
+                        corrupt_records: d,
+                    },
+                )
+            })
+            .collect();
+        map.into_iter().collect()
+    })
+}
+
+fn arb_stream_stats() -> impl Strategy<Value = StreamStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(a, b, c, d, e, f)| StreamStats {
+            samples_ingested: a,
+            samples_released: b,
+            late_dropped: c,
+            duplicates_dropped: d,
+            series_failed: e,
+            corrupt_records: f,
+        })
+}
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..24)
+}
+
+fn arb_wal_record() -> impl Strategy<Value = WalRecord> {
+    (0_u8..3, any::<u32>(), any::<u64>(), arb_f64(), arb_bytes()).prop_map(
+        |(sel, lane, n, value, bytes)| match sel {
+            0 => WalRecord::LaneDef { lane, meta: bytes },
+            1 => WalRecord::Control {
+                seq: n,
+                payload: bytes,
+            },
+            _ => WalRecord::Sample {
+                lane,
+                timestamp: n,
+                value,
+            },
+        },
+    )
+}
+
+fn arb_health() -> impl Strategy<Value = Health> {
+    (
+        prop::collection::vec(
+            (
+                arb_str(),
+                any::<u32>(),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            ),
+            0..3,
+        ),
+        prop::collection::vec((arb_str(), arb_str()), 0..3),
+    )
+        .prop_map(|(live, failed)| Health {
+            live: live
+                .into_iter()
+                .map(|(id, shards, (a, b, c, d))| PlantHealth {
+                    id,
+                    shards,
+                    recovery: RecoverySummary {
+                        controls_applied: a,
+                        restored_samples: b,
+                        replayed_samples: c,
+                        corrupt_records: d,
+                    },
+                })
+                .collect(),
+            failed,
+        })
+}
+
+/// One strategy covering every [`Frame`] variant via a selector over a
+/// shared pool of ingredients.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        (0_u8..17, arb_wal_record(), arb_str(), 0_u8..2),
+        (any::<u64>(), any::<u64>(), arb_opt_level(), 1_u8..7),
+        (arb_outliers(), arb_outliers(), arb_stream_stats()),
+        (arb_lane_stats(), arb_health(), arb_bytes()),
+    )
+        .prop_map(
+            |(
+                (sel, record, text, flag),
+                (v1, v2, level, ecode),
+                (added, removed, stats),
+                (lanes, health, bytes),
+            )| match sel {
+                0 => Frame::Ingest(record),
+                1 => Frame::Admit {
+                    plant: text,
+                    create: flag == 1,
+                },
+                2 => Frame::Tick,
+                3 => Frame::Finish,
+                4 => Frame::QueryScores { level },
+                5 => Frame::QueryLaneStats,
+                6 => Frame::QueryDeltas { since: v1 },
+                7 => Frame::QueryHealth,
+                8 => Frame::Ok { info: v1 },
+                9 => Frame::Error {
+                    code: ErrorCode::from_code(ecode).unwrap_or(ErrorCode::Protocol),
+                    message: text,
+                },
+                10 => Frame::TickDone {
+                    version: v1,
+                    outliers: v2,
+                },
+                11 => Frame::Report {
+                    version: v1,
+                    report: bytes,
+                },
+                12 => Frame::Scores {
+                    version: v1,
+                    outliers: added,
+                },
+                13 => Frame::LaneStatsReply { stats, lanes },
+                14 => Frame::Deltas {
+                    from: v1,
+                    to: v2,
+                    added,
+                    removed,
+                },
+                15 => Frame::NoChange { version: v1 },
+                _ => Frame::HealthReply(health),
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = StreamReport> {
+    (
+        prop::collection::vec(
+            (
+                arb_level(),
+                arb_outliers(),
+                prop::collection::vec(
+                    (
+                        (arb_str(), arb_opt_str(), arb_opt_phase(), arb_str()),
+                        prop::collection::vec((any::<u64>(), arb_f64()), 0..4),
+                    ),
+                    0..3,
+                ),
+                prop::collection::vec((arb_str(), arb_str(), arb_f64()), 0..3),
+            ),
+            0..3,
+        ),
+        (
+            arb_outliers(),
+            prop::collection::vec((any::<u64>(), arb_level()), 0..3),
+        ),
+        arb_stream_stats(),
+        arb_lane_stats(),
+    )
+        .prop_map(|(levels, (outliers, warnings), stats, lane_stats)| {
+            let mut detections = BTreeMap::new();
+            for (level, hier_outliers, series, vectors) in levels {
+                let mut d = LevelDetections::empty(level);
+                for o in hier_outliers {
+                    d.outliers.push(LevelOutlier {
+                        level,
+                        machine: o.machine,
+                        job: o.job,
+                        phase: o.phase,
+                        sensor: o.sensor,
+                        index: o.index,
+                        timestamp: o.timestamp,
+                        outlierness: o.outlierness,
+                        raw_score: o.support,
+                    });
+                }
+                for ((machine, job, phase, sensor), points) in series {
+                    d.series_scores.push(SeriesScores {
+                        machine,
+                        job,
+                        phase,
+                        sensor,
+                        timestamps: points.iter().map(|&(t, _)| t).collect(),
+                        z: points.iter().map(|&(_, z)| z).collect(),
+                    });
+                }
+                for (machine, job, z) in vectors {
+                    d.vector_scores.push(VectorScore { machine, job, z });
+                }
+                detections.insert(level, d);
+            }
+            StreamReport {
+                detections,
+                report: HierReport {
+                    outliers,
+                    warnings: warnings
+                        .into_iter()
+                        .map(|(idx, missing_level)| Warning::SuspectedMeasurementError {
+                            outlier_idx: idx as usize,
+                            missing_level,
+                        })
+                        .collect(),
+                },
+                stats,
+                lane_stats: lane_stats.into_iter().collect(),
+            }
+        })
+}
+
+// -----------------------------------------------------------------
+// Helpers
+
+fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame.encode(&mut out);
+    out
+}
+
+/// A reader yielding at most `chunk` bytes per read, to exercise the
+/// frame reader's buffering across arbitrary fragmentation.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let rest = &self.data[self.pos..];
+        let n = rest.len().min(self.chunk).min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// NaN-tolerant equality: `Frame` holds floats, and NaN != NaN under
+/// `PartialEq`; the Debug rendering is bit-faithful enough to compare.
+fn same(a: &impl std::fmt::Debug, b: &impl std::fmt::Debug) -> bool {
+    format!("{a:?}") == format!("{b:?}")
+}
+
+// -----------------------------------------------------------------
+// Properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let mut reader = FrameReader::new();
+        match reader.poll(&mut Cursor::new(&bytes)).unwrap() {
+            Poll::Frame(decoded) => prop_assert!(
+                same(&decoded, &frame),
+                "round trip mismatch: {frame:?} -> {decoded:?}"
+            ),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // And nothing trails: the next poll is a clean EOF.
+        let mut cursor = Cursor::new(&bytes);
+        cursor.set_position(bytes.len() as u64);
+        prop_assert!(matches!(reader.poll(&mut cursor).unwrap(), Poll::Eof));
+    }
+
+    #[test]
+    fn frame_streams_survive_arbitrary_fragmentation(
+        (frames, chunk) in (prop::collection::vec(arb_frame(), 1..6), 1_usize..9)
+    ) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            write_frame(&mut bytes, frame).unwrap();
+        }
+        let mut trickle = Trickle { data: &bytes, pos: 0, chunk };
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        loop {
+            match reader.poll(&mut trickle).unwrap() {
+                Poll::Frame(f) => decoded.push(f),
+                Poll::Eof => break,
+                Poll::Idle => unreachable!("trickle never blocks"),
+            }
+        }
+        prop_assert!(same(&decoded, &frames));
+    }
+
+    #[test]
+    fn truncated_frames_never_panic_and_never_yield_a_frame(
+        (frame, keep_permille) in (arb_frame(), 0_usize..1000)
+    ) {
+        let bytes = encode_frame(&frame);
+        let cut = keep_permille * bytes.len() / 1000; // strictly < len
+        let mut reader = FrameReader::new();
+        match reader.poll(&mut Cursor::new(&bytes[..cut])) {
+            Ok(Poll::Frame(f)) => panic!("decoded a frame from a truncation: {f:?}"),
+            Ok(Poll::Eof) => prop_assert_eq!(cut, 0, "EOF is only clean at offset 0"),
+            Ok(Poll::Idle) => panic!("cursor reads never block"),
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_always_rejected(
+        (frame, flip) in (arb_frame(), any::<u64>())
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let bit = (flip as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let mut reader = FrameReader::new();
+        match reader.poll(&mut Cursor::new(&bytes)) {
+            // A flip in the length field can only make the frame appear
+            // torn (UnexpectedEof) or oversized/corrupt (InvalidData);
+            // the CRC catches every single-bit payload flip.
+            Err(e) => prop_assert!(matches!(
+                e.kind(),
+                std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+            )),
+            Ok(got) => panic!("bit flip at {bit} went unnoticed: {got:?}"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut reader = FrameReader::new();
+        let mut cursor = Cursor::new(&bytes);
+        // Drive to completion; any outcome but a panic is acceptable.
+        for _ in 0..70 {
+            match reader.poll(&mut cursor) {
+                Ok(Poll::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_frames_are_wal_verbatim_and_replayable(
+        records in prop::collection::vec(arb_wal_record(), 0..6)
+    ) {
+        // Capture the ingest stream exactly as it crosses the wire.
+        let mut captured = Vec::new();
+        for record in &records {
+            Frame::Ingest(record.clone()).encode(&mut captured);
+        }
+        // Byte-for-byte the WAL image, minus the magic.
+        let image = wal::encode_image(&records);
+        prop_assert_eq!(&image[WAL_MAGIC.len()..], &captured[..]);
+        // And therefore replayable through the store's scanner.
+        let mut replay = WAL_MAGIC.to_vec();
+        replay.extend_from_slice(&captured);
+        let scan = wal::scan(&replay);
+        prop_assert!(scan.corruption.is_none());
+        prop_assert!(same(&scan.records, &records));
+    }
+
+    #[test]
+    fn reports_round_trip_and_reject_mutations(
+        (report, keep_permille) in (arb_report(), 0_usize..1000)
+    ) {
+        let bytes = encode_report(&report);
+        let decoded = decode_report(&bytes).expect("well-formed report must decode");
+        prop_assert!(same(&decoded, &report));
+        // Determinism: re-encoding the decoded value is byte-identical.
+        prop_assert_eq!(encode_report(&decoded), bytes.clone());
+        // Truncations never panic and never decode.
+        let cut = keep_permille * bytes.len() / 1000;
+        prop_assert!(decode_report(&bytes[..cut]).is_none());
+        // Trailing garbage is rejected too.
+        let mut padded = bytes;
+        padded.push(0);
+        prop_assert!(decode_report(&padded).is_none());
+    }
+}

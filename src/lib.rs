@@ -22,6 +22,13 @@
 //! * [`store`] — durable substrate for the stream: CRC-checksummed
 //!   write-ahead log, immutable columnar segments, crash recovery, and a
 //!   deterministic fault-injection harness.
+//! * [`service`] — the service layer of the api → service → engine split:
+//!   [`PlantService`](hierod_service::PlantService), the one plant-driving
+//!   entry point shared by the embedded and network paths.
+//! * [`wire`] — length-prefixed binary wire protocol; ingest frames are
+//!   WAL records verbatim, so a captured stream replays through the store.
+//! * [`server`] — std-only TCP front-end serving a `PlantService` to
+//!   concurrent clients, with bounded accept queue and graceful drain.
 
 pub use hierod_core as core;
 pub use hierod_corpus as corpus;
@@ -29,7 +36,10 @@ pub use hierod_detect as detect;
 pub use hierod_eval as eval;
 pub use hierod_hierarchy as hierarchy;
 pub use hierod_olap as olap;
+pub use hierod_server as server;
+pub use hierod_service as service;
 pub use hierod_store as store;
 pub use hierod_stream as stream;
 pub use hierod_synth as synth;
 pub use hierod_timeseries as timeseries;
+pub use hierod_wire as wire;

@@ -27,21 +27,27 @@ use rules::taxonomy::{TaxonomyInputs, CATALOG, COVERAGE, DESIGN, REGISTRY};
 pub const ALLOWLIST_PATH: &str = "xtask/lint.allow";
 
 /// The crates whose library code is under the `panic-site` rule.
-const PANIC_SCOPE: [&str; 6] = [
+const PANIC_SCOPE: [&str; 9] = [
     "crates/detect/src/",
     "crates/core/src/",
     "crates/hierarchy/src/",
     "crates/timeseries/src/",
     "crates/stream/src/",
     "crates/store/src/",
+    "crates/service/src/",
+    "crates/wire/src/",
+    "crates/server/src/",
 ];
 
 /// The crates under the `nan-cmp` rule (library *and* test code).
-const NAN_SCOPE: [&str; 4] = [
+const NAN_SCOPE: [&str; 7] = [
     "crates/detect/",
     "crates/core/",
     "crates/stream/",
     "crates/store/",
+    "crates/service/",
+    "crates/wire/",
+    "crates/server/",
 ];
 
 /// The result of a lint run.
