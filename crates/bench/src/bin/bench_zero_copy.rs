@@ -26,7 +26,12 @@ static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` — every call forwards the exact
+// layout it received, and the counter updates allocate nothing themselves
+// (atomics only), so the GlobalAlloc contract holds iff System's does.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `layout` is forwarded unchanged; the returned pointer is
+    // System's, with System's validity guarantees.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let size = layout.size() as u64;
         ALLOC_BYTES.fetch_add(size, Ordering::Relaxed);
@@ -36,6 +41,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: the caller passes the pointer/layout pair it got from
+    // `alloc` (GlobalAlloc contract), which is exactly what System needs.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)

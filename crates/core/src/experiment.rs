@@ -117,7 +117,12 @@ pub fn point_level_eval(
             );
         }
     }
-    let phase_det = &detections[&Level::Phase];
+    let phase_det =
+        detections
+            .get(&Level::Phase)
+            .ok_or_else(|| hierod_detect::DetectError::Missing {
+                what: "phase-level detections for point evaluation".to_string(),
+            })?;
     let mut base_scores = Vec::new();
     let mut hier_scores = Vec::new();
     let mut labels = Vec::new();
@@ -280,7 +285,12 @@ pub fn job_level_eval(
         }
     }
     let truth = scenario.truth.anomalous_jobs();
-    let job_det = &detections[&Level::Job];
+    let job_det =
+        detections
+            .get(&Level::Job)
+            .ok_or_else(|| hierod_detect::DetectError::Missing {
+                what: "job-level detections for job evaluation".to_string(),
+            })?;
     let mut base = Vec::new();
     let mut hier = Vec::new();
     let mut labels = Vec::new();
@@ -375,12 +385,17 @@ pub fn drift_eval(scenario: &Scenario, policy: &AlgorithmPolicy) -> Result<Drift
         .iter()
         .position(|(m, _)| scenario.drifting_machines.contains(m))
         .map(|p| p + 1);
+    // A level absent from the map simply contributes zero outliers.
     let count_on_drifting = |level: Level| {
-        detections[&level]
-            .outliers
-            .iter()
-            .filter(|o| scenario.drifting_machines.contains(&o.machine))
-            .count()
+        detections
+            .get(&level)
+            .map(|det| {
+                det.outliers
+                    .iter()
+                    .filter(|o| scenario.drifting_machines.contains(&o.machine))
+                    .count()
+            })
+            .unwrap_or(0)
     };
     Ok(DriftEval {
         production_ranking,

@@ -7,10 +7,10 @@
 //! One [`TaskPool::run`](hierod_detect::engine::TaskPool) call hosts the
 //! whole server: an acceptor task plus `workers` connection tasks, all
 //! scoped threads (no detached threads, nothing outlives
-//! [`Server::serve`]). The acceptor pushes sockets onto a **bounded**
-//! queue (condvar-backed; at capacity new connections are refused, not
-//! buffered without limit); each worker pops one socket and serves it to
-//! completion before taking the next.
+//! [`Server::serve`]). The acceptor offers sockets to a **bounded**
+//! [`HandoffQueue`](queue::HandoffQueue) (at capacity new connections
+//! are refused, not buffered without limit); each worker pops one socket
+//! and serves it to completion before taking the next.
 //!
 //! The service itself sits behind one mutex — the engine already
 //! parallelises detection across its shard pool internally, so the
@@ -20,8 +20,11 @@
 //!
 //! ## Graceful drain
 //!
-//! [`ServerHandle::shutdown`] flips one atomic flag. The acceptor stops
-//! accepting; workers — whose reads carry a short timeout precisely so
+//! [`ServerHandle::shutdown`] closes the hand-off queue (a flag flipped
+//! under the queue mutex, so parked workers cannot miss the wakeup —
+//! the protocol `tests/loom_queue.rs` model-checks). The acceptor stops
+//! accepting; workers drain already-queued sockets, and in-flight
+//! connections — whose reads carry a short timeout precisely so
 //! [`FrameReader::poll`](hierod_wire::FrameReader) surfaces
 //! [`Poll::Idle`](hierod_wire::Poll) between frames — notice the flag at
 //! the next frame boundary, answer any further request with
@@ -39,11 +42,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use hierod_detect::engine::{Task, TaskPool};
@@ -51,8 +53,11 @@ use hierod_service::PlantService;
 
 pub mod client;
 mod conn;
+pub mod queue;
 
 pub use client::Client;
+
+use queue::HandoffQueue;
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone)]
@@ -94,17 +99,17 @@ pub struct ServerStats {
 /// State shared between the server, its tasks, and detached handles.
 #[derive(Debug)]
 pub(crate) struct Shared {
-    shutdown: AtomicBool,
     connections: AtomicU64,
     pub(crate) frames: AtomicU64,
     refused: AtomicU64,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    queue: HandoffQueue<TcpStream>,
 }
 
 impl Shared {
+    /// Shutdown doubles as queue closure: one flag serves both the
+    /// accept path and the per-frame drain check.
     pub(crate) fn draining(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.queue.is_closed()
     }
 }
 
@@ -127,8 +132,7 @@ impl ServerHandle {
     /// frames, answer further requests with `Draining`, return from
     /// [`Server::serve`].
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        self.shared.queue.close();
     }
 }
 
@@ -157,17 +161,16 @@ impl<S: PlantService + Send> Server<S> {
         // The acceptor polls: it must wake up to observe shutdown even
         // when no client ever connects.
         listener.set_nonblocking(true)?;
+        let accept_queue = config.accept_queue;
         Ok(Server {
             service: Mutex::new(conn::ServiceState::new(service)),
             listener,
             config,
             shared: Arc::new(Shared {
-                shutdown: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
                 frames: AtomicU64::new(0),
                 refused: AtomicU64::new(0),
-                queue: Mutex::new(VecDeque::new()),
-                available: Condvar::new(),
+                queue: HandoffQueue::new(accept_queue),
             }),
             addr,
         })
@@ -202,10 +205,12 @@ impl<S: PlantService + Send> Server<S> {
             tasks.push(Box::new(move || worker_loop(service, shared, config)));
         }
         pool.run(tasks);
+        // Relaxed suffices: `pool.run` joins every task, and the joins
+        // happened-before these loads — no counter update can race them.
         Ok(ServerStats {
-            connections: self.shared.connections.load(Ordering::SeqCst),
-            frames: self.shared.frames.load(Ordering::SeqCst),
-            refused: self.shared.refused.load(Ordering::SeqCst),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            frames: self.shared.frames.load(Ordering::Relaxed),
+            refused: self.shared.refused.load(Ordering::Relaxed),
         })
     }
 }
@@ -214,16 +219,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, config: &ServerConfig) {
     while !shared.draining() {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let mut queue = lock(&shared.queue);
-                if queue.len() >= config.accept_queue.max(1) {
-                    // Refuse at the door: dropping the socket resets the
-                    // connection rather than parking it unbounded.
+                // Refuse at the door: a full (or just-closed) queue hands
+                // the socket back and dropping it resets the connection
+                // rather than parking it unbounded.
+                if shared.queue.offer(stream).is_err() {
                     shared.refused.fetch_add(1, Ordering::Relaxed);
-                    continue;
                 }
-                queue.push_back(stream);
-                drop(queue);
-                shared.available.notify_one();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(config.read_timeout.min(Duration::from_millis(20)));
@@ -234,8 +235,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, config: &ServerConfig) {
             Err(_) => std::thread::sleep(config.read_timeout),
         }
     }
-    // Release every worker blocked on the condvar.
-    shared.available.notify_all();
+    // Workers blocked in `pop` were already woken by `close`; nothing to
+    // notify here.
 }
 
 fn worker_loop<S: PlantService>(
@@ -243,26 +244,9 @@ fn worker_loop<S: PlantService>(
     shared: &Shared,
     config: &ServerConfig,
 ) {
-    loop {
-        let stream = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if shared.draining() {
-                    break None;
-                }
-                let (guard, _timeout) = shared
-                    .available
-                    .wait_timeout(queue, config.read_timeout)
-                    .unwrap_or_else(PoisonError::into_inner);
-                queue = guard;
-            }
-        };
-        let Some(stream) = stream else {
-            return; // shutdown with an empty queue: drained
-        };
+    // `pop` parks until a socket arrives and yields `None` only once the
+    // queue is closed *and* drained — exactly the worker exit condition.
+    while let Some(stream) = shared.queue.pop() {
         // Per-connection I/O errors end that connection only.
         let _ = conn::serve_connection(stream, service, shared, config);
         shared.connections.fetch_add(1, Ordering::Relaxed);

@@ -12,10 +12,20 @@
 //! The wake protocol is flag-then-recheck: a sleeper (a) takes the gate,
 //! (b) raises its waiting flag, (c) rechecks the ring state, and only then
 //! waits; the peer (a) publishes its ring-state change, then (b) checks the
-//! waiting flag and, if raised, takes the gate before notifying. Every step
-//! uses `SeqCst`, whose single total order rules out the missed-wakeup
-//! window; the loom model in `tests/loom_ring.rs` explores the
-//! interleavings mechanically.
+//! waiting flag and, if raised, takes the gate before notifying. The
+//! memory orderings are the weakest that keep this sound: `head`/`tail`
+//! use the classic SPSC split — `Relaxed` on a side's own counter,
+//! `Acquire` on the peer's, `Release` to publish — and `closed` is
+//! `Release`/`Acquire`. The flag-vs-recheck handshake is the one place
+//! that genuinely needs more: it is a store-buffering (Dekker) shape —
+//! sleeper stores flag then loads ring state, waker stores ring state
+//! then loads flag — and acquire/release permits *both* loads to miss,
+//! which would strand the sleeper. A pair of `SeqCst` fences (one on each
+//! side, between its store and its load) forbids that outcome, so the
+//! flags themselves stay `Relaxed`. The loom model in `tests/loom_ring.rs`
+//! explores the interleavings mechanically (its scheduler runs every
+//! access `SeqCst`, so it checks the protocol logic; the nightly TSan job
+//! covers the weak-memory axis).
 //!
 //! The waiting flag is a *wake token*, not a level: the waker clears it
 //! (under the gate) as it notifies, and a sleeper re-raises it before
@@ -34,12 +44,12 @@ use std::sync::{Arc, PoisonError};
 
 #[cfg(feature = "loom")]
 use loom::sync::{
-    atomic::{AtomicBool, AtomicUsize, Ordering},
+    atomic::{fence, AtomicBool, AtomicUsize, Ordering},
     Condvar, Mutex,
 };
 #[cfg(not(feature = "loom"))]
 use std::sync::{
-    atomic::{AtomicBool, AtomicUsize, Ordering},
+    atomic::{fence, AtomicBool, AtomicUsize, Ordering},
     Condvar, Mutex,
 };
 
@@ -88,9 +98,9 @@ struct Shared<T> {
 }
 
 // SAFETY: the ring hands each `T` from exactly one thread to exactly one
-// other; slots are published via the SeqCst head/tail protocol, and the
-// single-producer/single-consumer split (unique, non-Clone handles with
-// `&mut self` operations) guarantees no slot is accessed concurrently.
+// other; slots are published via the Release/Acquire head/tail protocol,
+// and the single-producer/single-consumer split (unique, non-Clone handles
+// with `&mut self` operations) guarantees no slot is accessed concurrently.
 unsafe impl<T: Send> Send for Shared<T> {}
 // SAFETY: see above — shared access is limited to the atomics and the gate.
 unsafe impl<T: Send> Sync for Shared<T> {}
@@ -108,25 +118,37 @@ impl<T> Shared<T> {
         unsafe { self.buf.get_unchecked(idx) }
     }
 
+    /// Consumer-side emptiness recheck (called with its park fence issued:
+    /// `Relaxed` loads suffice for the Dekker argument, and the actual
+    /// slot read in `try_pop` re-loads `tail` with `Acquire`).
     fn is_empty_now(&self) -> bool {
-        self.head.load(Ordering::SeqCst) == self.tail.load(Ordering::SeqCst)
+        self.head.load(Ordering::Relaxed) == self.tail.load(Ordering::Relaxed)
     }
 
+    /// Producer-side fullness recheck (same contract as `is_empty_now`).
     fn is_full_now(&self) -> bool {
-        let head = self.head.load(Ordering::SeqCst);
-        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
         tail.wrapping_sub(head) >= self.capacity()
     }
 
     /// Wakes a parked consumer, if the waiting flag says there may be one.
+    /// Called by the producer right after its `tail` publish.
     fn wake_consumer(&self) {
-        if self.pop_waiting.load(Ordering::SeqCst) {
+        // ORDERING: store-buffering guard — the `tail` store above and the
+        // flag load below must both reach the other thread or this side
+        // must see the flag; acquire/release allows both loads of the
+        // Dekker pair to miss. This fence pairs with the one in
+        // `park_until_data` (flag store → fence → state recheck), making
+        // that outcome impossible, so the flag itself stays `Relaxed`.
+        fence(Ordering::SeqCst);
+        if self.pop_waiting.load(Ordering::Relaxed) {
             // Taking the gate orders this notify after the waiter's
             // recheck-then-wait, closing the missed-wakeup window. The
             // token is consumed under the same gate: follow-up pushes
             // skip the wake until the consumer parks again.
             let gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
-            self.pop_waiting.store(false, Ordering::SeqCst);
+            self.pop_waiting.store(false, Ordering::Relaxed);
             self.not_empty.notify_all();
             drop(gate);
         }
@@ -141,25 +163,33 @@ impl<T> Shared<T> {
     /// producer is parked only this consumer moves `head`, so the
     /// threshold-crossing pop always runs this check and notifies.
     fn wake_producer(&self) {
-        if !self.push_waiting.load(Ordering::SeqCst) {
+        // ORDERING: store-buffering guard, the mirror of `wake_consumer`:
+        // pairs with the fence in `park_until_space` so the `head` store
+        // above and this flag load cannot both miss; the flag stays
+        // `Relaxed`.
+        fence(Ordering::SeqCst);
+        if !self.push_waiting.load(Ordering::Relaxed) {
             return;
         }
-        let head = self.head.load(Ordering::SeqCst);
-        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
         if tail.wrapping_sub(head) <= self.capacity() / 2 {
             // Taking the gate orders this notify after the waiter's
             // recheck-then-wait, closing the missed-wakeup window. The
             // token is consumed under the same gate: follow-up pops
             // skip the wake until the producer parks again.
             let gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
-            self.push_waiting.store(false, Ordering::SeqCst);
+            self.push_waiting.store(false, Ordering::Relaxed);
             self.not_full.notify_all();
             drop(gate);
         }
     }
 
     fn close(&self) {
-        self.closed.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire loads in `try_push`/`pop`: a
+        // consumer that observes `closed` also observes every `tail`
+        // publish sequenced before the close (final-drain guarantee).
+        self.closed.store(true, Ordering::Release);
         // Unconditional wake of both sides: close is rare, a spurious
         // notify is harmless, and skipping the flag check removes a race
         // to reason about.
@@ -172,8 +202,10 @@ impl<T> Shared<T> {
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
         // Last handle gone: drain whatever the consumer never popped.
-        let mut head = self.head.load(Ordering::SeqCst);
-        let tail = self.tail.load(Ordering::SeqCst);
+        // `&mut self` proves exclusivity (Arc's drop already fenced), so
+        // Relaxed is enough here.
+        let mut head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
         while head != tail {
             // SAFETY: slots in `head..tail` were initialized by the
             // producer and never popped; we have exclusive ownership.
@@ -225,18 +257,23 @@ impl<T> Producer<T> {
     /// caller, `Err(Closed)` means the consumer is gone.
     pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
         let s = &*self.shared;
-        if s.closed.load(Ordering::SeqCst) {
+        if s.closed.load(Ordering::Acquire) {
             return Err(TryPushError::Closed(value));
         }
-        let tail = s.tail.load(Ordering::SeqCst);
-        let head = s.head.load(Ordering::SeqCst);
+        // Own counter Relaxed (only this thread writes it); Acquire on the
+        // consumer's `head` so the drained slot's previous contents are
+        // fully read before this side overwrites them.
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) >= s.capacity() {
             return Err(TryPushError::Full(value));
         }
         // SAFETY: `tail - head < capacity` means the consumer has drained
         // slot `tail & mask`, and only this (unique) producer writes slots.
         unsafe { (*s.slot(tail).get()).write(value) };
-        s.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
+        // Release publishes the slot write above to the consumer's
+        // Acquire load of `tail`.
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
         s.wake_consumer();
         Ok(())
     }
@@ -267,12 +304,15 @@ impl<T> Producer<T> {
         let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             // Raise the wake token *before* rechecking the ring — on
-            // every iteration, since a notify consumes it. The SeqCst
-            // store-then-load here against the consumer's
-            // store-`head`-then-load-token keeps the missed-wakeup
-            // window closed.
-            s.push_waiting.store(true, Ordering::SeqCst);
-            if !s.is_full_now() || s.closed.load(Ordering::SeqCst) {
+            // every iteration, since a notify consumes it.
+            s.push_waiting.store(true, Ordering::Relaxed);
+            // ORDERING: store-buffering guard — pairs with the fence in
+            // `wake_producer` (head store → fence → flag load). Without
+            // it this recheck and the consumer's flag load could both
+            // read stale values and the producer would sleep through its
+            // wake. See the module docs.
+            fence(Ordering::SeqCst);
+            if !s.is_full_now() || s.closed.load(Ordering::Acquire) {
                 break;
             }
             gate = s
@@ -280,7 +320,7 @@ impl<T> Producer<T> {
                 .wait(gate)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        s.push_waiting.store(false, Ordering::SeqCst);
+        s.push_waiting.store(false, Ordering::Relaxed);
     }
 
     /// Closes the ring: the consumer drains what is buffered, then sees
@@ -291,7 +331,7 @@ impl<T> Producer<T> {
 
     /// Whether the consumer side is still alive.
     pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::SeqCst)
+        self.shared.closed.load(Ordering::Acquire)
     }
 }
 
@@ -306,8 +346,10 @@ impl<T> Consumer<T> {
     /// necessarily end-of-stream — see [`Consumer::is_closed`]).
     pub fn try_pop(&mut self) -> Option<T> {
         let s = &*self.shared;
-        let head = s.head.load(Ordering::SeqCst);
-        let tail = s.tail.load(Ordering::SeqCst);
+        // Own counter Relaxed; Acquire on the producer's `tail` pairs
+        // with its Release publish, making the slot write visible.
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
@@ -315,7 +357,9 @@ impl<T> Consumer<T> {
         // `head & mask` before publishing `tail`; only this (unique)
         // consumer reads slots and advances `head`.
         let value = unsafe { (*s.slot(head).get()).assume_init_read() };
-        s.head.store(head.wrapping_add(1), Ordering::SeqCst);
+        // Release hands the drained slot back to the producer's Acquire
+        // load of `head`: the read above completes before the reuse.
+        s.head.store(head.wrapping_add(1), Ordering::Release);
         s.wake_producer();
         Some(value)
     }
@@ -331,9 +375,11 @@ impl<T> Consumer<T> {
             if let Some(v) = self.try_pop() {
                 return Some(v);
             }
-            if self.shared.closed.load(Ordering::SeqCst) {
+            if self.shared.closed.load(Ordering::Acquire) {
                 // Closed and the drain above found nothing: a producer
-                // publishes strictly before closing, so this is final.
+                // publishes strictly before closing, and this Acquire
+                // pairs with close()'s Release, so every pre-close
+                // publish is visible to the final drain below.
                 return self.try_pop();
             }
         }
@@ -345,12 +391,15 @@ impl<T> Consumer<T> {
         let mut gate = s.gate.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             // Raise the wake token *before* rechecking the ring — on
-            // every iteration, since a notify consumes it. The SeqCst
-            // store-then-load here against the producer's
-            // store-`tail`-then-load-token keeps the missed-wakeup
-            // window closed.
-            s.pop_waiting.store(true, Ordering::SeqCst);
-            if !s.is_empty_now() || s.closed.load(Ordering::SeqCst) {
+            // every iteration, since a notify consumes it.
+            s.pop_waiting.store(true, Ordering::Relaxed);
+            // ORDERING: store-buffering guard — pairs with the fence in
+            // `wake_consumer` (tail store → fence → flag load); without
+            // it this recheck and the producer's flag load could both
+            // read stale values and the consumer would sleep through
+            // its wake. See the module docs.
+            fence(Ordering::SeqCst);
+            if !s.is_empty_now() || s.closed.load(Ordering::Acquire) {
                 break;
             }
             gate = s
@@ -358,7 +407,7 @@ impl<T> Consumer<T> {
                 .wait(gate)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        s.pop_waiting.store(false, Ordering::SeqCst);
+        s.pop_waiting.store(false, Ordering::Relaxed);
     }
 
     /// Closes the ring from the consumer side: the producer's next push
@@ -370,13 +419,13 @@ impl<T> Consumer<T> {
 
     /// Whether the ring has been closed (buffered samples may remain).
     pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::SeqCst)
+        self.shared.closed.load(Ordering::Acquire)
     }
 
     /// Buffered sample count (a racy snapshot; exact only once closed).
     pub fn len(&self) -> usize {
-        let head = self.shared.head.load(Ordering::SeqCst);
-        let tail = self.shared.tail.load(Ordering::SeqCst);
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
         tail.wrapping_sub(head)
     }
 

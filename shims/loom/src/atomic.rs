@@ -27,6 +27,19 @@ fn decision_point() -> bool {
     }
 }
 
+/// `std::sync::atomic::fence` with a model decision point. Under the model
+/// the fence itself is a no-op for visibility (every modeled access already
+/// runs `SeqCst`, so the total order the fence asks for is the only order
+/// there is), but it still yields: code on either side of the fence must be
+/// preemptible exactly like code around any other atomic op.
+pub fn fence(order: Ordering) {
+    if decision_point() {
+        std_atomic::fence(Ordering::SeqCst);
+    } else {
+        std_atomic::fence(order);
+    }
+}
+
 /// `std::sync::atomic::AtomicUsize` with model-visible accesses.
 #[derive(Debug, Default)]
 pub struct AtomicUsize {

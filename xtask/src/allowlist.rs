@@ -145,7 +145,8 @@ impl Allowlist {
             "# Grandfathered lint findings: `rule path max-count` (see DESIGN.md §4.12).\n\
              # Budgets only ratchet down: fix new sites, then run\n\
              #   cargo xtask lint --update-allowlist\n\
-             # to commit a burndown. Taxonomy findings are never allowlistable.\n",
+             # to commit a burndown. Taxonomy, lock-order, and loom-coverage findings\n\
+             # are never allowlistable.\n",
         );
         for ((rule, file), count) in counts {
             let _ = writeln!(out, "{rule} {file} {count}");

@@ -17,6 +17,18 @@ pub enum Rule {
     /// Deep copies of series storage (`.to_vec()`, series `.clone()`) in
     /// the zero-copy hot paths.
     ZeroCopy,
+    /// An `unsafe` block/fn/impl in library code without a preceding
+    /// `// SAFETY:` comment stating the invariant that makes it sound.
+    UnsafeAudit,
+    /// An atomic operation using `Ordering::SeqCst` without an adjacent
+    /// `// ORDERING:` comment justifying why Acquire/Release is not enough.
+    AtomicOrdering,
+    /// A cycle in the whole-repo lock-acquisition graph: two mutexes taken
+    /// in opposite nesting orders somewhere (potential ABBA deadlock).
+    LockOrder,
+    /// A library file using atomics or `UnsafeCell` that is not mapped to a
+    /// named loom model test (unmodeled lock-free code).
+    LoomCoverage,
 }
 
 impl Rule {
@@ -27,6 +39,10 @@ impl Rule {
             Rule::PanicSite => "panic-site",
             Rule::Taxonomy => "taxonomy",
             Rule::ZeroCopy => "zero-copy",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockOrder => "lock-order",
+            Rule::LoomCoverage => "loom-coverage",
         }
     }
 
@@ -37,23 +53,33 @@ impl Rule {
             "panic-site" => Some(Rule::PanicSite),
             "taxonomy" => Some(Rule::Taxonomy),
             "zero-copy" => Some(Rule::ZeroCopy),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "atomic-ordering" => Some(Rule::AtomicOrdering),
+            "lock-order" => Some(Rule::LockOrder),
+            "loom-coverage" => Some(Rule::LoomCoverage),
             _ => None,
         }
     }
 
     /// Whether findings of this rule may be grandfathered in the allowlist.
-    /// Taxonomy drift is always a hard failure: the paper's Table 1 and the
-    /// code must never disagree, old or new.
+    /// Taxonomy drift, lock-order cycles, and loom-coverage gaps are always
+    /// hard failures: the paper's Table 1 and the code must never disagree,
+    /// a potential ABBA deadlock must never land old or new, and lock-free
+    /// code must never exist unmodeled.
     pub fn allowlistable(self) -> bool {
-        !matches!(self, Rule::Taxonomy)
+        !matches!(self, Rule::Taxonomy | Rule::LockOrder | Rule::LoomCoverage)
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NanCmp,
         Rule::PanicSite,
         Rule::Taxonomy,
         Rule::ZeroCopy,
+        Rule::UnsafeAudit,
+        Rule::AtomicOrdering,
+        Rule::LockOrder,
+        Rule::LoomCoverage,
     ];
 }
 
@@ -134,6 +160,18 @@ mod tests {
     fn taxonomy_is_never_allowlistable() {
         assert!(!Rule::Taxonomy.allowlistable());
         assert!(Rule::PanicSite.allowlistable());
+    }
+
+    #[test]
+    fn concurrency_gate_allowlistability() {
+        // Count-ratchet families: grandfathered sites may exist while a
+        // burndown is underway.
+        assert!(Rule::UnsafeAudit.allowlistable());
+        assert!(Rule::AtomicOrdering.allowlistable());
+        // Hard gates: an ABBA cycle or an unmodeled atomics file must fail
+        // the build regardless of any allowlist entry.
+        assert!(!Rule::LockOrder.allowlistable());
+        assert!(!Rule::LoomCoverage.allowlistable());
     }
 
     #[test]

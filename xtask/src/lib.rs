@@ -1,10 +1,15 @@
 //! `cargo xtask lint` — repo-specific static analysis.
 //!
-//! Four rule families keep the reproduction faithful and production-safe
-//! (DESIGN.md §4.12): `nan-cmp` (no force-unwrapped `partial_cmp`),
+//! Eight rule families keep the reproduction faithful and production-safe
+//! (DESIGN.md §4.12, §4.17): `nan-cmp` (no force-unwrapped `partial_cmp`),
 //! `panic-site` (a shrinking panic surface in library code), `taxonomy`
-//! (Table 1 ↔ registry ↔ engine catalog ↔ tests ↔ docs cross-check), and
-//! `zero-copy` (no deep series copies on the data-plane hot paths).
+//! (Table 1 ↔ registry ↔ engine catalog ↔ tests ↔ docs cross-check),
+//! `zero-copy` (no deep series copies on the data-plane hot paths),
+//! `unsafe-audit` (every `unsafe` carries a `// SAFETY:` invariant),
+//! `atomic-ordering` (an inventory of every atomic op; `SeqCst` needs an
+//! `// ORDERING:` justification), `lock-order` (whole-repo lock graph,
+//! ABBA cycles are hard failures), and `loom-coverage` (every file owning
+//! atomics/`UnsafeCell` maps to a named loom model test).
 //! Findings are machine-readable ([`Finding`]); grandfathered sites live in
 //! the committed count-ratchet allowlist `xtask/lint.allow`
 //! ([`Allowlist`]).
@@ -21,6 +26,8 @@ pub use scan::Source;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use rules::atomic::AtomicSite;
+use rules::lockorder::LockEdge;
 use rules::taxonomy::{TaxonomyInputs, CATALOG, COVERAGE, DESIGN, REGISTRY};
 
 /// Where the allowlist lives, workspace-relative.
@@ -55,6 +62,9 @@ const NAN_SCOPE: [&str; 7] = [
 pub struct LintOutcome {
     /// Every raw finding, allowlisted or not.
     pub findings: Vec<Finding>,
+    /// The atomic-operation inventory (every load/store/RMW/fence with
+    /// the orderings it names), for the JSON report.
+    pub atomics: Vec<AtomicSite>,
     /// Ratchet violations after applying the allowlist.
     pub violations: Vec<Violation>,
 }
@@ -103,13 +113,32 @@ fn rel(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Runs every rule over the workspace at `root`, returning raw findings.
+/// Raw scan output: findings plus the atomic-op inventory.
+#[derive(Debug)]
+pub struct Report {
+    /// Every raw finding, allowlisted or not.
+    pub findings: Vec<Finding>,
+    /// Every atomic op in non-test library code, with its orderings.
+    pub atomics: Vec<AtomicSite>,
+}
+
+/// Whether a path is library/binary source (the concurrency rules' scope:
+/// everything under a `src/` directory, but not integration tests or
+/// benches, whose concurrency is the test harness's business).
+fn in_src(relpath: &str) -> bool {
+    relpath.starts_with("src/") || relpath.contains("/src/")
+}
+
+/// Runs every rule over the workspace at `root`.
 ///
 /// # Errors
 /// I/O errors reading sources (a cross-checked file that is *missing* is a
 /// taxonomy finding, not an error).
-pub fn collect_findings(root: &Path) -> std::io::Result<Vec<Finding>> {
+pub fn collect_report(root: &Path) -> std::io::Result<Report> {
     let mut findings = Vec::new();
+    let mut atomics = Vec::new();
+    let mut lock_edges: Vec<LockEdge> = Vec::new();
+    let mut loom_triggers: Vec<(String, usize)> = Vec::new();
     for path in workspace_sources(root)? {
         let relpath = rel(root, &path);
         let text = fs::read_to_string(&path)?;
@@ -123,8 +152,25 @@ pub fn collect_findings(root: &Path) -> std::io::Result<Vec<Finding>> {
         if rules::zerocopy::HOT_PATHS.contains(&relpath.as_str()) {
             findings.extend(rules::zerocopy::check(&src));
         }
+        if in_src(&relpath) {
+            findings.extend(rules::unsafe_audit::check(&src));
+            let (sites, seqcst) = rules::atomic::check(&src);
+            atomics.extend(sites);
+            findings.extend(seqcst);
+            lock_edges.extend(rules::lockorder::edges(&src));
+            // Binaries (bench drivers, the CLI) are not lib code: their
+            // atomics never cross a thread boundary an API user can hit.
+            if !relpath.contains("/bin/") {
+                if let Some(line) = rules::loom_cov::trigger_line(&src) {
+                    loom_triggers.push((relpath.clone(), line));
+                }
+            }
+        }
     }
+    findings.extend(rules::lockorder::check(&lock_edges));
+    let exists = |p: &str| root.join(p).is_file();
     let read = |p: &str| fs::read_to_string(root.join(p)).unwrap_or_default();
+    findings.extend(rules::loom_cov::check(&loom_triggers, &exists, &read));
     let (registry, catalog, coverage, design) =
         (read(REGISTRY), read(CATALOG), read(COVERAGE), read(DESIGN));
     findings.extend(rules::taxonomy::check(&TaxonomyInputs {
@@ -134,7 +180,16 @@ pub fn collect_findings(root: &Path) -> std::io::Result<Vec<Finding>> {
         design: &design,
     }));
     findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
-    Ok(findings)
+    atomics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report { findings, atomics })
+}
+
+/// Runs every rule over the workspace at `root`, returning raw findings.
+///
+/// # Errors
+/// As [`collect_report`].
+pub fn collect_findings(root: &Path) -> std::io::Result<Vec<Finding>> {
+    collect_report(root).map(|r| r.findings)
 }
 
 /// Runs the lint against the committed allowlist.
@@ -142,12 +197,13 @@ pub fn collect_findings(root: &Path) -> std::io::Result<Vec<Finding>> {
 /// # Errors
 /// I/O failures, or a malformed allowlist (message describes the line).
 pub fn run_lint(root: &Path) -> Result<LintOutcome, String> {
-    let findings = collect_findings(root).map_err(|e| format!("scanning sources: {e}"))?;
+    let report = collect_report(root).map_err(|e| format!("scanning sources: {e}"))?;
     let allow_text = fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
     let allowlist = Allowlist::parse(&allow_text).map_err(|e| format!("{ALLOWLIST_PATH}: {e}"))?;
-    let violations = allowlist.check(&findings);
+    let violations = allowlist.check(&report.findings);
     Ok(LintOutcome {
-        findings,
+        findings: report.findings,
+        atomics: report.atomics,
         violations,
     })
 }

@@ -69,10 +69,12 @@ fn main() -> ExitCode {
             .flat_map(|v| v.sites.iter())
             .map(|f| f.to_json())
             .collect();
+        let atomics: Vec<String> = outcome.atomics.iter().map(|a| a.to_json()).collect();
         println!(
-            "{{\"clean\":{},\"violations\":[{}]}}",
+            "{{\"clean\":{},\"violations\":[{}],\"atomics\":[{}]}}",
             outcome.clean(),
-            body.join(",")
+            body.join(","),
+            atomics.join(",")
         );
     } else {
         for v in &outcome.violations {

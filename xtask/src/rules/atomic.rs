@@ -1,0 +1,243 @@
+//! Rule `atomic-ordering`: inventory every atomic operation and gate
+//! `SeqCst` behind an explicit justification.
+//!
+//! The hot paths want the weakest ordering that is still correct; the
+//! default temptation is the strongest one. This rule extracts every
+//! atomic load/store/RMW/fence together with the `Ordering` tokens it
+//! passes (the inventory lands in the JSON lint report), and flags any
+//! `SeqCst` use in non-test library code that does not carry an adjacent
+//! `// ORDERING:` comment saying why Acquire/Release is not enough (e.g.
+//! a Dekker-style flag handshake that needs a total store order).
+//! Findings are count-ratcheted via `lint.allow`.
+
+use crate::findings::{json_escape, Finding, Rule};
+use crate::scan::Source;
+
+/// The justification tag a `SeqCst` site must carry.
+pub const TAG: &str = "ORDERING:";
+
+/// Atomic method/fence call tokens. Entries must keep the open paren so
+/// `.load(` cannot also match `.loads(`; `compiler_fence(` is listed
+/// before the word-boundary-checked `fence(` scan catches it.
+const OPS: [&str; 16] = [
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_nand(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    "compiler_fence(",
+    "fence(",
+];
+
+const ORDERINGS: [&str; 5] = ["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// One atomic operation with the memory orderings it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based line number of the call.
+    pub line: usize,
+    /// Operation name without punctuation (`load`, `fetch_add`, `fence`).
+    pub op: String,
+    /// Every `Ordering` variant named in the call's arguments, in order
+    /// (`compare_exchange` has two; `fetch_update` three).
+    pub orderings: Vec<String>,
+}
+
+impl AtomicSite {
+    /// JSON object for the lint report (hand-rolled: no serde offline).
+    pub fn to_json(&self) -> String {
+        let orders: Vec<String> = self
+            .orderings
+            .iter()
+            .map(|o| format!("\"{}\"", json_escape(o)))
+            .collect();
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"op\":\"{}\",\"orderings\":[{}]}}",
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.op),
+            orders.join(",")
+        )
+    }
+}
+
+/// Scans one source file: returns the (non-test) atomic-op inventory and
+/// the unjustified-`SeqCst` findings.
+pub fn check(src: &Source) -> (Vec<AtomicSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    let bytes = src.masked.as_bytes();
+    for op in OPS {
+        let mut search = 0;
+        while let Some(rel) = src.masked[search..].find(op) {
+            let at = search + rel;
+            search = at + op.len();
+            if !op.starts_with('.') {
+                // `fence(` must be its own word (not `compiler_fence(`,
+                // which its own entry already consumed).
+                if at > 0 && (is_ident(bytes[at - 1]) || bytes[at - 1] == b'_') {
+                    continue;
+                }
+            }
+            if src.offset_in_test(at) {
+                continue;
+            }
+            let args_start = at + op.len();
+            let Some(args_end) = balanced_close(bytes, args_start) else {
+                continue;
+            };
+            let args = &src.masked[args_start..args_end];
+            let orderings = ordering_tokens(args);
+            if orderings.is_empty() {
+                // `.load(path)` on a WAL, `.store(x)` on a map — not an
+                // atomic call; only Ordering-carrying calls are inventory.
+                continue;
+            }
+            let op_name = op.trim_start_matches('.').trim_end_matches('(');
+            sites.push(AtomicSite {
+                file: src.path.clone(),
+                line: src.line_of(at),
+                op: op_name.to_string(),
+                orderings: orderings.clone(),
+            });
+            if orderings.iter().any(|o| o == "SeqCst") && !src.comment_tagged(at, TAG) {
+                findings.push(Finding {
+                    rule: Rule::AtomicOrdering,
+                    file: src.path.clone(),
+                    line: src.line_of(at),
+                    excerpt: src.excerpt(at),
+                    message: "SeqCst without an `// ORDERING:` comment; justify why \
+                              Acquire/Release is not enough, or downgrade"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    sites.sort_by_key(|s| s.line);
+    findings.sort_by_key(|f| f.line);
+    (sites, findings)
+}
+
+/// Offset of the `)` closing the paren group that opens at `start - 1`.
+fn balanced_close(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    for (k, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Every `Ordering` variant named in an argument list, as whole words.
+fn ordering_tokens(args: &str) -> Vec<String> {
+    let bytes = args.as_bytes();
+    let mut found: Vec<(usize, String)> = Vec::new();
+    for name in ORDERINGS {
+        let mut search = 0;
+        while let Some(rel) = args[search..].find(name) {
+            let at = search + rel;
+            search = at + name.len();
+            let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+            let after_ok = bytes.get(at + name.len()).is_none_or(|&b| !is_ident(b));
+            if before_ok && after_ok {
+                found.push((at, name.to_string()));
+            }
+        }
+    }
+    found.sort();
+    found.into_iter().map(|(_, n)| n).collect()
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> (Vec<AtomicSite>, Vec<Finding>) {
+        check(&Source::new("f.rs", text))
+    }
+
+    #[test]
+    fn inventories_ops_with_their_orderings() {
+        let (sites, _) = run("let h = head.load(Ordering::Acquire);\n\
+             tail.store(h, Ordering::Release);\n\
+             n.fetch_add(1, Ordering::Relaxed);\n\
+             fence(Ordering::SeqCst); // ORDERING: Dekker handshake.\n");
+        let ops: Vec<&str> = sites.iter().map(|s| s.op.as_str()).collect();
+        assert_eq!(ops, ["load", "store", "fetch_add", "fence"]);
+        assert_eq!(sites[0].orderings, ["Acquire"]);
+        assert_eq!(sites[3].orderings, ["SeqCst"]);
+    }
+
+    #[test]
+    fn compare_exchange_reports_both_orderings() {
+        let (sites, findings) = run(
+            "// ORDERING: publication needs the RMW to be globally ordered.\n\
+             x.compare_exchange(a, b, Ordering::SeqCst, Ordering::Acquire);",
+        );
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].orderings, ["SeqCst", "Acquire"]);
+        assert!(findings.is_empty(), "justified SeqCst is clean");
+    }
+
+    #[test]
+    fn unjustified_seqcst_is_a_finding() {
+        let (_, findings) = run("head.load(Ordering::SeqCst);");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::AtomicOrdering);
+        // Weaker orderings never need justification.
+        let (_, f) = run("head.load(Ordering::Acquire); t.store(1, Ordering::Release);");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn non_atomic_calls_named_load_or_store_are_ignored() {
+        let (sites, findings) = run("wal.load(path)?; map.store(key, value);");
+        assert!(sites.is_empty());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn bare_ordering_imports_and_tests_handled() {
+        // `use Ordering::*` style: bare variant names still count.
+        let (sites, findings) = run("flag.store(true, SeqCst);");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(findings.len(), 1);
+        // Test modules are out of scope.
+        let (sites, findings) =
+            run("fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.load(Ordering::SeqCst); } }");
+        assert!(sites.is_empty());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn fence_word_boundary_and_json() {
+        let (sites, _) = run("fence(Ordering::Acquire); my_fence(Ordering::SeqCst);");
+        assert_eq!(sites.len(), 1, "my_fence is not the std fence");
+        let j = sites[0].to_json();
+        assert!(j.contains("\"op\":\"fence\""));
+        assert!(j.contains("[\"Acquire\"]"));
+    }
+}

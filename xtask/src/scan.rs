@@ -58,6 +58,34 @@ impl Source {
             .trim()
             .to_string()
     }
+
+    /// Whether the token at `offset` carries an adjacent justification
+    /// comment containing `tag` (e.g. `SAFETY:`, `ORDERING:`): either on
+    /// the token's own line, or in the contiguous run of `//` comment
+    /// lines immediately above it (attribute lines like `#[inline]` may
+    /// sit between the comment and the item).
+    pub fn comment_tagged(&self, offset: usize, tag: &str) -> bool {
+        let lines: Vec<&str> = self.text.lines().collect();
+        let idx = self.line_of(offset) - 1;
+        if lines.get(idx).is_some_and(|l| l.contains(tag)) {
+            return true;
+        }
+        let mut k = idx;
+        while k > 0 {
+            k -= 1;
+            let t = lines[k].trim_start();
+            if t.starts_with("//") {
+                if t.contains(tag) {
+                    return true;
+                }
+            } else if t.starts_with("#[") || t.starts_with("#!") {
+                // Attributes between the comment and the item are fine.
+            } else {
+                break;
+            }
+        }
+        false
+    }
 }
 
 /// Masks comments and string/char literals with spaces. Newlines inside
@@ -110,10 +138,13 @@ pub fn mask(text: &str) -> String {
                     }
                 } else if b == b'\'' {
                     // Char literal vs lifetime: a literal closes with a
-                    // quote after one (possibly escaped) character.
+                    // quote after one (possibly escaped, possibly
+                    // multi-byte) character. Multi-byte literals ('é',
+                    // '→') must be recognized too — classifying them as
+                    // lifetimes would leave their contents unmasked.
                     let is_char = match next(1) {
                         Some(b'\\') => true,
-                        Some(_) => next(2) == Some(b'\''),
+                        Some(c) => next(1 + utf8_len(c)) == Some(b'\''),
                         None => false,
                     };
                     if is_char {
@@ -206,6 +237,17 @@ pub fn mask(text: &str) -> String {
     String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 
+/// Byte length of the UTF-8 character starting with `first` (stray
+/// continuation bytes count as 1 so the scanner never stalls).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0xbf => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xff => 4,
+    }
+}
+
 /// Marks the (0-based) lines covered by `#[cfg(test)]` items: from each
 /// attribute through the end of the item's brace block (or its terminating
 /// semicolon for block-less items).
@@ -286,6 +328,75 @@ mod tests {
         assert_eq!(s.in_test, vec![false, true, true, true, true, false]);
         assert!(!s.offset_in_test(0));
         assert!(s.offset_in_test(src.find("fn t").unwrap()));
+    }
+
+    #[test]
+    fn masks_multibyte_char_literals() {
+        // '→' is 3 bytes; misreading it as a lifetime would leave the
+        // literal (and everything the confused state machine swallows
+        // after it) unmasked.
+        let src = "let c = '→'; let d = 'é'; x.unwrap();";
+        let m = mask(src);
+        assert!(!m.contains('→'));
+        assert!(!m.contains('é'));
+        assert!(m.contains("unwrap"), "code after the literal stays live");
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_byte_strings_and_raw_byte_strings() {
+        let src = "let a = b\"unwrap()\"; let b = br#\"expect(\"x\")\"#; y.unwrap();";
+        let m = mask(src);
+        assert!(!m.contains("unwrap()\""));
+        assert!(!m.contains("expect"));
+        assert_eq!(
+            m.matches("unwrap").count(),
+            1,
+            "only the live call survives"
+        );
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings_with_embedded_quotes() {
+        let src = "let s = r#\"a \"quoted\" unwrap()\"#; z.expect(\"live\");";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(
+            m.contains(".expect("),
+            "code after the raw string stays live"
+        );
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* unwrap() */ still comment */ x.expect(\"e\");\nv[0];";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("still comment"));
+        assert!(m.contains(".expect("));
+        assert!(m.contains("v[0]"), "code on the next line survives");
+    }
+
+    #[test]
+    fn unterminated_block_comment_masks_to_eof() {
+        let src = "fn f() {}\n/* /* nested but never closed\nx.unwrap();";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn char_lifetime_disambiguation_corners() {
+        let src = "fn f<'a>(x: &'a str, l: &'static str) { let a = 'a'; \
+                   let q = '\\''; let b = b'x'; let u = '\\u{7f}'; }";
+        let m = mask(src);
+        assert!(m.contains("'a>"), "generic lifetime survives");
+        assert!(m.contains("'static"), "long lifetime survives");
+        assert!(!m.contains("= 'a'"), "char literal contents masked");
+        assert!(!m.contains("u{7f}"), "escape sequence masked");
+        assert_eq!(m.len(), src.len());
     }
 
     #[test]

@@ -130,6 +130,134 @@ fn taxonomy_drift_is_never_allowlistable() {
     assert!(!out.clean());
 }
 
+#[test]
+fn unsafe_audit_flags_only_uncommented_blocks_and_ratchets() {
+    let fx = Fixture::new("unsafe");
+    fx.write(
+        "crates/detect/src/da/raw.rs",
+        "pub fn f(p: *const u8) -> u8 {\n\
+         \x20   // SAFETY: the caller passes a valid, aligned pointer.\n\
+         \x20   unsafe { *p }\n\
+         }\n\
+         pub fn g(p: *const u8) -> u8 {\n\
+         \x20   unsafe { *p }\n\
+         }\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    let hits: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeAudit)
+        .collect();
+    assert_eq!(hits.len(), 1, "only the SAFETY-less block: {hits:?}");
+    assert_eq!(hits[0].line, 6);
+    // Count-ratcheted like panic-site: grandfathering absorbs it.
+    update_allowlist(&fx.root).expect("update");
+    assert!(run_lint(&fx.root).expect("lint").clean());
+}
+
+#[test]
+fn atomic_ordering_inventories_ops_and_gates_seqcst() {
+    let fx = Fixture::new("atomics");
+    fx.write(
+        "crates/stream/src/flag.rs",
+        "pub fn publish(f: &AtomicBool) {\n\
+         \x20   f.store(true, Ordering::Release);\n\
+         }\n\
+         pub fn handshake(f: &AtomicBool) -> bool {\n\
+         \x20   // ORDERING: Dekker-style flag pair needs a total store order.\n\
+         \x20   f.swap(true, Ordering::SeqCst)\n\
+         }\n\
+         pub fn sloppy(f: &AtomicBool) -> bool {\n\
+         \x20   f.load(Ordering::SeqCst)\n\
+         }\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    // The inventory carries every op with its orderings.
+    let ops: Vec<&str> = out.atomics.iter().map(|a| a.op.as_str()).collect();
+    assert_eq!(ops, ["store", "swap", "load"]);
+    // Only the unjustified SeqCst is a finding.
+    let hits: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::AtomicOrdering)
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 9);
+    // The file holds an AtomicBool with no loom model mapped: the
+    // coverage gate fires too, and no allowlist update absorbs it.
+    assert!(out.findings.iter().any(|f| f.rule == Rule::LoomCoverage));
+    update_allowlist(&fx.root).expect("update");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(!out.clean());
+    assert!(
+        out.violations.iter().all(|v| v.rule == Rule::LoomCoverage),
+        "{:?}",
+        out.violations
+    );
+}
+
+#[test]
+fn lock_order_cycles_are_never_allowlistable() {
+    let fx = Fixture::new("lockorder");
+    fx.write(
+        "crates/store/src/ab.rs",
+        "pub fn ab(&self) {\n\
+         \x20   let a = self.wal.lock();\n\
+         \x20   let b = self.index.lock();\n\
+         \x20   drop(b);\n\
+         \x20   drop(a);\n\
+         }\n",
+    );
+    fx.write(
+        "crates/store/src/ba.rs",
+        "pub fn ba(&self) {\n\
+         \x20   let b = self.index.lock();\n\
+         \x20   let a = self.wal.lock();\n\
+         \x20   drop(a);\n\
+         \x20   drop(b);\n\
+         }\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(
+        out.findings.iter().any(|f| f.rule == Rule::LockOrder),
+        "ABBA across files must surface: {:?}",
+        out.findings
+    );
+    // Deadlocks cannot be grandfathered.
+    update_allowlist(&fx.root).expect("update");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(!out.clean());
+    assert!(out.violations.iter().any(|v| v.rule == Rule::LockOrder));
+}
+
+#[test]
+fn loom_coverage_requires_the_named_model_test() {
+    let fx = Fixture::new("loomcov");
+    // An atomics-bearing file at a MODEL_MAP path, with no model file.
+    fx.write(
+        "crates/stream/src/ring.rs",
+        "pub struct R { head: AtomicUsize }\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(out.findings.iter().any(|f| f.rule == Rule::LoomCoverage));
+    // The mapped model file must contain the named test fn...
+    fx.write("crates/stream/tests/loom_ring.rs", "fn unrelated() {}\n");
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(out.findings.iter().any(|f| f.rule == Rule::LoomCoverage));
+    // ...and once it does, the gate is satisfied.
+    fx.write(
+        "crates/stream/tests/loom_ring.rs",
+        "#[test]\nfn spsc_fifo_no_loss_under_all_interleavings() {}\n",
+    );
+    let out = run_lint(&fx.root).expect("lint");
+    assert!(
+        out.findings.iter().all(|f| f.rule != Rule::LoomCoverage),
+        "{:?}",
+        out.findings
+    );
+}
+
 /// The real repository must be clean under its committed allowlist — this
 /// is the same check CI runs via `cargo xtask lint`.
 #[test]
@@ -140,6 +268,16 @@ fn repository_is_clean_under_committed_allowlist() {
         "repository violates its own lint ratchet: {:#?}",
         out.violations
     );
+    // The concurrency sweep holds: the atomic inventory is populated and
+    // every remaining SeqCst site carries an ORDERING justification.
+    assert!(
+        !out.atomics.is_empty(),
+        "atomic inventory must be populated"
+    );
+    assert!(out
+        .findings
+        .iter()
+        .all(|f| f.rule != Rule::AtomicOrdering && f.rule != Rule::UnsafeAudit));
 }
 
 /// Structured output stays machine-parseable (CI consumes it).
