@@ -13,6 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use hierod_core::HierOutlier;
 use hierod_hierarchy::Level;
+use hierod_history::ScanStats;
 use hierod_service::Health;
 use hierod_store::wal::WalRecord;
 use hierod_stream::codec::{encode_control, encode_lane};
@@ -288,6 +289,64 @@ impl Client {
         match self.request(&Frame::QueryHealth)? {
             Frame::HealthReply(health) => Ok(health),
             _ => Err(ClientError::Unexpected("query_health expects HealthReply")),
+        }
+    }
+
+    /// Scans the plant's sealed history for samples in `[start, end]`,
+    /// optionally filtered to one machine and/or sensor. Returns the
+    /// per-lane columns (sorted by lane) and the scan's pruning stats.
+    ///
+    /// # Errors
+    /// Transport failures or a server-side rejection.
+    #[allow(clippy::type_complexity)]
+    pub fn range_scan(
+        &mut self,
+        start: u64,
+        end: u64,
+        machine: Option<&str>,
+        sensor: Option<&str>,
+    ) -> Result<(Vec<(LaneId, Vec<u64>, Vec<f64>)>, ScanStats)> {
+        match self.request(&Frame::RangeScan {
+            start,
+            end,
+            machine: machine.map(str::to_string),
+            sensor: sensor.map(str::to_string),
+        })? {
+            Frame::Series { lanes, stats } => Ok((lanes, stats)),
+            _ => Err(ClientError::Unexpected("range_scan expects Series")),
+        }
+    }
+
+    /// Replays the plant's stored `[start, end]` range through a fresh
+    /// server-side detector — with the original policy when `spec` is
+    /// `None`, or with the phase detector swapped to `spec` (an
+    /// `AlgoSpec` display string such as `"sliding-z(window=8)"`).
+    /// Returns the replayed report's `encode_report` bytes plus
+    /// `(controls_replayed, samples_replayed, samples_skipped)`.
+    ///
+    /// # Errors
+    /// Transport failures or a server-side rejection.
+    pub fn backfill(
+        &mut self,
+        start: u64,
+        end: u64,
+        spec: Option<&str>,
+    ) -> Result<(Vec<u8>, (u64, u64, u64))> {
+        match self.request(&Frame::Backfill {
+            start,
+            end,
+            spec: spec.map(str::to_string),
+        })? {
+            Frame::BackfillDone {
+                report,
+                controls_replayed,
+                samples_replayed,
+                samples_skipped,
+            } => Ok((
+                report,
+                (controls_replayed, samples_replayed, samples_skipped),
+            )),
+            _ => Err(ClientError::Unexpected("backfill expects BackfillDone")),
         }
     }
 }

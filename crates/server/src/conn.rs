@@ -7,7 +7,9 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 
 use hierod_core::HierOutlier;
+use hierod_detect::engine::AlgoSpec;
 use hierod_detect::DetectError;
+use hierod_history::RangeQuery;
 use hierod_service::PlantService;
 use hierod_store::wal::WalRecord;
 use hierod_stream::codec::{decode_control, decode_lane};
@@ -277,6 +279,58 @@ fn handle_request<S: PlantService>(
                     version: cache.version,
                     report: cache.encoded.clone(),
                 }
+            }
+        }
+        Frame::RangeScan {
+            start,
+            end,
+            machine,
+            sensor,
+        } => {
+            let plant = match addressed(conn) {
+                Ok(p) => p,
+                Err(f) => return f,
+            };
+            let query = RangeQuery {
+                start,
+                end,
+                machine,
+                sensor,
+            };
+            match state.service.range_scan(&plant, &query) {
+                Ok((lanes, stats)) => Frame::Series {
+                    lanes: lanes
+                        .into_iter()
+                        .map(|l| {
+                            (
+                                l.id,
+                                l.series.timestamps().to_vec(),
+                                l.series.values().to_vec(),
+                            )
+                        })
+                        .collect(),
+                    stats,
+                },
+                Err(e) => error_frame(classify(&e), e.to_string()),
+            }
+        }
+        Frame::Backfill { start, end, spec } => {
+            let plant = match addressed(conn) {
+                Ok(p) => p,
+                Err(f) => return f,
+            };
+            let spec = match spec.as_deref().map(str::parse::<AlgoSpec>).transpose() {
+                Ok(s) => s,
+                Err(e) => return error_frame(classify(&e), e.to_string()),
+            };
+            match state.service.backfill(&plant, start, end, spec.as_ref()) {
+                Ok(outcome) => Frame::BackfillDone {
+                    report: encode_report(&outcome.report),
+                    controls_replayed: outcome.controls_replayed,
+                    samples_replayed: outcome.samples_replayed,
+                    samples_skipped: outcome.samples_skipped,
+                },
+                Err(e) => error_frame(classify(&e), e.to_string()),
             }
         }
         Frame::QueryHealth => Frame::HealthReply(state.service.health()),

@@ -11,6 +11,7 @@ use hierod_core::AlgorithmPolicy;
 use hierod_hierarchy::{
     CaqResult, JobConfig, Level, PhaseKind, RedundancyGroup, Sensor, SensorKind,
 };
+use hierod_history::{CompactionOptions, RangeQuery};
 use hierod_server::client::DeltaReply;
 use hierod_server::{Client, Server, ServerConfig, ServerHandle, ServerStats};
 use hierod_service::{PlantService, RegistryService};
@@ -26,6 +27,12 @@ fn spawn_server() -> (ServerHandle, thread::JoinHandle<ServerStats>) {
         TenantConfig::default(),
     )
     .unwrap();
+    spawn_server_with(svc)
+}
+
+fn spawn_server_with(
+    svc: RegistryService<MemFactory>,
+) -> (ServerHandle, thread::JoinHandle<ServerStats>) {
     let server = Server::bind(svc, ServerConfig::default()).unwrap();
     let handle = server.handle();
     let join = thread::spawn(move || server.serve().unwrap());
@@ -283,6 +290,99 @@ fn concurrent_clients_drive_isolated_plants() {
     for report in &reports[1..] {
         assert_eq!(encode_report(report), first);
     }
+}
+
+/// An embedded service with the standard scenario driven, its WAL
+/// rotated into a sealed segment, and the segment compacted into the
+/// Gorilla-compressed history tier.
+fn sealed_service(plant: &str) -> RegistryService<MemFactory> {
+    let mut svc = RegistryService::open(
+        MemFactory::new(),
+        AlgorithmPolicy::default(),
+        TenantConfig::default(),
+    )
+    .unwrap();
+    svc.admit(plant, true).unwrap();
+    drive_embedded(&mut svc, plant, 32);
+    svc.rotate(plant).unwrap();
+    let stats = svc.compact(plant, &CompactionOptions::default()).unwrap();
+    assert!(stats.iter().any(|s| s.segments_absorbed > 0));
+    svc
+}
+
+#[test]
+fn range_scan_over_wire_matches_embedded() {
+    // Expectations from one embedded service; an identically driven
+    // twin goes behind the server.
+    let expect_svc = sealed_service("plant-a");
+    let (expected, expected_stats) = expect_svc
+        .range_scan("plant-a", &RangeQuery::range(0, u64::MAX))
+        .unwrap();
+    let expected: Vec<(LaneId, Vec<u64>, Vec<f64>)> = expected
+        .into_iter()
+        .map(|l| {
+            (
+                l.id,
+                l.series.timestamps().to_vec(),
+                l.series.values().to_vec(),
+            )
+        })
+        .collect();
+    assert!(expected_stats.samples > 0, "scenario must seal samples");
+
+    let (handle, join) = spawn_server_with(sealed_service("plant-a"));
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert!(!client.admit("plant-a", false).unwrap(), "plant exists");
+    let (lanes, stats) = client.range_scan(0, u64::MAX, None, None).unwrap();
+    assert_eq!(format!("{lanes:?}"), format!("{expected:?}"));
+    assert_eq!(stats, expected_stats);
+
+    // Filters travel the wire too: an unknown machine selects nothing.
+    let (empty, _) = client
+        .range_scan(0, u64::MAX, Some("m-unknown"), None)
+        .unwrap();
+    assert!(empty.is_empty());
+    // Scans before admission are protocol errors.
+    let mut fresh = Client::connect(handle.local_addr()).unwrap();
+    assert!(fresh.range_scan(0, u64::MAX, None, None).is_err());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn backfill_over_wire_reproduces_the_finish_report() {
+    let (handle, join) = spawn_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.admit("plant-a", true).unwrap();
+    drive_wire(&mut client, 32);
+
+    // Backfill with the original policy replays the journal through a
+    // fresh detector: byte-identical to what finish will report.
+    let (replayed, (controls, samples, skipped)) = client.backfill(0, u64::MAX, None).unwrap();
+    assert_eq!(controls, 4, "machine-up, job-start, phase-start, complete");
+    assert_eq!(samples, 32);
+    assert_eq!(skipped, 0);
+
+    // A window replays fewer samples and skips the rest.
+    let (_, (_, windowed, windowed_skipped)) = client.backfill(0, 15, None).unwrap();
+    assert_eq!(windowed, 16);
+    assert_eq!(windowed_skipped, 16);
+
+    // A swapped spec replays cleanly; a malformed one is rejected
+    // without poisoning the connection.
+    let (rescored, _) = client
+        .backfill(0, u64::MAX, Some("sliding-z(window=8)"))
+        .unwrap();
+    assert!(decode_report(&rescored).is_some());
+    assert!(client.backfill(0, u64::MAX, Some("ar(order=3")).is_err());
+
+    let (_, finish_bytes) = client.finish().unwrap();
+    assert_eq!(
+        replayed, finish_bytes,
+        "backfill with the original policy must be byte-identical to finish"
+    );
+    handle.shutdown();
+    join.join().unwrap();
 }
 
 #[test]

@@ -26,13 +26,24 @@
 #![warn(clippy::all)]
 
 use std::collections::BTreeMap;
+use std::io;
 
 use hierod_core::AlgorithmPolicy;
+use hierod_detect::engine::AlgoSpec;
 use hierod_detect::{DetectError, Result};
 use hierod_hierarchy::{CaqResult, JobConfig, PhaseKind, RedundancyGroup, Sensor};
+use hierod_history::{
+    snapshot, BackfillOutcome, CompactionOptions, CompactionStats, HistoryReader, LaneSeries,
+    RangeQuery, ScanStats,
+};
 use hierod_store::tenants::StorageFactory;
 use hierod_stream::tenant::{PlantRegistry, Tenant, TenantConfig, TenantRecovery};
 use hierod_stream::{ControlEvent, LaneId, LaneStats, Sample, StreamReport, StreamStats};
+
+/// Maps a storage failure into the detection error domain.
+fn substrate(e: io::Error) -> DetectError {
+    DetectError::Substrate(format!("history: {e}"))
+}
 
 /// What [`PlantService::admit`] did for the requested plant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +177,46 @@ pub trait PlantService {
     /// Point-in-time health snapshot: live plants with recovery
     /// summaries, plus the failed set that gates readiness.
     fn health(&self) -> Health;
+
+    /// Seals every shard's WAL of `plant` into a rotation segment,
+    /// making the data visible to [`PlantService::range_scan`] and
+    /// eligible for [`PlantService::compact`].
+    ///
+    /// # Errors
+    /// Unknown plant or storage failures.
+    fn rotate(&mut self, plant: &str) -> Result<()>;
+
+    /// Merges `plant`'s sealed rotation segments into the tiered,
+    /// Gorilla-compressed history files, shard by shard. Returns one
+    /// [`CompactionStats`] per shard, in shard order.
+    ///
+    /// # Errors
+    /// Unknown plant, invalid options, or storage failures.
+    fn compact(&mut self, plant: &str, options: &CompactionOptions)
+        -> Result<Vec<CompactionStats>>;
+
+    /// Scans `plant`'s sealed history (compacted files and rotation
+    /// segments; never the live WAL tail) for samples in the query's
+    /// time range, merged across shards and sorted by lane.
+    ///
+    /// # Errors
+    /// Unknown plant or storage failures.
+    fn range_scan(&self, plant: &str, query: &RangeQuery) -> Result<(Vec<LaneSeries>, ScanStats)>;
+
+    /// Replays `plant`'s stored `[start, end]` range through a fresh
+    /// detector — with the service's own policy when `spec` is `None`,
+    /// or with the phase-level detector swapped per `spec`.
+    ///
+    /// # Errors
+    /// Unknown plant, an unmappable spec, storage failures, or detector
+    /// errors during the replay.
+    fn backfill(
+        &self,
+        plant: &str,
+        start: u64,
+        end: u64,
+        spec: Option<&AlgoSpec>,
+    ) -> Result<BackfillOutcome>;
 
     /// A machine comes online with its sensor inventory (typed form of
     /// [`ControlEvent::MachineUp`]).
@@ -359,6 +410,68 @@ impl<F: StorageFactory> PlantService for RegistryService<F> {
         Ok(self.tenant(plant)?.lane_stats())
     }
 
+    fn rotate(&mut self, plant: &str) -> Result<()> {
+        self.tenant_mut(plant)?.rotate()
+    }
+
+    fn compact(
+        &mut self,
+        plant: &str,
+        options: &CompactionOptions,
+    ) -> Result<Vec<CompactionStats>> {
+        let tenant = self.tenant(plant)?;
+        let mut out = Vec::with_capacity(tenant.shard_count());
+        for shard in tenant.shards() {
+            let (storage, sealed_end) = shard.sealed_storage();
+            out.push(hierod_history::compact(storage, sealed_end, options).map_err(substrate)?);
+        }
+        Ok(out)
+    }
+
+    fn range_scan(&self, plant: &str, query: &RangeQuery) -> Result<(Vec<LaneSeries>, ScanStats)> {
+        let tenant = self.tenant(plant)?;
+        let mut series: Vec<LaneSeries> = Vec::new();
+        let mut stats = ScanStats::default();
+        for shard in tenant.shards() {
+            let (storage, _) = shard.sealed_storage();
+            let reader =
+                HistoryReader::new(snapshot(storage).map_err(substrate)?).map_err(substrate)?;
+            let (mut found, shard_stats) = reader.scan(query).map_err(substrate)?;
+            series.append(&mut found);
+            stats.chunks_total += shard_stats.chunks_total;
+            stats.chunks_pruned += shard_stats.chunks_pruned;
+            stats.chunks_decoded += shard_stats.chunks_decoded;
+            stats.samples += shard_stats.samples;
+        }
+        // Lanes are disjoint across shards; a fixed order makes the
+        // merged scan deterministic regardless of shard layout.
+        series.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok((series, stats))
+    }
+
+    fn backfill(
+        &self,
+        plant: &str,
+        start: u64,
+        end: u64,
+        spec: Option<&AlgoSpec>,
+    ) -> Result<BackfillOutcome> {
+        let tenant = self.tenant(plant)?;
+        let storages: Vec<&F::Storage> = tenant
+            .shards()
+            .iter()
+            .map(|s| s.sealed_storage().0)
+            .collect();
+        hierod_history::backfill(
+            &storages,
+            self.registry.policy(),
+            self.registry.config().stream,
+            start,
+            end,
+            spec,
+        )
+    }
+
     fn health(&self) -> Health {
         let live = self
             .registry
@@ -514,6 +627,62 @@ mod tests {
         }
         let via_engine = registry.finish_tenant("p").unwrap();
         assert_eq!(format!("{via_service:?}"), format!("{via_engine:?}"));
+    }
+
+    #[test]
+    fn history_surface_rotates_compacts_scans_and_backfills() {
+        let mut svc = service();
+        svc.admit("plant-a", true).unwrap();
+        drive(&mut svc, "plant-a");
+
+        // Nothing sealed yet: a scan sees no history (the WAL tail is
+        // backfill territory, never scan territory).
+        let everything = RangeQuery::range(0, u64::MAX);
+        let (lanes, _) = svc.range_scan("plant-a", &everything).unwrap();
+        assert!(lanes.is_empty());
+
+        // Rotation seals the released samples into a segment the scan
+        // can serve.
+        svc.rotate("plant-a").unwrap();
+        let (lanes, stats) = svc.range_scan("plant-a", &everything).unwrap();
+        assert!(stats.samples > 0);
+        let sealed = format!("{lanes:?}");
+
+        // Compaction absorbs every rotation segment and preserves the
+        // scan bit-for-bit.
+        let compaction = svc
+            .compact("plant-a", &CompactionOptions::default())
+            .unwrap();
+        assert_eq!(compaction.len(), 1, "one shard, one stats row");
+        assert!(compaction.first().is_some_and(|s| s.segments_absorbed > 0));
+        let (lanes, _) = svc.range_scan("plant-a", &everything).unwrap();
+        assert_eq!(format!("{lanes:?}"), sealed);
+
+        // A filter to a machine that does not exist selects nothing.
+        let mut off_plant = everything.clone();
+        off_plant.machine = Some("m-unknown".into());
+        let (lanes, _) = svc.range_scan("plant-a", &off_plant).unwrap();
+        assert!(lanes.is_empty());
+
+        // Backfill with the original policy reproduces the finish
+        // report exactly; a swapped spec still replays cleanly.
+        let replayed = svc.backfill("plant-a", 0, u64::MAX, None).unwrap();
+        assert_eq!(replayed.samples_skipped, 0);
+        let spec: AlgoSpec = "sliding-z(window=8)".parse().unwrap();
+        let rescored = svc.backfill("plant-a", 0, u64::MAX, Some(&spec)).unwrap();
+        assert_eq!(rescored.samples_replayed, replayed.samples_replayed);
+        assert!(svc
+            .backfill("plant-a", 0, u64::MAX, Some(&AlgoSpec::new("pca")))
+            .is_err());
+
+        let original = svc.finish("plant-a").unwrap();
+        assert_eq!(
+            format!("{:?}", replayed.report.report),
+            format!("{:?}", original.report),
+            "backfill with the original policy must reproduce the report"
+        );
+        // Scans address live plants only.
+        assert!(svc.range_scan("plant-a", &everything).is_err());
     }
 
     /// Minimal shim driving the raw engine with the same scenario the

@@ -16,6 +16,9 @@
 //!   timestamp columns, raw IEEE-754 value columns, per-column
 //!   checksums, and a checksummed footer index; decoded straight into
 //!   `Arc` columns for zero-copy `TimeSeries` adoption.
+//! * [`gorilla`] — the compressed column codecs (XOR floats +
+//!   double-delta timestamps) negotiated per chunk through the segment
+//!   footer by the history tier.
 //! * [`store`] — the [`Store`] facade: one active WAL with group-commit
 //!   batching, sealed segments, the crash-safe rotation protocol, and
 //!   full recovery on open.
@@ -35,6 +38,7 @@
 pub mod codec;
 pub mod crc;
 pub mod faultfs;
+pub mod gorilla;
 pub mod segment;
 pub mod storage;
 pub mod store;
@@ -43,7 +47,8 @@ pub mod wal;
 
 pub use faultfs::MemStorage;
 pub use segment::{
-    ControlRecord, DecodedChunk, LaneDef, SegmentChunk, SegmentData, SegmentDraft, SegmentError,
+    ChunkMeta, ColumnEncoding, ControlRecord, DecodedChunk, LaneDef, SegmentChunk, SegmentData,
+    SegmentDraft, SegmentError, SegmentIndex,
 };
 pub use storage::{DiskStorage, Storage, StorageFile};
 pub use store::{Recovered, RecoveryStats, Store, StoreOptions};

@@ -10,23 +10,33 @@
 //! [u32 footer_len][u32 crc32(footer)][tail magic "HSEGF\n"]
 //! ```
 //!
-//! Timestamps are delta-encoded varints (strictly increasing within a
-//! chunk — the stream watermark guarantees it, the encoder enforces it);
-//! values are raw IEEE-754 bits so NaN payloads round-trip exactly. The
-//! footer indexes every chunk by lane with byte offsets, sample count,
-//! min/max timestamps, and the per-lane late/duplicate counters frozen at
-//! seal time. Unlike the WAL, a segment is all-or-nothing: it was written
-//! and fsynced before its WAL was deleted, so *any* checksum or structure
-//! failure is a hard error — there is no valid prefix to salvage.
+//! In the original (`Raw`) column encoding, timestamps are delta-encoded
+//! varints (strictly increasing within a chunk — the stream watermark
+//! guarantees it, the encoder enforces it) and values are raw IEEE-754
+//! bits so NaN payloads round-trip exactly. The history tier's compacted
+//! segments instead negotiate [`ColumnEncoding::Gorilla`] per chunk
+//! (XOR floats + double-delta timestamps, [`crate::gorilla`]) through an
+//! extension section at the end of the footer; files written before the
+//! extension existed have no section and decode as `Raw`, so the two
+//! formats cross-decode. The footer indexes every chunk by lane with byte
+//! offsets, sample count, min/max timestamps, and the per-lane
+//! late/duplicate counters frozen at seal time. Unlike the WAL, a segment
+//! is all-or-nothing: it was written and fsynced before its WAL was
+//! deleted, so *any* checksum or structure failure is a hard error —
+//! there is no valid prefix to salvage.
 //!
 //! The decoder materialises columns straight into `Arc<[u64]>` /
 //! `Arc<[f64]>` so `hierod-timeseries` views can share them zero-copy.
+//! Range scans use the split API — [`decode_index`] verifies only the
+//! framing and footer, then [`decode_chunk`] checksums and decodes
+//! exactly the chunks that survive min/max pruning.
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::codec;
 use crate::crc::crc32;
+use crate::gorilla;
 
 /// File magic for segment files.
 pub const SEG_MAGIC: &[u8; 6] = b"HSEG1\n";
@@ -78,6 +88,33 @@ impl From<SegmentError> for std::io::Error {
     }
 }
 
+/// How a chunk's columns are encoded on disk, negotiated through the
+/// footer extension section. Files without the section (everything
+/// written before the history tier) are `Raw` throughout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ColumnEncoding {
+    /// Varint-delta timestamps, raw little-endian IEEE-754 values.
+    #[default]
+    Raw = 0,
+    /// Double-delta timestamps, XOR floats ([`crate::gorilla`]).
+    Gorilla = 1,
+}
+
+impl ColumnEncoding {
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(ColumnEncoding::Raw),
+            1 => Some(ColumnEncoding::Gorilla),
+            _ => None,
+        }
+    }
+}
+
+/// Footer extension tags (`varint tag` after the chunk index; unknown
+/// tags are a hard decode error, so they version the format).
+const EXT_ENCODINGS: u64 = 1;
+const EXT_EXTRA: u64 = 2;
+
 /// A lane declaration carried into the segment footer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaneDef {
@@ -123,6 +160,11 @@ pub struct SegmentDraft {
     pub controls: Vec<ControlRecord>,
     /// Sealed sample chunks.
     pub chunks: Vec<SegmentChunk>,
+    /// Opaque application metadata carried in the footer extension
+    /// (the history tier stores the compaction level here). Empty for
+    /// rotation segments — and an empty `extra` is not written at all,
+    /// keeping raw drafts byte-identical to the pre-extension format.
+    pub extra: Vec<u8>,
 }
 
 /// One decoded chunk with shareable column storage.
@@ -151,31 +193,80 @@ pub struct SegmentData {
     pub controls: Vec<ControlRecord>,
     /// Decoded chunks in file order.
     pub chunks: Vec<DecodedChunk>,
+    /// Opaque application metadata from the footer extension.
+    pub extra: Vec<u8>,
 }
 
-/// Index entry for one chunk (footer-internal).
-struct ChunkEntry {
-    lane: u32,
-    after_control_seq: u64,
-    count: u64,
+/// One chunk's footer metadata: everything a scan needs to decide
+/// whether the chunk is worth decoding, without touching its columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Lane declared in the footer's lane defs.
+    pub lane: u32,
+    /// Control sequence this chunk follows on replay.
+    pub after_control_seq: u64,
+    /// Sample count.
+    pub count: u64,
+    /// Smallest timestamp in the chunk (0 when empty).
+    pub min_ts: u64,
+    /// Largest timestamp in the chunk (0 when empty).
+    pub max_ts: u64,
+    /// Absolute late-drop counter at seal time.
+    pub late_dropped: u64,
+    /// Absolute duplicate-drop counter at seal time.
+    pub duplicates_dropped: u64,
+    /// On-disk column encoding.
+    pub encoding: ColumnEncoding,
+    // Byte ranges stay module-private: only `decode_chunk` dereferences
+    // them, after re-validating against the footer boundary.
     ts_off: u64,
     ts_len: u64,
     val_off: u64,
     val_len: u64,
-    min_ts: u64,
-    max_ts: u64,
-    late_dropped: u64,
-    duplicates_dropped: u64,
+}
+
+/// A verified footer: framing and footer checksum have been checked,
+/// but no column has been read. [`decode_chunk`] completes the work
+/// per chunk, letting range scans skip pruned chunks entirely.
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    /// Lane declarations.
+    pub lane_defs: Vec<LaneDef>,
+    /// Control events in sequence order.
+    pub controls: Vec<ControlRecord>,
+    /// Per-chunk metadata in file order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Opaque application metadata from the footer extension.
+    pub extra: Vec<u8>,
 }
 
 impl SegmentDraft {
-    /// Serialises the draft into a complete segment file image.
+    /// Serialises the draft into a complete segment file image with the
+    /// original raw column encoding. With an empty [`extra`] this is
+    /// byte-identical to the pre-extension format, which the committed
+    /// golden segment pins.
+    ///
+    /// [`extra`]: SegmentDraft::extra
     ///
     /// # Errors
     /// [`SegmentError::NonMonotonic`] if a chunk's timestamps are not
     /// strictly increasing, [`SegmentError::Malformed`] if a chunk's
     /// column lengths disagree.
     pub fn encode(&self) -> Result<Vec<u8>, SegmentError> {
+        self.encode_as(ColumnEncoding::Raw)
+    }
+
+    /// Serialises the draft with the given column encoding on every
+    /// chunk. Non-raw encodings (and a non-empty [`extra`]) are recorded
+    /// in footer extension sections after the chunk index; decoders
+    /// without extension support reject such files outright (trailing
+    /// footer bytes) rather than misreading the columns.
+    ///
+    /// [`extra`]: SegmentDraft::extra
+    ///
+    /// # Errors
+    /// As [`encode`](SegmentDraft::encode).
+    pub fn encode_as(&self, encoding: ColumnEncoding) -> Result<Vec<u8>, SegmentError> {
         let mut out = Vec::with_capacity(64 + self.chunks.len() * 64);
         out.extend_from_slice(SEG_MAGIC);
         let mut entries = Vec::with_capacity(self.chunks.len());
@@ -183,47 +274,61 @@ impl SegmentDraft {
             if chunk.timestamps.len() != chunk.values.len() {
                 return Err(SegmentError::Malformed("column length mismatch"));
             }
-            // Timestamp column: first value absolute, then strict deltas.
-            let mut ts_col = Vec::with_capacity(chunk.timestamps.len() * 2);
-            let mut prev: Option<u64> = None;
-            for &t in &chunk.timestamps {
-                match prev {
-                    None => codec::put_varint(&mut ts_col, t),
-                    Some(p) => {
-                        if t <= p {
-                            return Err(SegmentError::NonMonotonic { lane: chunk.lane });
+            let ts_col = match encoding {
+                ColumnEncoding::Raw => {
+                    // First value absolute, then strict deltas.
+                    let mut col = Vec::with_capacity(chunk.timestamps.len() * 2);
+                    let mut prev: Option<u64> = None;
+                    for &t in &chunk.timestamps {
+                        match prev {
+                            None => codec::put_varint(&mut col, t),
+                            Some(p) => {
+                                if t <= p {
+                                    return Err(SegmentError::NonMonotonic { lane: chunk.lane });
+                                }
+                                codec::put_varint(&mut col, t - p);
+                            }
                         }
-                        codec::put_varint(&mut ts_col, t - p);
+                        prev = Some(t);
                     }
+                    col
                 }
-                prev = Some(t);
-            }
+                ColumnEncoding::Gorilla => gorilla::compress_timestamps(&chunk.timestamps)
+                    .ok_or(SegmentError::NonMonotonic { lane: chunk.lane })?,
+            };
             let ts_off = out.len() as u64;
             out.extend_from_slice(&ts_col);
             codec::put_u32(&mut out, crc32(&ts_col));
 
-            let mut val_col = Vec::with_capacity(chunk.values.len() * 8);
-            for &v in &chunk.values {
-                codec::put_f64(&mut val_col, v);
-            }
+            let val_col = match encoding {
+                ColumnEncoding::Raw => {
+                    let mut col = Vec::with_capacity(chunk.values.len() * 8);
+                    for &v in &chunk.values {
+                        codec::put_f64(&mut col, v);
+                    }
+                    col
+                }
+                ColumnEncoding::Gorilla => gorilla::compress_values(&chunk.values),
+            };
             let val_off = out.len() as u64;
             out.extend_from_slice(&val_col);
             codec::put_u32(&mut out, crc32(&val_col));
 
             let min_ts = chunk.timestamps.first().copied().unwrap_or(0);
             let max_ts = chunk.timestamps.last().copied().unwrap_or(0);
-            entries.push(ChunkEntry {
+            entries.push(ChunkMeta {
                 lane: chunk.lane,
                 after_control_seq: chunk.after_control_seq,
                 count: chunk.timestamps.len() as u64,
-                ts_off,
-                ts_len: ts_col.len() as u64,
-                val_off,
-                val_len: val_col.len() as u64,
                 min_ts,
                 max_ts,
                 late_dropped: chunk.late_dropped,
                 duplicates_dropped: chunk.duplicates_dropped,
+                encoding,
+                ts_off,
+                ts_len: ts_col.len() as u64,
+                val_off,
+                val_len: val_col.len() as u64,
             });
         }
 
@@ -252,6 +357,16 @@ impl SegmentDraft {
             codec::put_varint(&mut footer, e.late_dropped);
             codec::put_varint(&mut footer, e.duplicates_dropped);
         }
+        if encoding != ColumnEncoding::Raw {
+            codec::put_varint(&mut footer, EXT_ENCODINGS);
+            for e in &entries {
+                codec::put_varint(&mut footer, e.encoding as u64);
+            }
+        }
+        if !self.extra.is_empty() {
+            codec::put_varint(&mut footer, EXT_EXTRA);
+            codec::put_bytes(&mut footer, &self.extra);
+        }
 
         let footer_crc = crc32(&footer);
         let footer_len = footer.len() as u32;
@@ -263,12 +378,13 @@ impl SegmentDraft {
     }
 }
 
-/// Decodes and fully verifies a segment file image.
+/// Decodes and verifies the framing and footer of a segment image,
+/// without reading any column. Column checksums are deferred to
+/// [`decode_chunk`], so a pruned scan never pays for chunks it skips.
 ///
 /// # Errors
-/// Any framing, checksum, or structure violation — segments have no
-/// salvageable prefix.
-pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
+/// Any framing, footer checksum, or footer structure violation.
+pub fn decode_index(bytes: &[u8]) -> Result<SegmentIndex, SegmentError> {
     let fixed = SEG_MAGIC.len() + 8 + SEG_TAIL.len();
     if bytes.len() < fixed {
         return Err(SegmentError::Truncated);
@@ -292,8 +408,6 @@ pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
     if crc32(footer) != footer_crc {
         return Err(SegmentError::ChecksumMismatch("footer"));
     }
-    // The body region chunks may reference.
-    let body_end = footer_at;
 
     let mut f = footer;
     let lane_def_count = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("lane defs"))?;
@@ -317,12 +431,12 @@ pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
         controls.push(ControlRecord { seq, payload });
     }
     let chunk_count = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("chunk index"))?;
-    let mut entries = Vec::new();
+    let mut chunks = Vec::new();
     for _ in 0..chunk_count {
         let mut next =
             |what: &'static str| codec::take_varint(&mut f).ok_or(SegmentError::Malformed(what));
         let lane_raw = next("chunk lane")?;
-        entries.push(ChunkEntry {
+        chunks.push(ChunkMeta {
             lane: u32::try_from(lane_raw).map_err(|_| SegmentError::Malformed("chunk lane"))?,
             after_control_seq: next("chunk seq")?,
             count: next("chunk count")?,
@@ -334,11 +448,58 @@ pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
             max_ts: next("chunk max ts")?,
             late_dropped: next("chunk late")?,
             duplicates_dropped: next("chunk dups")?,
+            encoding: ColumnEncoding::Raw,
         });
     }
-    if !f.is_empty() {
-        return Err(SegmentError::Malformed("footer trailing bytes"));
+    // Extension sections. A pre-extension file ends exactly here and
+    // keeps the all-raw default; a post-extension decoder that meets an
+    // unknown tag must reject the file — it cannot know how to read it.
+    let mut extra = Vec::new();
+    while !f.is_empty() {
+        let tag = codec::take_varint(&mut f).ok_or(SegmentError::Malformed("extension tag"))?;
+        match tag {
+            EXT_ENCODINGS => {
+                for chunk in &mut chunks {
+                    let code = codec::take_varint(&mut f)
+                        .ok_or(SegmentError::Malformed("chunk encoding"))?;
+                    chunk.encoding = ColumnEncoding::from_code(code)
+                        .ok_or(SegmentError::Malformed("unknown column encoding"))?;
+                }
+            }
+            EXT_EXTRA => {
+                extra = codec::take_bytes(&mut f)
+                    .ok_or(SegmentError::Malformed("extra section"))?
+                    .to_vec();
+            }
+            _ => return Err(SegmentError::Malformed("unknown footer extension")),
+        }
     }
+
+    Ok(SegmentIndex {
+        lane_defs,
+        controls,
+        chunks,
+        extra,
+    })
+}
+
+/// Verifies and decodes one chunk of `bytes` against its footer entry
+/// (from [`decode_index`] over the same image).
+///
+/// # Errors
+/// Checksum or structure violations in that chunk's columns, or an
+/// entry whose byte ranges fall outside the file body.
+pub fn decode_chunk(bytes: &[u8], meta: &ChunkMeta) -> Result<DecodedChunk, SegmentError> {
+    let fixed = 8 + SEG_TAIL.len();
+    let body_end = bytes
+        .len()
+        .checked_sub(fixed)
+        .and_then(|frame_at| {
+            let mut frame = bytes.get(frame_at..)?;
+            let footer_len = codec::take_u32(&mut frame)? as usize;
+            frame_at.checked_sub(footer_len)
+        })
+        .ok_or(SegmentError::Truncated)?;
 
     let column = |off: u64, len: u64, what: &'static str| -> Result<&[u8], SegmentError> {
         let off = usize::try_from(off).map_err(|_| SegmentError::Malformed(what))?;
@@ -360,74 +521,100 @@ pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
         Ok(col)
     };
 
-    let mut chunks = Vec::with_capacity(entries.len());
-    for e in &entries {
-        let count = usize::try_from(e.count).map_err(|_| SegmentError::Malformed("count"))?;
-        let ts_col = column(e.ts_off, e.ts_len, "timestamp column")?;
-        let val_col = column(e.val_off, e.val_len, "value column")?;
+    let e = meta;
+    let count = usize::try_from(e.count).map_err(|_| SegmentError::Malformed("count"))?;
+    let ts_col = column(e.ts_off, e.ts_len, "timestamp column")?;
+    let val_col = column(e.val_off, e.val_len, "value column")?;
 
-        // Each varint is at least one byte, so a valid column bounds the
-        // count — reject early rather than trusting it for allocation.
-        if count > ts_col.len() {
-            return Err(SegmentError::Malformed("count exceeds ts column"));
-        }
-        let mut timestamps = Vec::with_capacity(count);
-        let mut rest = ts_col;
-        let mut prev: Option<u64> = None;
-        for _ in 0..count {
-            let raw =
-                codec::take_varint(&mut rest).ok_or(SegmentError::Malformed("ts column short"))?;
-            let t = match prev {
-                None => raw,
-                Some(p) => {
-                    if raw == 0 {
-                        return Err(SegmentError::NonMonotonic { lane: e.lane });
+    let timestamps = match e.encoding {
+        ColumnEncoding::Raw => {
+            // Each varint is at least one byte, so a valid column bounds
+            // the count — reject early rather than trusting it for
+            // allocation.
+            if count > ts_col.len() {
+                return Err(SegmentError::Malformed("count exceeds ts column"));
+            }
+            let mut timestamps = Vec::with_capacity(count);
+            let mut rest = ts_col;
+            let mut prev: Option<u64> = None;
+            for _ in 0..count {
+                let raw = codec::take_varint(&mut rest)
+                    .ok_or(SegmentError::Malformed("ts column short"))?;
+                let t = match prev {
+                    None => raw,
+                    Some(p) => {
+                        if raw == 0 {
+                            return Err(SegmentError::NonMonotonic { lane: e.lane });
+                        }
+                        p.checked_add(raw)
+                            .ok_or(SegmentError::Malformed("ts overflow"))?
                     }
-                    p.checked_add(raw)
-                        .ok_or(SegmentError::Malformed("ts overflow"))?
-                }
-            };
-            timestamps.push(t);
-            prev = Some(t);
+                };
+                timestamps.push(t);
+                prev = Some(t);
+            }
+            if !rest.is_empty() {
+                return Err(SegmentError::Malformed("ts column trailing bytes"));
+            }
+            timestamps
         }
-        if !rest.is_empty() {
-            return Err(SegmentError::Malformed("ts column trailing bytes"));
-        }
-        let min_ts = timestamps.first().copied().unwrap_or(0);
-        let max_ts = timestamps.last().copied().unwrap_or(0);
-        if min_ts != e.min_ts || max_ts != e.max_ts {
-            return Err(SegmentError::Malformed("min/max timestamp mismatch"));
-        }
-
-        let val_bytes = count
-            .checked_mul(8)
-            .ok_or(SegmentError::Malformed("value column length"))?;
-        if val_col.len() != val_bytes {
-            return Err(SegmentError::Malformed("value column length"));
-        }
-        let mut values = Vec::with_capacity(count);
-        let mut rest = val_col;
-        while let Some(v) = codec::take_f64(&mut rest) {
-            values.push(v);
-        }
-        if values.len() != count {
-            return Err(SegmentError::Malformed("value column count"));
-        }
-
-        chunks.push(DecodedChunk {
-            lane: e.lane,
-            after_control_seq: e.after_control_seq,
-            timestamps: timestamps.into(),
-            values: values.into(),
-            late_dropped: e.late_dropped,
-            duplicates_dropped: e.duplicates_dropped,
-        });
+        ColumnEncoding::Gorilla => gorilla::decompress_timestamps(ts_col, count)
+            .ok_or(SegmentError::Malformed("gorilla ts column"))?,
+    };
+    let min_ts = timestamps.first().copied().unwrap_or(0);
+    let max_ts = timestamps.last().copied().unwrap_or(0);
+    if min_ts != e.min_ts || max_ts != e.max_ts {
+        return Err(SegmentError::Malformed("min/max timestamp mismatch"));
     }
 
+    let values = match e.encoding {
+        ColumnEncoding::Raw => {
+            let val_bytes = count
+                .checked_mul(8)
+                .ok_or(SegmentError::Malformed("value column length"))?;
+            if val_col.len() != val_bytes {
+                return Err(SegmentError::Malformed("value column length"));
+            }
+            let mut values = Vec::with_capacity(count);
+            let mut rest = val_col;
+            while let Some(v) = codec::take_f64(&mut rest) {
+                values.push(v);
+            }
+            if values.len() != count {
+                return Err(SegmentError::Malformed("value column count"));
+            }
+            values
+        }
+        ColumnEncoding::Gorilla => gorilla::decompress_values(val_col, count)
+            .ok_or(SegmentError::Malformed("gorilla value column"))?,
+    };
+
+    Ok(DecodedChunk {
+        lane: e.lane,
+        after_control_seq: e.after_control_seq,
+        timestamps: timestamps.into(),
+        values: values.into(),
+        late_dropped: e.late_dropped,
+        duplicates_dropped: e.duplicates_dropped,
+    })
+}
+
+/// Decodes and fully verifies a segment file image.
+///
+/// # Errors
+/// Any framing, checksum, or structure violation — segments have no
+/// salvageable prefix.
+pub fn decode(bytes: &[u8]) -> Result<SegmentData, SegmentError> {
+    let index = decode_index(bytes)?;
+    let mut chunks = Vec::with_capacity(index.chunks.len());
+    for meta in &index.chunks {
+        chunks.push(decode_chunk(bytes, meta)?);
+    }
     Ok(SegmentData {
-        lane_defs,
-        controls,
+        lane_defs: index.lane_defs,
+        controls: index.controls,
         chunks,
+        extra: index.extra,
     })
 }
 
@@ -487,6 +674,7 @@ mod tests {
                     duplicates_dropped: 7,
                 },
             ],
+            extra: Vec::new(),
         }
     }
 
@@ -540,6 +728,109 @@ mod tests {
         for cut in 0..image.len() {
             assert!(decode(&image[..cut]).is_err(), "truncation at {cut}");
         }
+    }
+
+    #[test]
+    fn gorilla_encoding_round_trips_and_shrinks_the_image() {
+        let d = draft();
+        let raw = d.encode().expect("raw encode");
+        let packed = d
+            .encode_as(ColumnEncoding::Gorilla)
+            .expect("gorilla encode");
+        let from_raw = decode(&raw).expect("raw decode");
+        let from_packed = decode(&packed).expect("gorilla decode");
+        assert_eq!(from_raw.lane_defs, from_packed.lane_defs);
+        assert_eq!(from_raw.controls, from_packed.controls);
+        assert_eq!(from_raw.chunks.len(), from_packed.chunks.len());
+        for (a, b) in from_raw.chunks.iter().zip(&from_packed.chunks) {
+            assert_eq!(a.lane, b.lane);
+            assert_eq!(a.after_control_seq, b.after_control_seq);
+            assert_eq!(a.timestamps, b.timestamps);
+            let bits_a: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "cross-decode must be bit-exact");
+            assert_eq!(a.late_dropped, b.late_dropped);
+            assert_eq!(a.duplicates_dropped, b.duplicates_dropped);
+        }
+    }
+
+    #[test]
+    fn extra_metadata_round_trips_and_empty_extra_is_pre_extension_format() {
+        let mut d = draft();
+        let before = d.encode().expect("encode");
+        d.extra = b"level=2".to_vec();
+        let with_extra = d.encode().expect("encode");
+        assert_ne!(before, with_extra);
+        assert_eq!(decode(&with_extra).expect("decode").extra, b"level=2");
+        assert!(decode(&before).expect("decode").extra.is_empty());
+        let index = decode_index(&with_extra).expect("index");
+        assert!(index
+            .chunks
+            .iter()
+            .all(|c| c.encoding == ColumnEncoding::Raw));
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_gorilla_image_is_detected() {
+        let mut d = draft();
+        d.extra = vec![2];
+        let image = d.encode_as(ColumnEncoding::Gorilla).expect("encode");
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut bad = image.clone();
+                bad[byte] ^= 1_u8 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "bit flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_prunes_without_touching_columns() {
+        let d = draft();
+        let image = d.encode_as(ColumnEncoding::Gorilla).expect("encode");
+        let index = decode_index(&image).expect("index");
+        assert_eq!(index.chunks.len(), 3);
+        assert_eq!(index.chunks[0].min_ts, 100);
+        assert_eq!(index.chunks[0].max_ts, 1_000_000);
+        assert_eq!(index.chunks[0].count, 4);
+        assert_eq!(index.chunks[0].encoding, ColumnEncoding::Gorilla);
+        // Corrupt a value column byte: the index still parses (footer is
+        // intact), and only the touched chunk fails to decode.
+        let mut bad = image.clone();
+        bad[SEG_MAGIC.len() + 2] ^= 0x40;
+        let index = decode_index(&bad).expect("index survives column damage");
+        assert!(decode_chunk(&bad, &index.chunks[0]).is_err());
+        assert!(decode_chunk(&bad, &index.chunks[1]).is_ok());
+    }
+
+    #[test]
+    fn unknown_footer_extension_is_rejected() {
+        // Splice an unknown ext tag after a valid footer and re-frame.
+        let image = draft().encode().expect("encode");
+        let frame_at = image.len() - 8 - SEG_TAIL.len();
+        let footer_len = u32::from_le_bytes([
+            image[frame_at],
+            image[frame_at + 1],
+            image[frame_at + 2],
+            image[frame_at + 3],
+        ]) as usize;
+        let footer_at = frame_at - footer_len;
+        let mut footer = image[footer_at..frame_at].to_vec();
+        codec::put_varint(&mut footer, 99);
+        let mut spliced = image[..footer_at].to_vec();
+        let crc = crc32(&footer);
+        let len = footer.len() as u32;
+        spliced.extend_from_slice(&footer);
+        codec::put_u32(&mut spliced, len);
+        codec::put_u32(&mut spliced, crc);
+        spliced.extend_from_slice(SEG_TAIL);
+        assert!(matches!(
+            decode(&spliced),
+            Err(SegmentError::Malformed("unknown footer extension"))
+        ));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! On-storage layout (flat namespace):
 //!
 //! ```text
-//! seg-0.seg  seg-1.seg  …  seg-(W-1).seg     sealed, immutable
+//! hist-0-3.seg  hist-4-5.seg                  compacted, immutable
+//! compaction.floor                            first uncompacted index
+//! seg-F.seg  …  seg-(W-1).seg                 sealed, immutable
 //! wal-W.log                                   active, append-only
 //! ```
 //!
@@ -28,9 +30,31 @@
 //! The active WAL tail is scanned with truncate-at-first-bad-record
 //! semantics; a damaged tail is rewritten (tmp + rename) to contain
 //! exactly the valid prefix.
+//!
+//! ## Compaction (the history tier above rotation)
+//!
+//! `hierod-history` merges runs of sealed rotation segments into
+//! compacted `hist-<lo>-<hi>.seg` files (inclusive index range) and
+//! advances the **compaction floor** — a tiny checksummed marker file
+//! holding the first index still owned by per-rotation segments. Its
+//! publication is the commit point, extending the rotation recovery
+//! rule without adding a second one: **below the floor the live history
+//! files are the truth; from the floor up, the per-rotation run and
+//! the highest-numbered WAL are.** Concretely, on open:
+//!
+//! * a history file whose range reaches the floor or beyond was never
+//!   committed (crash between its rename and the floor bump) — removed;
+//! * a history file whose range is a strict subset of another live one
+//!   was superseded by a tier merge whose input cleanup was interrupted
+//!   — removed;
+//! * the survivors must tile `0..floor` contiguously, and replace the
+//!   per-rotation segments below the floor (any of those still on disk
+//!   are interrupted-cleanup leftovers — removed, like stale WALs).
 
 use std::io;
 
+use crate::codec;
+use crate::crc::crc32;
 use crate::segment::{self, SegmentData, SegmentDraft};
 use crate::storage::{Storage, StorageFile};
 use crate::wal::{self, WalCorruption, WalRecord};
@@ -64,6 +88,12 @@ pub struct RecoveryStats {
     pub tmp_files_removed: usize,
     /// Stale lower-numbered WALs from an interrupted rotation, removed.
     pub stale_wals_removed: usize,
+    /// Compacted history files loaded (all verified end-to-end).
+    pub hist_loaded: usize,
+    /// Uncommitted or superseded history files, removed.
+    pub stale_hist_removed: usize,
+    /// Rotation segments below the compaction floor, removed.
+    pub stale_segments_removed: usize,
 }
 
 /// Everything a caller needs to rebuild state after a restart.
@@ -81,8 +111,24 @@ fn wal_name(index: u64) -> String {
     format!("wal-{index}.log")
 }
 
-fn seg_name(index: u64) -> String {
+/// Name of the rotation segment sealed from WAL `index`.
+pub fn seg_name(index: u64) -> String {
     format!("seg-{index}.seg")
+}
+
+/// Name of a compacted history file covering rotation segments
+/// `lo..=hi`.
+pub fn hist_name(lo: u64, hi: u64) -> String {
+    format!("hist-{lo}-{hi}.seg")
+}
+
+/// Parses a [`hist_name`] back into its inclusive index range.
+pub fn parse_hist_name(name: &str) -> Option<(u64, u64)> {
+    let body = name.strip_prefix("hist-")?.strip_suffix(".seg")?;
+    let (lo, hi) = body.split_once('-')?;
+    let lo: u64 = lo.parse().ok()?;
+    let hi: u64 = hi.parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
 }
 
 fn parse_index(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
@@ -96,8 +142,14 @@ fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Writes `bytes` as `name` atomically: tmp file, fsync, rename.
-fn publish<S: Storage>(storage: &S, name: &str, bytes: &[u8]) -> io::Result<()> {
+/// Writes `bytes` as `name` atomically: tmp file, fsync, rename. This is
+/// the only way anything immutable reaches storage — rotation segments,
+/// history files, and floor markers all publish through it.
+///
+/// # Errors
+/// Storage I/O failures (including an injected crash); the target name
+/// is untouched on error.
+pub fn publish<S: Storage>(storage: &S, name: &str, bytes: &[u8]) -> io::Result<()> {
     let tmp = format!("{name}.tmp");
     let mut file = storage.create(&tmp)?;
     file.append(bytes)?;
@@ -106,11 +158,62 @@ fn publish<S: Storage>(storage: &S, name: &str, bytes: &[u8]) -> io::Result<()> 
     storage.rename(&tmp, name)
 }
 
+/// Name of the compaction floor marker file.
+pub const FLOOR_NAME: &str = "compaction.floor";
+
+const FLOOR_MAGIC: &[u8; 6] = b"HFLR1\n";
+
+/// Reads the compaction floor: the first rotation-segment index *not*
+/// yet covered by compacted history files. Absent marker means 0.
+///
+/// # Errors
+/// Storage I/O failures, or a marker that fails its checksum — the
+/// marker is published atomically, so damage is real corruption.
+pub fn read_floor<S: Storage>(storage: &S) -> io::Result<u64> {
+    let bytes = match storage.read(FLOOR_NAME) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let bad = || invalid(format!("{FLOOR_NAME}: malformed marker"));
+    let mut rest = bytes.strip_prefix(FLOOR_MAGIC.as_slice()).ok_or_else(bad)?;
+    let body_len = rest.len().checked_sub(4).ok_or_else(bad)?;
+    let body = rest.get(..body_len).ok_or_else(bad)?;
+    let mut crc_bytes = rest.get(body_len..).ok_or_else(bad)?;
+    let expect = codec::take_u32(&mut crc_bytes).ok_or_else(bad)?;
+    if crc32(body) != expect {
+        return Err(invalid(format!("{FLOOR_NAME}: checksum mismatch")));
+    }
+    rest = body;
+    let floor = codec::take_varint(&mut rest).ok_or_else(bad)?;
+    if !rest.is_empty() {
+        return Err(bad());
+    }
+    Ok(floor)
+}
+
+/// Atomically publishes a new compaction floor. This is the commit
+/// point of an L0 compaction: once the marker is durable, the covered
+/// rotation segments are stale.
+///
+/// # Errors
+/// Storage I/O failures (including an injected crash).
+pub fn publish_floor<S: Storage>(storage: &S, floor: u64) -> io::Result<()> {
+    let mut body = Vec::with_capacity(10);
+    codec::put_varint(&mut body, floor);
+    let mut image = Vec::with_capacity(FLOOR_MAGIC.len() + body.len() + 4);
+    image.extend_from_slice(FLOOR_MAGIC);
+    image.extend_from_slice(&body);
+    codec::put_u32(&mut image, crc32(&body));
+    publish(storage, FLOOR_NAME, &image)
+}
+
 /// A durable record log with segment sealing and crash recovery.
 pub struct Store<S: Storage> {
     storage: S,
     writer: Box<dyn StorageFile>,
     wal_index: u64,
+    floor: u64,
     group_commit: usize,
     unsynced: usize,
 }
@@ -134,6 +237,43 @@ impl<S: Storage> Store<S> {
             recovered.stats.tmp_files_removed += 1;
         }
 
+        // Compacted history below the floor (module docs): drop
+        // uncommitted ranges (they reach the floor), drop ranges a
+        // bigger live range supersedes, and demand the rest tile
+        // `0..floor` — a gap means a committed history file vanished,
+        // which is as fatal as a missing rotation segment.
+        let floor = read_floor(&storage)?;
+        let mut hist: Vec<(u64, u64)> = names.iter().filter_map(|n| parse_hist_name(n)).collect();
+        hist.sort_unstable();
+        let mut live_hist = Vec::with_capacity(hist.len());
+        for &(lo, hi) in &hist {
+            let committed = hi < floor;
+            let superseded = hist
+                .iter()
+                .any(|&(l2, h2)| l2 <= lo && hi <= h2 && (h2 - l2) > (hi - lo) && h2 < floor);
+            if committed && !superseded {
+                live_hist.push((lo, hi));
+            } else {
+                storage.remove(&hist_name(lo, hi))?;
+                recovered.stats.stale_hist_removed += 1;
+            }
+        }
+        let mut next_expected = 0;
+        for &(lo, hi) in &live_hist {
+            if lo != next_expected {
+                return Err(invalid(format!(
+                    "history run mismatch: expected range starting at {next_expected}, \
+                     found hist-{lo}-{hi}.seg"
+                )));
+            }
+            next_expected = hi + 1;
+        }
+        if next_expected != floor {
+            return Err(invalid(format!(
+                "history run mismatch: floor is {floor} but history covers 0..{next_expected}"
+            )));
+        }
+
         let wal_indices: Vec<u64> = names
             .iter()
             .filter_map(|n| parse_index(n, "wal-", ".log"))
@@ -142,6 +282,18 @@ impl<S: Storage> Store<S> {
             .iter()
             .filter_map(|n| parse_index(n, "seg-", ".seg"))
             .collect();
+
+        // Rotation segments the floor has overtaken are stale copies of
+        // data now owned by history files (interrupted L0 cleanup).
+        let mut seg_live = Vec::with_capacity(seg_indices.len());
+        for &i in &seg_indices {
+            if i < floor {
+                storage.remove(&seg_name(i))?;
+                recovered.stats.stale_segments_removed += 1;
+            } else {
+                seg_live.push(i);
+            }
+        }
 
         let wal_index = match wal_indices.iter().max().copied() {
             Some(active) => {
@@ -156,21 +308,32 @@ impl<S: Storage> Store<S> {
             }
             None => {
                 // Fresh directory (or a crash before the very first WAL
-                // became durable): start after the last sealed segment.
-                seg_indices.iter().max().map_or(0, |&m| m + 1)
+                // became durable): start after the last sealed segment,
+                // or at the floor when compaction consumed them all.
+                seg_live.iter().max().map_or(0, |&m| m + 1).max(floor)
             }
         };
 
-        // Apply exactly the segments below the active WAL, in order.
-        // Rotation seals every index once, so the run must be contiguous.
-        let expected: Vec<u64> = (0..wal_index).collect();
-        let mut have = seg_indices.clone();
+        // History files replay first: they cover the lowest indices.
+        for &(lo, hi) in &live_hist {
+            let bytes = storage.read(&hist_name(lo, hi))?;
+            let data =
+                segment::decode(&bytes).map_err(|e| invalid(format!("hist-{lo}-{hi}.seg: {e}")))?;
+            recovered.segments.push(data);
+            recovered.stats.hist_loaded += 1;
+        }
+
+        // Apply exactly the segments from the floor to the active WAL,
+        // in order. Rotation seals every index once, so the run must be
+        // contiguous.
+        let expected: Vec<u64> = (floor..wal_index).collect();
+        let mut have = seg_live.clone();
         have.sort_unstable();
         have.dedup();
         have.retain(|&i| i < wal_index);
         if have != expected {
             return Err(invalid(format!(
-                "segment run mismatch: expected seg-0..seg-{wal_index}, found {have:?}"
+                "segment run mismatch: expected seg-{floor}..seg-{wal_index}, found {have:?}"
             )));
         }
         for &index in &expected {
@@ -207,6 +370,7 @@ impl<S: Storage> Store<S> {
                 storage,
                 writer,
                 wal_index,
+                floor,
                 group_commit: options.group_commit.max(1),
                 unsynced: 0,
             },
@@ -276,6 +440,12 @@ impl<S: Storage> Store<S> {
     /// Index of the active WAL (equals the number of sealed segments).
     pub fn wal_index(&self) -> u64 {
         self.wal_index
+    }
+
+    /// The compaction floor at open time: rotation segments below this
+    /// index were replaced by compacted history files.
+    pub fn floor(&self) -> u64 {
+        self.floor
     }
 
     /// Records appended since the last sync.
@@ -427,6 +597,147 @@ mod tests {
         let chunk = seg.chunks.first().expect("chunk");
         assert_eq!(chunk.timestamps.as_ref(), &[0, 1, 2, 3]);
         assert_eq!(recovered.wal.len(), 1);
+    }
+
+    #[test]
+    fn floor_marker_round_trips_and_rejects_damage() {
+        let mem = MemStorage::new();
+        assert_eq!(read_floor(&mem).expect("absent floor"), 0);
+        publish_floor(&mem, 7).expect("publish");
+        assert_eq!(read_floor(&mem).expect("read"), 7);
+        publish_floor(&mem, 300).expect("publish");
+        assert_eq!(read_floor(&mem).expect("read"), 300);
+        let len = mem.file_len(FLOOR_NAME).expect("len");
+        for at in 0..len {
+            for bit in 0..8 {
+                let probe = mem.crash_image(true);
+                assert!(probe.flip_bit(FLOOR_NAME, at, bit));
+                assert!(
+                    read_floor(&probe).is_err(),
+                    "bit flip at {at}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    /// Builds a store with two sealed rotation segments and a tail WAL,
+    /// then hand-runs an L0 compaction of both into `hist-0-1.seg`,
+    /// returning the storage just *before* each protocol step so tests
+    /// can probe every intermediate state.
+    fn compacted_store() -> MemStorage {
+        let mem = MemStorage::new();
+        let (mut store, _) = Store::open(mem.clone(), opts(8)).expect("open");
+        for round in 0..2_u64 {
+            let records: Vec<WalRecord> = (0..4)
+                .map(|i| sample(0, round * 100 + i, i as f64))
+                .collect();
+            for r in &records {
+                store.append(r).expect("append");
+            }
+            store.commit().expect("commit");
+            let (draft, carry) = draft_for(&records);
+            store.rotate(&draft, &carry).expect("rotate");
+        }
+        drop(store);
+        // Merge seg-0 + seg-1 into one history file, commit the floor,
+        // remove the inputs — the compactor's protocol, inlined.
+        let merged = {
+            let a = segment::decode(&mem.read("seg-0.seg").expect("seg-0")).expect("decode");
+            let b = segment::decode(&mem.read("seg-1.seg").expect("seg-1")).expect("decode");
+            let mut draft = SegmentDraft::default();
+            for s in [&a, &b] {
+                for c in &s.chunks {
+                    draft.chunks.push(crate::segment::SegmentChunk {
+                        lane: c.lane,
+                        after_control_seq: c.after_control_seq,
+                        timestamps: c.timestamps.to_vec(),
+                        values: c.values.to_vec(),
+                        late_dropped: c.late_dropped,
+                        duplicates_dropped: c.duplicates_dropped,
+                    });
+                }
+            }
+            draft.encode().expect("encode")
+        };
+        publish(&mem, &hist_name(0, 1), &merged).expect("publish hist");
+        publish_floor(&mem, 2).expect("publish floor");
+        mem.remove("seg-0.seg").expect("rm seg-0");
+        mem.remove("seg-1.seg").expect("rm seg-1");
+        mem
+    }
+
+    fn recovered_sample_count(recovered: &Recovered) -> usize {
+        let seg: usize = recovered
+            .segments
+            .iter()
+            .flat_map(|s| &s.chunks)
+            .map(|c| c.timestamps.len())
+            .sum();
+        seg + recovered
+            .wal
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Sample { .. }))
+            .count()
+    }
+
+    #[test]
+    fn recovery_replays_history_files_below_the_floor() {
+        let mem = compacted_store();
+        let (store, recovered) = Store::open(mem, opts(8)).expect("recover");
+        assert_eq!(store.floor(), 2);
+        assert_eq!(store.wal_index(), 2);
+        assert_eq!(recovered.stats.hist_loaded, 1);
+        assert_eq!(recovered.stats.segments_loaded, 0);
+        assert_eq!(recovered.stats.stale_hist_removed, 0);
+        assert_eq!(recovered.stats.stale_segments_removed, 0);
+        assert_eq!(recovered_sample_count(&recovered), 8);
+    }
+
+    #[test]
+    fn uncommitted_history_file_is_removed_on_recovery() {
+        // A history file at or past the floor was never committed.
+        let mem = compacted_store();
+        publish(&mem, &hist_name(2, 3), b"garbage-never-committed").expect("publish");
+        let (_s, recovered) = Store::open(mem.clone(), opts(8)).expect("recover");
+        assert_eq!(recovered.stats.stale_hist_removed, 1);
+        assert_eq!(recovered_sample_count(&recovered), 8);
+        assert!(!mem.list().expect("list").contains(&hist_name(2, 3)));
+    }
+
+    #[test]
+    fn stale_rotation_segments_below_the_floor_are_removed() {
+        // Crash after the floor bump but before input cleanup: the
+        // rotation segments coexist with the history file covering them.
+        let mem = compacted_store();
+        publish(&mem, "seg-0.seg", b"stale-not-even-valid").expect("publish");
+        let (_s, recovered) = Store::open(mem.clone(), opts(8)).expect("recover");
+        assert_eq!(recovered.stats.stale_segments_removed, 1);
+        assert_eq!(recovered_sample_count(&recovered), 8);
+        assert!(!mem.list().expect("list").contains(&"seg-0.seg".to_string()));
+    }
+
+    #[test]
+    fn superseded_history_file_is_removed_on_recovery() {
+        // Simulate an interrupted tier merge: a strict-subset range
+        // survives next to the merged file that replaced it.
+        let mem = compacted_store();
+        let merged = mem.read(&hist_name(0, 1)).expect("read");
+        publish(&mem, &hist_name(0, 0), &merged).expect("publish subset");
+        let (_s, recovered) = Store::open(mem.clone(), opts(8)).expect("recover");
+        assert_eq!(recovered.stats.stale_hist_removed, 1);
+        assert_eq!(recovered_sample_count(&recovered), 8);
+        assert!(!mem.list().expect("list").contains(&hist_name(0, 0)));
+    }
+
+    #[test]
+    fn history_gap_is_a_hard_error() {
+        let mem = compacted_store();
+        mem.remove(&hist_name(0, 1)).expect("rm");
+        let err = match Store::open(mem, opts(8)) {
+            Ok(_) => panic!("gap must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("history run mismatch"), "{err}");
     }
 
     #[test]

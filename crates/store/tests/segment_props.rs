@@ -131,8 +131,46 @@ proptest! {
                     duplicates_dropped: c.duplicates_dropped,
                 })
                 .collect(),
+            extra: data.extra.clone(),
         };
         prop_assert_eq!(rebuilt.encode().expect("re-encode"), bytes);
+    }
+
+    /// The Gorilla encoding and the PR 5 raw-LE encoding decode to the
+    /// same data: compacted history files and rotation segments are
+    /// interchangeable to every reader. Values are raw bit patterns, so
+    /// NaN payloads, ±0.0, subnormals, and infinities are all drawn.
+    #[test]
+    fn gorilla_cross_decodes_with_raw(
+        lanes in prop::collection::vec(
+            (
+                prop::collection::vec(1_u64..10_000, 0..48),
+                prop::collection::vec(any::<u64>(), 0..48),
+            ),
+            1..6,
+        ),
+        extra in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut draft = draft_from(&lanes, &[]);
+        draft.extra = extra;
+        let raw = draft.encode().expect("raw encode");
+        let packed = draft
+            .encode_as(segment::ColumnEncoding::Gorilla)
+            .expect("gorilla encode");
+        let a = segment::decode(&raw).expect("raw decode");
+        let b = segment::decode(&packed).expect("gorilla decode");
+        prop_assert_eq!(&a.extra, &b.extra);
+        prop_assert_eq!(a.chunks.len(), b.chunks.len());
+        for (x, y) in a.chunks.iter().zip(b.chunks.iter()) {
+            prop_assert_eq!(x.lane, y.lane);
+            prop_assert_eq!(x.after_control_seq, y.after_control_seq);
+            prop_assert_eq!(x.timestamps.as_ref(), y.timestamps.as_ref());
+            let xb: Vec<u64> = x.values.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.values.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(xb, yb);
+            prop_assert_eq!(x.late_dropped, y.late_dropped);
+            prop_assert_eq!(x.duplicates_dropped, y.duplicates_dropped);
+        }
     }
 }
 
@@ -186,6 +224,7 @@ fn golden_draft() -> SegmentDraft {
                 duplicates_dropped: 0,
             },
         ],
+        extra: Vec::new(),
     }
 }
 
@@ -218,4 +257,52 @@ fn golden_segment_is_byte_stable() {
         assert_eq!(got.late_dropped, want.late_dropped);
         assert_eq!(got.duplicates_dropped, want.duplicates_dropped);
     }
+}
+
+/// The draft behind the committed *compressed* golden file: the golden
+/// draft re-encoded with Gorilla columns and a history-style `extra`
+/// section, as the compactor writes it.
+fn golden_hist_draft() -> SegmentDraft {
+    let mut draft = golden_draft();
+    draft.extra = vec![1, 1]; // history level tag: level 1
+    draft
+}
+
+#[test]
+fn golden_compressed_segment_is_byte_stable() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/golden_hist.seg");
+    let bytes = golden_hist_draft()
+        .encode_as(segment::ColumnEncoding::Gorilla)
+        .expect("encode compressed golden");
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &bytes).expect("write golden");
+    }
+    let pinned =
+        std::fs::read(&path).expect("read tests/golden/golden_hist.seg (REGEN_GOLDEN=1 to create)");
+    assert_eq!(
+        bytes, pinned,
+        "compressed segment encoding changed — this breaks history files written by older builds"
+    );
+
+    // The pinned compressed bytes decode to exactly what the raw golden
+    // decodes to (plus the extra section): the formats cross-decode.
+    let data = segment::decode(&pinned).expect("decode compressed golden");
+    let want = golden_hist_draft();
+    assert_eq!(data.extra, want.extra);
+    assert_eq!(data.lane_defs, want.lane_defs);
+    assert_eq!(data.controls, want.controls);
+    assert_eq!(data.chunks.len(), want.chunks.len());
+    for (got, want) in data.chunks.iter().zip(want.chunks.iter()) {
+        assert_eq!(got.timestamps.as_ref(), want.timestamps.as_slice());
+        let got_bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u64> = want.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+    }
+    let index = segment::decode_index(&pinned).expect("index");
+    assert!(index
+        .chunks
+        .iter()
+        .all(|c| c.encoding == segment::ColumnEncoding::Gorilla));
 }

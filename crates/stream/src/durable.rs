@@ -711,6 +711,16 @@ impl<S: Storage> DurableStream<S> {
     pub fn store(&self) -> &Store<S> {
         &self.store
     }
+
+    /// Hands the sealed half of the store to the history tier: the
+    /// backing storage plus the first *unsealed* index (the active
+    /// WAL's). Every rotation segment below that index is immutable, so
+    /// a compactor may merge and retire them through this handle while
+    /// the stream keeps writing — the two sides never touch the same
+    /// file.
+    pub fn sealed_storage(&self) -> (&S, u64) {
+        (self.store.storage(), self.store.wal_index())
+    }
 }
 
 #[cfg(test)]

@@ -431,6 +431,18 @@ impl<F: StorageFactory> PlantRegistry<F> {
     pub fn factory(&self) -> &F {
         &self.factory
     }
+
+    /// The algorithm policy every tenant in this registry runs with.
+    /// Backfill re-detection clones it to replay stored ranges through a
+    /// fresh detector.
+    pub fn policy(&self) -> &AlgorithmPolicy {
+        &self.policy
+    }
+
+    /// The per-tenant configuration applied to every plant.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
 }
 
 #[cfg(test)]

@@ -95,12 +95,9 @@ impl<'a> Iterator for WindowIter<'a> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let end = self.next_start.checked_add(self.spec.len)?;
-        if end > self.data.len() {
-            return None;
-        }
         let w = Window {
             start: self.next_start,
-            values: &self.data[self.next_start..end],
+            values: self.data.get(self.next_start..end)?,
         };
         self.next_start += self.spec.stride;
         Some(w)
@@ -137,9 +134,12 @@ pub fn series_windows(series: &TimeSeries, spec: WindowSpec) -> WindowIter<'_> {
 /// Extracts complete windows of a discrete symbol sequence.
 pub fn symbol_windows(symbols: &[u16], spec: WindowSpec) -> Vec<(usize, &[u16])> {
     let mut out = Vec::with_capacity(spec.count(symbols.len()));
-    let mut start = 0;
-    while start + spec.len <= symbols.len() {
-        out.push((start, &symbols[start..start + spec.len]));
+    let mut start = 0_usize;
+    while let Some(window) = start
+        .checked_add(spec.len)
+        .and_then(|end| symbols.get(start..end))
+    {
+        out.push((start, window));
         start += spec.stride;
     }
     out
@@ -161,7 +161,8 @@ pub fn window_scores_to_point_scores(
     for (w_idx, &score) in window_scores.iter().enumerate() {
         let start = w_idx * spec.stride;
         let end = (start + spec.len).min(n);
-        for s in &mut out[start..end] {
+        let covered = out.get_mut(start..end).unwrap_or(&mut []);
+        for s in covered {
             if score > *s {
                 *s = score;
             }

@@ -4,6 +4,7 @@ use std::io::{self, Read, Write};
 
 use hierod_core::HierOutlier;
 use hierod_hierarchy::Level;
+use hierod_history::ScanStats;
 use hierod_service::{Health, PlantHealth, RecoverySummary};
 use hierod_store::codec;
 use hierod_store::crc::crc32;
@@ -30,6 +31,8 @@ const TAG_QUERY_SCORES: u8 = 19;
 const TAG_QUERY_LANE_STATS: u8 = 20;
 const TAG_QUERY_DELTAS: u8 = 21;
 const TAG_QUERY_HEALTH: u8 = 22;
+const TAG_RANGE_SCAN: u8 = 23;
+const TAG_BACKFILL: u8 = 24;
 // Response frames.
 const TAG_OK: u8 = 32;
 const TAG_ERROR: u8 = 33;
@@ -40,6 +43,8 @@ const TAG_LANE_STATS: u8 = 37;
 const TAG_DELTAS: u8 = 38;
 const TAG_NO_CHANGE: u8 = 39;
 const TAG_HEALTH: u8 = 40;
+const TAG_SERIES: u8 = 41;
+const TAG_BACKFILL_DONE: u8 = 42;
 
 /// Machine-readable error class carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +134,32 @@ pub enum Frame {
     /// Asks for the service health snapshot; answered by
     /// [`Frame::HealthReply`].
     QueryHealth,
+    /// Asks for the plant's sealed history samples in `[start, end]`,
+    /// optionally filtered to one machine and/or sensor; answered by
+    /// [`Frame::Series`].
+    RangeScan {
+        /// Inclusive range start (tick domain).
+        start: u64,
+        /// Inclusive range end.
+        end: u64,
+        /// Restrict to lanes of one machine (`None` = all machines).
+        machine: Option<String>,
+        /// Restrict to lanes of one sensor (`None` = all sensors).
+        sensor: Option<String>,
+    },
+    /// Asks the server to replay the stored `[start, end]` range
+    /// through a fresh detector, optionally with the phase-level
+    /// detector swapped to `spec` (an `AlgoSpec` in its `Display` form,
+    /// e.g. `"sliding-z(window=8)"`); answered by
+    /// [`Frame::BackfillDone`].
+    Backfill {
+        /// Inclusive range start (tick domain).
+        start: u64,
+        /// Inclusive range end.
+        end: u64,
+        /// Replacement phase-detector spec (`None` = original policy).
+        spec: Option<String>,
+    },
     /// Generic success acknowledgement.
     Ok {
         /// Request-specific detail (e.g. admission outcome).
@@ -188,6 +219,28 @@ pub enum Frame {
     },
     /// Service health snapshot.
     HealthReply(Health),
+    /// Sealed-history samples answering a [`Frame::RangeScan`]: one
+    /// column pair per matching lane, sorted by lane, plus the scan's
+    /// pruning counters.
+    Series {
+        /// Per-lane results: lane identity, timestamp column, value
+        /// column (columns are index-aligned and strictly increasing in
+        /// time).
+        lanes: Vec<(LaneId, Vec<u64>, Vec<f64>)>,
+        /// Chunk-pruning accounting of the scan.
+        stats: ScanStats,
+    },
+    /// A backfill replay finished; answers [`Frame::Backfill`].
+    BackfillDone {
+        /// `encode_report` bytes of the replayed report.
+        report: Vec<u8>,
+        /// Control events replayed (the full lifecycle skeleton).
+        controls_replayed: u64,
+        /// Samples inside the requested range that were replayed.
+        samples_replayed: u64,
+        /// Samples outside the requested range that were skipped.
+        samples_skipped: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -304,6 +357,52 @@ fn take_lane_stats(buf: &mut &[u8]) -> Option<Vec<(LaneId, LaneStats)>> {
     Some(out)
 }
 
+fn put_series(out: &mut Vec<u8>, lanes: &[(LaneId, Vec<u64>, Vec<f64>)], stats: &ScanStats) {
+    codec::put_varint(out, lanes.len() as u64);
+    for (lane, timestamps, values) in lanes {
+        codec::put_bytes(out, &encode_lane(lane));
+        codec::put_varint(out, timestamps.len() as u64);
+        for &t in timestamps {
+            codec::put_varint(out, t);
+        }
+        codec::put_varint(out, values.len() as u64);
+        for &v in values {
+            codec::put_f64(out, v);
+        }
+    }
+    codec::put_varint(out, stats.chunks_total as u64);
+    codec::put_varint(out, stats.chunks_pruned as u64);
+    codec::put_varint(out, stats.chunks_decoded as u64);
+    codec::put_varint(out, stats.samples);
+}
+
+#[allow(clippy::type_complexity)]
+fn take_series(buf: &mut &[u8]) -> Option<(Vec<(LaneId, Vec<u64>, Vec<f64>)>, ScanStats)> {
+    let n = codec::take_varint(buf)?;
+    let mut lanes = Vec::new();
+    for _ in 0..n {
+        let lane = decode_lane(codec::take_bytes(buf)?)?;
+        let tn = codec::take_varint(buf)?;
+        let mut timestamps = Vec::new();
+        for _ in 0..tn {
+            timestamps.push(codec::take_varint(buf)?);
+        }
+        let vn = codec::take_varint(buf)?;
+        let mut values = Vec::new();
+        for _ in 0..vn {
+            values.push(codec::take_f64(buf)?);
+        }
+        lanes.push((lane, timestamps, values));
+    }
+    let stats = ScanStats {
+        chunks_total: usize::try_from(codec::take_varint(buf)?).ok()?,
+        chunks_pruned: usize::try_from(codec::take_varint(buf)?).ok()?,
+        chunks_decoded: usize::try_from(codec::take_varint(buf)?).ok()?,
+        samples: codec::take_varint(buf)?,
+    };
+    Some((lanes, stats))
+}
+
 fn put_health(out: &mut Vec<u8>, h: &Health) {
     codec::put_varint(out, h.live.len() as u64);
     for p in &h.live {
@@ -376,6 +475,24 @@ impl Frame {
                 codec::put_varint(out, *since);
             }
             Frame::QueryHealth => out.push(TAG_QUERY_HEALTH),
+            Frame::RangeScan {
+                start,
+                end,
+                machine,
+                sensor,
+            } => {
+                out.push(TAG_RANGE_SCAN);
+                codec::put_varint(out, *start);
+                codec::put_varint(out, *end);
+                put_opt_str(out, machine.as_deref());
+                put_opt_str(out, sensor.as_deref());
+            }
+            Frame::Backfill { start, end, spec } => {
+                out.push(TAG_BACKFILL);
+                codec::put_varint(out, *start);
+                codec::put_varint(out, *end);
+                put_opt_str(out, spec.as_deref());
+            }
             Frame::Ok { info } => {
                 out.push(TAG_OK);
                 codec::put_varint(out, *info);
@@ -424,6 +541,22 @@ impl Frame {
             Frame::HealthReply(health) => {
                 out.push(TAG_HEALTH);
                 put_health(out, health);
+            }
+            Frame::Series { lanes, stats } => {
+                out.push(TAG_SERIES);
+                put_series(out, lanes, stats);
+            }
+            Frame::BackfillDone {
+                report,
+                controls_replayed,
+                samples_replayed,
+                samples_skipped,
+            } => {
+                out.push(TAG_BACKFILL_DONE);
+                codec::put_bytes(out, report);
+                codec::put_varint(out, *controls_replayed);
+                codec::put_varint(out, *samples_replayed);
+                codec::put_varint(out, *samples_skipped);
             }
         }
     }
@@ -487,6 +620,17 @@ impl Frame {
                 since: codec::take_varint(buf)?,
             },
             TAG_QUERY_HEALTH => Frame::QueryHealth,
+            TAG_RANGE_SCAN => Frame::RangeScan {
+                start: codec::take_varint(buf)?,
+                end: codec::take_varint(buf)?,
+                machine: take_opt_str(buf)?,
+                sensor: take_opt_str(buf)?,
+            },
+            TAG_BACKFILL => Frame::Backfill {
+                start: codec::take_varint(buf)?,
+                end: codec::take_varint(buf)?,
+                spec: take_opt_str(buf)?,
+            },
             TAG_OK => Frame::Ok {
                 info: codec::take_varint(buf)?,
             },
@@ -520,6 +664,16 @@ impl Frame {
                 version: codec::take_varint(buf)?,
             },
             TAG_HEALTH => Frame::HealthReply(take_health(buf)?),
+            TAG_SERIES => {
+                let (lanes, stats) = take_series(buf)?;
+                Frame::Series { lanes, stats }
+            }
+            TAG_BACKFILL_DONE => Frame::BackfillDone {
+                report: codec::take_bytes(buf)?.to_vec(),
+                controls_replayed: codec::take_varint(buf)?,
+                samples_replayed: codec::take_varint(buf)?,
+                samples_skipped: codec::take_varint(buf)?,
+            },
             _ => return None,
         };
         buf.is_empty().then_some(frame)

@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use hierod_core::detect_level::{LevelDetections, LevelOutlier, SeriesScores, VectorScore};
 use hierod_core::{HierOutlier, HierReport, Warning};
 use hierod_hierarchy::{Level, PhaseKind};
+use hierod_history::ScanStats;
 use hierod_service::{Health, PlantHealth, RecoverySummary};
 use hierod_store::wal::{self, WalRecord, WAL_MAGIC};
 use hierod_stream::router::{LaneId, LaneKind};
@@ -214,14 +215,52 @@ fn arb_health() -> impl Strategy<Value = Health> {
         })
 }
 
+fn arb_scan_stats() -> impl Strategy<Value = ScanStats> {
+    (0_usize..100, 0_usize..100, 0_usize..100, any::<u64>()).prop_map(|(t, p, d, s)| ScanStats {
+        chunks_total: t,
+        chunks_pruned: p,
+        chunks_decoded: d,
+        samples: s,
+    })
+}
+
+/// Lane column triples for [`Frame::Series`]: index-aligned timestamp
+/// and value columns per lane.
+fn arb_series_lanes() -> impl Strategy<Value = Vec<(LaneId, Vec<u64>, Vec<f64>)>> {
+    prop::collection::vec(
+        (
+            arb_lane(),
+            prop::collection::vec((any::<u64>(), arb_f64()), 0..5),
+        ),
+        0..4,
+    )
+    .prop_map(|lanes| {
+        lanes
+            .into_iter()
+            .map(|(lane, points)| {
+                (
+                    lane,
+                    points.iter().map(|&(t, _)| t).collect(),
+                    points.iter().map(|&(_, v)| v).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
 /// One strategy covering every [`Frame`] variant via a selector over a
 /// shared pool of ingredients.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        (0_u8..17, arb_wal_record(), arb_str(), 0_u8..2),
+        (0_u8..21, arb_wal_record(), arb_str(), 0_u8..2),
         (any::<u64>(), any::<u64>(), arb_opt_level(), 1_u8..7),
         (arb_outliers(), arb_outliers(), arb_stream_stats()),
         (arb_lane_stats(), arb_health(), arb_bytes()),
+        (
+            (arb_opt_str(), arb_opt_str()),
+            arb_series_lanes(),
+            arb_scan_stats(),
+        ),
     )
         .prop_map(
             |(
@@ -229,6 +268,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 (v1, v2, level, ecode),
                 (added, removed, stats),
                 (lanes, health, bytes),
+                ((machine, sensor), series_lanes, scan_stats),
             )| match sel {
                 0 => Frame::Ingest(record),
                 1 => Frame::Admit {
@@ -266,7 +306,28 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     removed,
                 },
                 15 => Frame::NoChange { version: v1 },
-                _ => Frame::HealthReply(health),
+                16 => Frame::HealthReply(health),
+                17 => Frame::RangeScan {
+                    start: v1,
+                    end: v2,
+                    machine,
+                    sensor,
+                },
+                18 => Frame::Backfill {
+                    start: v1,
+                    end: v2,
+                    spec: machine,
+                },
+                19 => Frame::Series {
+                    lanes: series_lanes,
+                    stats: scan_stats,
+                },
+                _ => Frame::BackfillDone {
+                    report: bytes,
+                    controls_replayed: v1,
+                    samples_replayed: v2,
+                    samples_skipped: v1.wrapping_add(v2),
+                },
             },
         )
 }

@@ -22,6 +22,9 @@
 //! * [`store`] — durable substrate for the stream: CRC-checksummed
 //!   write-ahead log, immutable columnar segments, crash recovery, and a
 //!   deterministic fault-injection harness.
+//! * [`history`] — the historical query tier over the store's sealed
+//!   segments: tiered compaction into Gorilla-compressed history files,
+//!   pruned time-range scans, and backfill re-detection over stored ranges.
 //! * [`service`] — the service layer of the api → service → engine split:
 //!   [`PlantService`](hierod_service::PlantService), the one plant-driving
 //!   entry point shared by the embedded and network paths.
@@ -35,6 +38,7 @@ pub use hierod_corpus as corpus;
 pub use hierod_detect as detect;
 pub use hierod_eval as eval;
 pub use hierod_hierarchy as hierarchy;
+pub use hierod_history as history;
 pub use hierod_olap as olap;
 pub use hierod_server as server;
 pub use hierod_service as service;

@@ -34,7 +34,7 @@ use rules::taxonomy::{TaxonomyInputs, CATALOG, COVERAGE, DESIGN, REGISTRY};
 pub const ALLOWLIST_PATH: &str = "xtask/lint.allow";
 
 /// The crates whose library code is under the `panic-site` rule.
-const PANIC_SCOPE: [&str; 9] = [
+const PANIC_SCOPE: [&str; 10] = [
     "crates/detect/src/",
     "crates/core/src/",
     "crates/hierarchy/src/",
@@ -44,10 +44,11 @@ const PANIC_SCOPE: [&str; 9] = [
     "crates/service/src/",
     "crates/wire/src/",
     "crates/server/src/",
+    "crates/history/src/",
 ];
 
 /// The crates under the `nan-cmp` rule (library *and* test code).
-const NAN_SCOPE: [&str; 7] = [
+const NAN_SCOPE: [&str; 8] = [
     "crates/detect/",
     "crates/core/",
     "crates/stream/",
@@ -55,6 +56,7 @@ const NAN_SCOPE: [&str; 7] = [
     "crates/service/",
     "crates/wire/",
     "crates/server/",
+    "crates/history/",
 ];
 
 /// The result of a lint run.
