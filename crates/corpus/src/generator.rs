@@ -99,6 +99,15 @@ const DOMAINS: &[&str] = &[
     "assembly robots",
 ];
 
+/// A uniformly random element ("" only for an empty slice, which the
+/// word tables above never are).
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options
+        .get(rng.gen_range(0..options.len()))
+        .copied()
+        .unwrap_or("")
+}
+
 /// Deterministic corpus generator.
 #[derive(Debug, Clone)]
 pub struct CorpusGenerator {
@@ -164,9 +173,9 @@ impl CorpusGenerator {
 
     /// A document matching the full Fig.-3 query for `term`.
     fn matching_doc(&self, term: &str, rng: &mut StdRng) -> Document {
-        let f1 = FILLER[rng.gen_range(0..FILLER.len())];
-        let f2 = FILLER[rng.gen_range(0..FILLER.len())];
-        let dom = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let f1 = pick(rng, FILLER);
+        let f2 = pick(rng, FILLER);
+        let dom = pick(rng, DOMAINS);
         let title = format!("{f1} {term} for time series in {dom}");
         let abstract_text = format!(
             "We present a {f2} approach to {term} on time series data collected from {dom}."
@@ -186,8 +195,8 @@ impl CorpusGenerator {
 
     /// A distractor that fails exactly one clause of the Fig.-3 query.
     fn distractor_doc(&self, term: &str, kind: usize, rng: &mut StdRng) -> Document {
-        let f1 = FILLER[rng.gen_range(0..FILLER.len())];
-        let dom = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let f1 = pick(rng, FILLER);
+        let dom = pick(rng, DOMAINS);
         match kind {
             // Wrong category: everything matches textually, category fails.
             0 => Document {

@@ -98,12 +98,14 @@ impl InvertedIndex {
     /// phrase matches nothing.
     pub fn phrase_docs(&self, phrase: &str) -> Vec<DocId> {
         let terms = tokenize(phrase);
+        let Some(head) = terms.first() else {
+            return Vec::new();
+        };
         match terms.len() {
-            0 => Vec::new(),
-            1 => self.term_docs(&terms[0]),
+            1 => self.term_docs(head),
             _ => {
                 // Intersect postings of all terms, then verify adjacency.
-                let first = match self.postings.get(&terms[0]) {
+                let first = match self.postings.get(head) {
                     Some(p) => p,
                     None => return Vec::new(),
                 };
@@ -115,11 +117,14 @@ impl InvertedIndex {
                         let Some(plist) = self.postings.get(term) else {
                             continue 'docs;
                         };
-                        let Ok(pos_idx) = plist.binary_search_by_key(&posting.doc, |p| p.doc)
+                        let Some(entry) = plist
+                            .binary_search_by_key(&posting.doc, |p| p.doc)
+                            .ok()
+                            .and_then(|i| plist.get(i))
                         else {
                             continue 'docs;
                         };
-                        let positions = &plist[pos_idx].positions;
+                        let positions = &entry.positions;
                         starts.retain(|&s| positions.binary_search(&(s + offset as u32)).is_ok());
                         if starts.is_empty() {
                             continue 'docs;
@@ -142,12 +147,12 @@ impl InvertedIndex {
 pub fn intersect(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        match x.cmp(&y) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(x);
                 i += 1;
                 j += 1;
             }

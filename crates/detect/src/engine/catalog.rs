@@ -12,7 +12,10 @@ use crate::api::{DetectError, Detector, Result};
 use crate::da::KMeans;
 use crate::engine::{AlgoSpec, BoxedScorer};
 use crate::registry::{registry, RegistryEntry};
-use crate::related::{CrossMachineProfile, KnnDistance, LocalOutlierFactor, ReverseKnn};
+use crate::related::{
+    CrossMachineProfile, KnnDistance, LocalOutlierFactor, PairDifference, PairRegression,
+    ReverseKnn,
+};
 use crate::stat::{GlobalZScore, IqrFence, RobustZScore, SlidingZScore};
 
 fn build_sliding_z(s: &AlgoSpec) -> Result<BoxedScorer> {
@@ -59,6 +62,18 @@ fn build_rknn(s: &AlgoSpec) -> Result<BoxedScorer> {
 
 fn build_cross_machine_profile(_s: &AlgoSpec) -> Result<BoxedScorer> {
     Ok(BoxedScorer::Series(Box::new(CrossMachineProfile)))
+}
+
+fn build_pair_regression(s: &AlgoSpec) -> Result<BoxedScorer> {
+    Ok(BoxedScorer::Vector(Box::new(PairRegression::new(
+        s.get_usize("signed", 0)? != 0,
+    ))))
+}
+
+fn build_pair_diff(s: &AlgoSpec) -> Result<BoxedScorer> {
+    Ok(BoxedScorer::Vector(Box::new(PairDifference::new(
+        s.get_usize("signed", 0)? != 0,
+    ))))
 }
 
 /// The supplemental (non-Table-1) catalog entries.
@@ -126,6 +141,20 @@ pub fn supplemental() -> Vec<RegistryEntry> {
             key: "cross-machine-profile",
             params: &[],
             build: build_cross_machine_profile,
+        },
+        RegistryEntry {
+            info: PairRegression::default().info(),
+            module: "hierod_detect::related::PairRegression",
+            key: "pair-regression",
+            params: &["signed"],
+            build: build_pair_regression,
+        },
+        RegistryEntry {
+            info: PairDifference::default().info(),
+            module: "hierod_detect::related::PairDifference",
+            key: "pair-diff",
+            params: &["signed"],
+            build: build_pair_diff,
         },
     ]
 }

@@ -11,7 +11,7 @@
 //! Two families implement the trait:
 //!
 //! * [`WindowedBatch`] wraps **any** [`BoxedScorer`](crate::engine::BoxedScorer)
-//!   behind a hop/slide policy, so every one of the registry's 30 entries
+//!   behind a hop/slide policy, so every one of the registry's 32 entries
 //!   is drivable online. Its full-history mode reproduces batch scores
 //!   bit-for-bit (the stream/batch equivalence test relies on that).
 //! * Native incrementals — [`RollingRobustZ`], [`IncrementalAr`],
@@ -66,4 +66,23 @@ pub trait OnlineScorer: Send {
 
     /// Short label for reports and benches.
     fn name(&self) -> &'static str;
+
+    /// Drift events observed so far (non-zero only for adaptive wrappers;
+    /// plain incrementals report 0).
+    fn drift_events(&self) -> u64 {
+        0
+    }
+
+    /// Model refits performed so far (non-zero only for adaptive wrappers).
+    fn refits(&self) -> u64 {
+        0
+    }
+
+    /// Downcast hook for adaptive wrappers: a wrapper that wants to be
+    /// rediscovered through a `Box<dyn OnlineScorer>` (the `hierod-adapt`
+    /// refit pass walks pipelines this way) overrides this to return
+    /// `Some(self)`; plain scorers stay opaque.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }

@@ -5,6 +5,7 @@
 use crate::api::Result;
 use crate::online::rolling::SortedWindow;
 use crate::online::{OnlineScorer, ScoredPoint};
+use crate::related::distance_matrix_into;
 use crate::DetectError;
 
 /// Distance to the k-th nearest element of `sorted` as seen from `v`,
@@ -44,6 +45,37 @@ fn kth_nearest(sorted: &[f64], v: f64, k: usize, exclude: Option<usize>) -> Opti
         taken += 1;
     }
     Some(dist)
+}
+
+/// k-distance of the element at index `g` of `sorted` (self excluded), in
+/// O(k): in sorted 1-D data the k nearest neighbours of an element form a
+/// contiguous window of k+1 positions containing it, so the k-distance is
+/// the best over the k+1 candidate windows of the wider edge distance.
+/// Exactly equal to the [`kth_nearest`] walk (both compute plain
+/// differences of sorted values).
+fn kdist_sorted(sorted: &[f64], g: usize, k: usize) -> f64 {
+    let len = sorted.len();
+    let Some(top) = len.checked_sub(k + 1) else {
+        // Fewer than k neighbours exist; mirror kth_nearest's miss value.
+        return 0.0;
+    };
+    let Some(&gv) = sorted.get(g) else {
+        return 0.0;
+    };
+    let a_min = g.saturating_sub(k).min(top);
+    let a_max = g.min(top);
+    let mut best = f64::INFINITY;
+    for a in a_min..=a_max {
+        let (Some(&left), Some(&right)) = (sorted.get(a), sorted.get(a + k)) else {
+            continue;
+        };
+        best = best.min((gv - left).max(right - gv));
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
 }
 
 /// Indices of the k nearest elements of `sorted` to `v`, excluding
@@ -146,11 +178,23 @@ impl OnlineScorer for SlidingKnn {
 /// arriving sample against its k nearest window neighbours, compared to
 /// the neighbours' own densities. Scores are `max(LOF − 1, 0)` so inliers
 /// (LOF ≈ 1) sit at 0 and the score stays non-negative per the crate
-/// convention. O(k²·(k + log w)) per sample — k is small.
+/// convention.
+///
+/// Per push, all pairwise distances the score can touch are computed in
+/// one call to the shared batched kernel
+/// ([`distance_matrix_into`](crate::related)) over a band of sorted
+/// positions around the arriving value's insertion point, with k-distances
+/// memoized per band element — replacing the former per-neighbour outward
+/// walks (O(k²·(k + log w)) branchy scans per sample) with one dense
+/// O(k²) kernel pass into a reused scratch buffer.
 #[derive(Debug)]
 pub struct SlidingLof {
     window: SortedWindow,
     k: usize,
+    /// Reused per-push scratch: flat band distance matrix (squared scale)
+    /// and the per-band-element k-distance memo.
+    flat: Vec<f64>,
+    kdist: Vec<f64>,
 }
 
 impl SlidingLof {
@@ -168,51 +212,111 @@ impl SlidingLof {
         Ok(Self {
             window: SortedWindow::new(window),
             k,
+            flat: Vec::new(),
+            kdist: Vec::new(),
         })
     }
 
-    /// Local reachability density of value `v` (at optional window index
-    /// `at`, excluded from its own neighbourhood).
-    fn lrd(&self, v: f64, at: Option<usize>) -> f64 {
+    /// Scores `v` against the current window (which must hold > k samples).
+    fn score_value(&mut self, v: f64) -> f64 {
+        let k = self.k;
         let sorted = self.window.sorted();
-        let neighbours = nearest_indices(sorted, v, self.k, at);
+        let p = sorted.partition_point(|x| x.total_cmp(&v) == std::cmp::Ordering::Less);
+        // Every pairwise distance the score reads involves elements within
+        // ±(2k+1) sorted positions of the insertion point: v's neighbours
+        // sit within ±k and *their* neighbours within ±(2k+1). One batched
+        // kernel call over that band computes them all; k-distances come
+        // from the O(k) contiguous-window property instead (they would
+        // need a 50% wider band and a selection per element).
+        let radius = 2 * k + 1;
+        let lo = p.saturating_sub(radius);
+        let hi = (p + radius).min(sorted.len());
+        let Some(band) = sorted.get(lo..hi) else {
+            return 0.0;
+        };
+        let n_band = band.len();
+        let vslot = [v];
+        let mut rows: Vec<&[f64]> = Vec::with_capacity(n_band + 1);
+        rows.extend(band.windows(1));
+        rows.push(vslot.as_slice());
+        // Squared distances from the kernel; sqrt is deferred to the ~k²
+        // entries the score actually reads.
+        distance_matrix_into(&rows, false, &mut self.flat);
+        let n = n_band + 1; // matrix side; the last row/column is v
+        self.kdist.clear();
+        self.kdist.resize(n_band, -1.0);
+
+        // k-distance of band element `j`, memoized (band elements recur
+        // across overlapping neighbourhoods).
+        fn kdist_at(sorted: &[f64], lo: usize, k: usize, memo: &mut [f64], j: usize) -> f64 {
+            match memo.get(j) {
+                Some(&cached) if cached >= 0.0 => return cached,
+                None => return 0.0,
+                _ => {}
+            }
+            let kd = kdist_sorted(sorted, lo + j, k);
+            if let Some(slot) = memo.get_mut(j) {
+                *slot = kd;
+            }
+            kd
+        }
+
+        // Local reachability density of band element `j` (self-excluded).
+        let lrd_band = |flat: &[f64], memo: &mut [f64], j: usize| -> f64 {
+            let g = lo + j;
+            let Some(&gv) = sorted.get(g) else {
+                return 0.0;
+            };
+            let neighbours = nearest_indices(sorted, gv, k, Some(g));
+            if neighbours.is_empty() {
+                return 0.0;
+            }
+            let mut reach_sum = 0.0;
+            for &m in &neighbours {
+                let mj = m - lo;
+                let d = flat.get(j * n + mj).copied().unwrap_or(0.0).sqrt();
+                reach_sum += d.max(kdist_at(sorted, lo, k, memo, mj));
+            }
+            if reach_sum <= f64::EPSILON {
+                // Degenerate (identical values): infinite density, encoded
+                // big.
+                return 1.0 / f64::EPSILON;
+            }
+            neighbours.len() as f64 / reach_sum
+        };
+
+        let neighbours = nearest_indices(sorted, v, k, None);
         if neighbours.is_empty() {
             return 0.0;
         }
+        let vrow = n_band;
         let mut reach_sum = 0.0;
-        for &n in &neighbours {
-            let Some(&nv) = sorted.get(n) else { continue };
-            let kdist_n = kth_nearest(sorted, nv, self.k, Some(n)).unwrap_or(0.0);
-            reach_sum += (v - nv).abs().max(kdist_n);
+        for &nb in &neighbours {
+            let j = nb - lo;
+            let d = self.flat.get(vrow * n + j).copied().unwrap_or(0.0).sqrt();
+            reach_sum += d.max(kdist_at(sorted, lo, k, &mut self.kdist, j));
         }
-        if reach_sum <= f64::EPSILON {
-            // Degenerate (identical values): infinite density, encoded big.
-            return 1.0 / f64::EPSILON;
+        let lrd_v = if reach_sum <= f64::EPSILON {
+            1.0 / f64::EPSILON
+        } else {
+            neighbours.len() as f64 / reach_sum
+        };
+        if lrd_v <= f64::EPSILON {
+            return 0.0;
         }
-        neighbours.len() as f64 / reach_sum
+        let mut lrd_sum = 0.0;
+        for &nb in &neighbours {
+            lrd_sum += lrd_band(&self.flat, &mut self.kdist, nb - lo);
+        }
+        let lof = (lrd_sum / neighbours.len() as f64) / lrd_v;
+        (lof - 1.0).max(0.0)
     }
 }
 
 impl OnlineScorer for SlidingLof {
     fn push(&mut self, timestamp: u64, value: f64, out: &mut Vec<ScoredPoint>) -> Result<()> {
         let score = if self.window.len() > self.k {
-            let lrd_v = self.lrd(value, None);
-            let sorted = self.window.sorted();
-            let neighbours = nearest_indices(sorted, value, self.k, None);
-            let mut lrd_sum = 0.0;
-            let mut counted = 0;
-            for &n in &neighbours {
-                if let Some(&nv) = sorted.get(n) {
-                    lrd_sum += self.lrd(nv, Some(n));
-                    counted += 1;
-                }
-            }
-            if counted == 0 || lrd_v <= f64::EPSILON {
-                0.0
-            } else {
-                let lof = (lrd_sum / counted as f64) / lrd_v;
-                (lof - 1.0).max(0.0)
-            }
+            self.score_value(value)
         } else {
             0.0
         };

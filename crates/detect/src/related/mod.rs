@@ -11,10 +11,12 @@
 
 mod knn;
 mod lof;
+mod pair;
 mod profile;
 
 pub use knn::{KnnDistance, ReverseKnn};
 pub use lof::LocalOutlierFactor;
+pub use pair::{PairDifference, PairRegression};
 pub use profile::{CrossMachineProfile, ProfileSimilarity};
 
 use crate::stat::nan_last_cmp;
@@ -26,22 +28,37 @@ pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Symmetric pairwise distance matrix with zero diagonal; `sqrt` selects
-/// Euclidean over squared-Euclidean entries.
-pub(crate) fn distance_matrix(rows: &[&[f64]], sqrt: bool) -> Vec<Vec<f64>> {
+/// The batched pairwise-distance kernel: fills `out` with the symmetric
+/// `n×n` distance matrix in row-major order (zero diagonal; `sqrt` selects
+/// Euclidean over squared-Euclidean entries). `out` is cleared and resized,
+/// so a caller on a hot path (the streaming LOF, one call per push) can
+/// reuse one buffer across calls and pay no per-call allocation. Both the
+/// batch detectors and the online neighbour scorers route through this one
+/// loop — the single seam for future blocking/SIMD work (ROADMAP item 4).
+pub(crate) fn distance_matrix_into(rows: &[&[f64]], sqrt: bool, out: &mut Vec<f64>) {
     let n = rows.len();
-    let mut d = vec![vec![0.0_f64; n]; n];
+    out.clear();
+    out.resize(n * n, 0.0);
     for i in 0..n {
         for j in (i + 1)..n {
             let mut v = sq_dist(rows[i], rows[j]);
             if sqrt {
                 v = v.sqrt();
             }
-            d[i][j] = v;
-            d[j][i] = v;
+            out[i * n + j] = v;
+            out[j * n + i] = v;
         }
     }
-    d
+}
+
+/// Symmetric pairwise distance matrix with zero diagonal; `sqrt` selects
+/// Euclidean over squared-Euclidean entries. Row-of-rows convenience shape
+/// over [`distance_matrix_into`] for the batch detectors.
+pub(crate) fn distance_matrix(rows: &[&[f64]], sqrt: bool) -> Vec<Vec<f64>> {
+    let n = rows.len();
+    let mut flat = Vec::new();
+    distance_matrix_into(rows, sqrt, &mut flat);
+    flat.chunks(n.max(1)).map(<[f64]>::to_vec).collect()
 }
 
 /// The `k` nearest neighbors of `i` (self excluded, NaN distances last),

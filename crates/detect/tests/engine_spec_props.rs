@@ -14,7 +14,7 @@ use proptest::prelude::*;
 /// statically cross-checks this list against the registry, the engine
 /// catalog, and DESIGN.md; [`covered_keys_match_the_live_entries`] pins it
 /// to the runtime truth so neither side can drift.
-const COVERED_KEYS: [&str; 30] = [
+const COVERED_KEYS: [&str; 32] = [
     // Table 1 (registry.rs), in row order.
     "match-count",
     "lcs",
@@ -47,6 +47,8 @@ const COVERED_KEYS: [&str; 30] = [
     "knn",
     "rknn",
     "cross-machine-profile",
+    "pair-regression",
+    "pair-diff",
 ];
 
 #[test]

@@ -190,24 +190,20 @@ pub fn best_f1_threshold(scores: &[f64], actual: &[bool]) -> Option<(f64, Confus
     }
     let total_pos = actual.iter().filter(|&&a| a).count() as u64;
     let total = scores.len() as u64;
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut order: Vec<(f64, bool)> = scores.iter().copied().zip(actual.iter().copied()).collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0));
     // Sweep descending: predicting positive for everything scored >= t.
     let mut tp = 0_u64;
     let mut fp = 0_u64;
     let mut best: Option<(f64, ConfusionMatrix)> = None;
-    let mut i = 0;
-    while i < idx.len() {
-        // Consume the whole tie block at this threshold.
-        let t = scores[idx[i]];
-        while i < idx.len() && scores[idx[i]] == t {
-            if actual[idx[i]] {
-                tp += 1;
-            } else {
-                fp += 1;
-            }
-            i += 1;
-        }
+    // Consume whole tie blocks: one candidate threshold per distinct score.
+    for block in order.chunk_by(|a, b| a.0 == b.0) {
+        let Some(&(t, _)) = block.first() else {
+            continue;
+        };
+        let block_pos = block.iter().filter(|&&(_, a)| a).count() as u64;
+        tp += block_pos;
+        fp += block.len() as u64 - block_pos;
         let m = ConfusionMatrix {
             tp,
             fp,

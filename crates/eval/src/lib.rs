@@ -31,21 +31,20 @@ pub fn rank_normalize(scores: &[f64]) -> Vec<f64> {
     if n == 1 {
         return vec![1.0];
     }
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut order: Vec<(f64, usize)> = scores.iter().copied().zip(0..n).collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut ranks = vec![0.0_f64; n];
-    let mut i = 0;
-    while i < n {
-        // Group ties, assign average rank.
-        let mut j = i;
-        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
-            j += 1;
+    let mut start = 0_usize;
+    // Tie blocks share their average rank.
+    for block in order.chunk_by(|a, b| a.0 == b.0) {
+        let end = start + block.len() - 1;
+        let avg = (start + end) as f64 / 2.0;
+        for &(_, k) in block {
+            if let Some(r) = ranks.get_mut(k) {
+                *r = avg;
+            }
         }
-        let avg = (i + j) as f64 / 2.0;
-        for &k in &idx[i..=j] {
-            ranks[k] = avg;
-        }
-        i = j + 1;
+        start = end + 1;
     }
     let denom = (n - 1) as f64;
     ranks.iter().map(|r| r / denom).collect()

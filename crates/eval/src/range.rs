@@ -44,8 +44,11 @@ pub fn point_adjust(predicted: &[bool], actual: &[bool]) -> Vec<bool> {
     );
     let mut adjusted = predicted.to_vec();
     for (start, end) in true_segments(actual) {
-        if predicted[start..end].iter().any(|&p| p) {
-            for a in &mut adjusted[start..end] {
+        let hit = predicted
+            .get(start..end)
+            .is_some_and(|seg| seg.iter().any(|&p| p));
+        if hit {
+            for a in adjusted.get_mut(start..end).into_iter().flatten() {
                 *a = true;
             }
         }
@@ -77,7 +80,11 @@ pub fn segment_recall(predicted: &[bool], actual: &[bool]) -> Option<f64> {
     }
     let hit = segments
         .iter()
-        .filter(|&&(s, e)| predicted[s..e].iter().any(|&p| p))
+        .filter(|&&(s, e)| {
+            predicted
+                .get(s..e)
+                .is_some_and(|seg| seg.iter().any(|&p| p))
+        })
         .count();
     Some(hit as f64 / segments.len() as f64)
 }

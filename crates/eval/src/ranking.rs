@@ -17,24 +17,17 @@ pub fn roc_auc(scores: &[f64], actual: &[bool]) -> Option<f64> {
         return None;
     }
     // Rank all scores (average rank for ties), sum positive ranks.
-    let n = scores.len();
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut order: Vec<(f64, bool)> = scores.iter().copied().zip(actual.iter().copied()).collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut rank_sum_pos = 0.0_f64;
-    let mut i = 0;
-    while i < n {
-        let mut j = i;
-        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
-            j += 1;
-        }
-        // 1-based average rank for the tie group [i..=j].
-        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &idx[i..=j] {
-            if actual[k] {
-                rank_sum_pos += avg_rank;
-            }
-        }
-        i = j + 1;
+    let mut start = 0_usize;
+    for block in order.chunk_by(|a, b| a.0 == b.0) {
+        let end = start + block.len() - 1;
+        // 1-based average rank for the whole tie block.
+        let avg_rank = (start + end) as f64 / 2.0 + 1.0;
+        let block_pos = block.iter().filter(|&&(_, a)| a).count();
+        rank_sum_pos += avg_rank * block_pos as f64;
+        start = end + 1;
     }
     let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
     Some(u / (pos * neg) as f64)
@@ -59,26 +52,19 @@ pub fn average_precision(scores: &[f64], actual: &[bool]) -> Option<f64> {
     if total_pos == 0 {
         return None;
     }
-    let n = scores.len();
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut order: Vec<(f64, bool)> = scores.iter().copied().zip(actual.iter().copied()).collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut tp = 0_usize;
     let mut seen = 0_usize;
     let mut ap = 0.0_f64;
-    let mut i = 0;
-    while i < n {
-        let mut j = i;
-        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
-            j += 1;
-        }
-        let block_pos = idx[i..=j].iter().filter(|&&k| actual[k]).count();
-        seen += j - i + 1;
+    for block in order.chunk_by(|a, b| a.0 == b.0) {
+        let block_pos = block.iter().filter(|&&(_, a)| a).count();
+        seen += block.len();
         tp += block_pos;
         if block_pos > 0 {
             let precision_here = tp as f64 / seen as f64;
             ap += precision_here * block_pos as f64;
         }
-        i = j + 1;
     }
     Some(ap / total_pos as f64)
 }
@@ -91,9 +77,15 @@ pub fn precision_at_k(scores: &[f64], actual: &[bool], k: usize) -> Option<f64> 
         return None;
     }
     let k = k.min(scores.len());
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-    let hits = idx[..k].iter().filter(|&&i| actual[i]).count();
+    let mut order: Vec<(f64, usize, bool)> = scores
+        .iter()
+        .copied()
+        .zip(0..)
+        .zip(actual.iter().copied())
+        .map(|((s, i), a)| (s, i, a))
+        .collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let hits = order.iter().take(k).filter(|&&(_, _, a)| a).count();
     Some(hits as f64 / k as f64)
 }
 

@@ -136,7 +136,11 @@ impl Cube {
     /// when slicing away the last dimension.
     pub fn slice(&self, dim_name: &str, member: usize) -> Result<Cube, OlapError> {
         let di = self.schema.dim_index(dim_name)?;
-        let dim = &self.schema.dimensions()[di];
+        let Some(dim) = self.schema.dimensions().get(di) else {
+            return Err(OlapError::UnknownDimension {
+                name: dim_name.to_string(),
+            });
+        };
         if member >= dim.cardinality() {
             return Err(OlapError::MemberOutOfRange {
                 dimension: dim.name().to_string(),
@@ -155,7 +159,7 @@ impl Cube {
         let schema = CubeSchema::new(remaining)?;
         let mut cells: BTreeMap<Vec<usize>, Cell> = BTreeMap::new();
         for (coords, cell) in &self.cells {
-            if coords[di] != member {
+            if coords.get(di) != Some(&member) {
                 continue;
             }
             let mut reduced = coords.clone();
@@ -175,7 +179,7 @@ impl Cube {
         let cells = self
             .cells
             .iter()
-            .filter(|(coords, _)| members.contains(&coords[di]))
+            .filter(|(coords, _)| coords.get(di).is_some_and(|m| members.contains(m)))
             .map(|(k, v)| (k.clone(), *v))
             .collect();
         Ok(Cube {

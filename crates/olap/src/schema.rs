@@ -126,7 +126,7 @@ impl CubeSchema {
             });
         }
         for (i, d) in dimensions.iter().enumerate() {
-            if dimensions[..i].iter().any(|p| p.name() == d.name()) {
+            if dimensions.iter().take(i).any(|p| p.name() == d.name()) {
                 return Err(OlapError::InvalidSchema {
                     message: format!("duplicate dimension name `{}`", d.name()),
                 });

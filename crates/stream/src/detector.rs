@@ -50,6 +50,7 @@ use hierod_hierarchy::{
     ProductionLine, RedundancyGroup, Sensor, SeriesAt,
 };
 use hierod_timeseries::TimeSeries;
+use std::sync::Arc;
 
 use crate::router::{IngestRouter, LaneId, LaneKind, Sample};
 use crate::watermark::{LatenessStats, Watermark};
@@ -65,6 +66,13 @@ pub enum ScorerMode {
     /// [`IncrementalAr`], sliding/robust z-choices run [`RollingRobustZ`],
     /// everything else falls back to a hopping [`WindowedBatch`].
     Incremental,
+    /// [`Incremental`](ScorerMode::Incremental) scorers, each passed
+    /// through the detector's scorer wrapper (see
+    /// [`StreamDetector::set_scorer_wrapper`]) so an adaptive layer — the
+    /// `hierod-adapt` drift monitors — can interpose on every pipeline.
+    /// With no wrapper installed this mode scores identically to
+    /// `Incremental`.
+    Adaptive,
 }
 
 /// Configuration of a [`StreamDetector`].
@@ -103,6 +111,12 @@ pub struct StreamStats {
     /// WAL records rejected as corrupt during recovery (always 0 for a
     /// purely in-memory detector; the durable wrapper fills it in).
     pub corrupt_records: u64,
+    /// Drift events emitted by adaptive scorer wrappers (always 0 outside
+    /// [`ScorerMode::Adaptive`]).
+    pub drift_events: u64,
+    /// Scorer refits performed by adaptive scorer wrappers (always 0
+    /// outside [`ScorerMode::Adaptive`]).
+    pub refits: u64,
 }
 
 /// Per-lane ingestion counters, keyed by [`LaneId`] in [`StreamReport`].
@@ -119,6 +133,10 @@ pub struct LaneStats {
     pub duplicates_dropped: u64,
     /// WAL records for this lane rejected as corrupt during recovery.
     pub corrupt_records: u64,
+    /// Drift events emitted on this lane by adaptive scorer wrappers.
+    pub drift_events: u64,
+    /// Scorer refits performed on this lane by adaptive scorer wrappers.
+    pub refits: u64,
 }
 
 /// The output of a tick or finish: per-level detections plus the
@@ -360,7 +378,21 @@ pub struct StreamDetector {
     machines: Vec<(String, MachineState)>,
     scratch: Vec<(u64, f64)>,
     samples_ingested: u64,
+    /// Wrapper applied to every scorer built under
+    /// [`ScorerMode::Adaptive`] (e.g. the `hierod-adapt` drift monitor).
+    /// Lives outside [`StreamConfig`] so the config stays `Copy`.
+    scorer_wrapper: Option<Arc<ScorerWrapper>>,
 }
+
+/// A hook turning a freshly built incremental scorer into its adaptive
+/// wrapper. Receives the lane kind so environment and phase lanes can be
+/// wrapped differently.
+pub type ScorerWrapper =
+    dyn Fn(LaneKind, Box<dyn OnlineScorer>) -> Box<dyn OnlineScorer> + Send + Sync;
+
+/// The visitor for [`StreamDetector::visit_scorers`]: machine, sensor,
+/// lane kind, and the replaceable scorer slot.
+pub type ScorerVisitor<'a> = dyn FnMut(&str, &str, LaneKind, &mut Box<dyn OnlineScorer>) + 'a;
 
 impl StreamDetector {
     /// Creates a detector for the given policy.
@@ -415,7 +447,45 @@ impl StreamDetector {
             machines: Vec::new(),
             scratch: Vec::new(),
             samples_ingested: 0,
+            scorer_wrapper: None,
         })
+    }
+
+    /// Installs the wrapper applied to every scorer built under
+    /// [`ScorerMode::Adaptive`]. Only pipelines opened *after* the call
+    /// are wrapped — install before driving control events (the adapt
+    /// layer re-wraps existing pipelines through
+    /// [`visit_scorers`](Self::visit_scorers) when attaching late).
+    pub fn set_scorer_wrapper(&mut self, wrapper: Arc<ScorerWrapper>) {
+        self.scorer_wrapper = Some(wrapper);
+    }
+
+    /// Visits every open pipeline's scorer with its lane coordinates, in
+    /// plant order — the adapt layer's swap point for store-driven refits.
+    /// Replacing the scorer box mid-stream changes future scores only;
+    /// already-emitted points are kept (the commit-point rules in
+    /// DESIGN.md §4.19 restrict swaps to tick boundaries).
+    pub fn visit_scorers(&mut self, f: &mut ScorerVisitor<'_>) {
+        for slot in self.pipelines_mut() {
+            if !slot.pipe.finished && !slot.pipe.failed {
+                f(slot.machine, slot.sensor, slot.kind, &mut slot.pipe.scorer);
+            }
+        }
+    }
+
+    /// Builds a fresh (unwrapped) scorer for a lane of the given kind
+    /// under the configured mode — what a refit uses to rebuild a
+    /// pipeline's model through the registry before re-warming it from
+    /// history.
+    ///
+    /// # Errors
+    /// Propagates registry construction failures.
+    pub fn build_lane_scorer(&self, kind: LaneKind) -> Result<Box<dyn OnlineScorer>> {
+        let algo = match kind {
+            LaneKind::Environment => self.policy.environment,
+            LaneKind::Phase => self.phase_algo,
+        };
+        self.build_bare_scorer(algo)
     }
 
     /// Whether this detector owns the pipeline of `machine`×`sensor`
@@ -479,7 +549,7 @@ impl StreamDetector {
         let mut env = Vec::with_capacity(env_sensors.len());
         for name in env_sensors {
             let pipe = if self.owns(machine, name) {
-                let scorer = self.build_scorer(self.policy.environment)?;
+                let scorer = self.build_scorer(self.policy.environment, LaneKind::Environment)?;
                 Some(Pipeline::new(self.config.lateness, scorer))
             } else {
                 None
@@ -544,7 +614,7 @@ impl StreamDetector {
         let mut pipes = Vec::with_capacity(sensors.len());
         for name in sensors {
             let pipe = if self.owns(machine, name) {
-                let scorer = self.build_scorer(self.phase_algo)?;
+                let scorer = self.build_scorer(self.phase_algo, LaneKind::Phase)?;
                 Some(Pipeline::new(self.config.lateness, scorer))
             } else {
                 None
@@ -687,6 +757,8 @@ impl StreamDetector {
             if pipe.failed {
                 stats.series_failed += 1;
             }
+            stats.drift_events += pipe.scorer.drift_events();
+            stats.refits += pipe.scorer.refits();
         };
         for (_, m) in &self.machines {
             for pipe in m.env.iter().filter_map(|(_, p)| p.as_ref()) {
@@ -719,6 +791,8 @@ impl StreamDetector {
             let w = pipe.watermark.stats();
             entry.late_dropped += w.late_dropped as u64;
             entry.duplicates_dropped += w.duplicates_dropped as u64;
+            entry.drift_events += pipe.scorer.drift_events();
+            entry.refits += pipe.scorer.refits();
         };
         for (machine, m) in &self.machines {
             for (name, pipe) in m.env.iter().filter_map(|(n, p)| Some((n, p.as_ref()?))) {
@@ -866,13 +940,24 @@ impl StreamDetector {
     }
 
     /// Builds the online scorer for a point algorithm under the configured
-    /// mode.
-    fn build_scorer(&self, algo: PointAlgo) -> Result<Box<dyn OnlineScorer>> {
+    /// mode, applying the adaptive wrapper when one is installed.
+    fn build_scorer(&self, algo: PointAlgo, kind: LaneKind) -> Result<Box<dyn OnlineScorer>> {
+        let scorer = self.build_bare_scorer(algo)?;
+        match (&self.config.mode, &self.scorer_wrapper) {
+            (ScorerMode::Adaptive, Some(wrap)) => Ok(wrap(kind, scorer)),
+            _ => Ok(scorer),
+        }
+    }
+
+    /// Builds the online scorer without the adaptive wrapper.
+    /// [`ScorerMode::Adaptive`] builds the same incremental scorers as
+    /// [`ScorerMode::Incremental`] — the modes differ only in wrapping.
+    fn build_bare_scorer(&self, algo: PointAlgo) -> Result<Box<dyn OnlineScorer>> {
         match self.config.mode {
             ScorerMode::BatchEquivalent => Ok(Box::new(WindowedBatch::full_history(
                 engine::build(&algo.spec())?,
             ))),
-            ScorerMode::Incremental => match algo {
+            ScorerMode::Incremental | ScorerMode::Adaptive => match algo {
                 PointAlgo::Autoregressive { order } => Ok(Box::new(IncrementalAr::new(order, 32)?)),
                 PointAlgo::SlidingZ { window } => Ok(Box::new(RollingRobustZ::new(window.max(3))?)),
                 PointAlgo::RobustZ | PointAlgo::GlobalZ => Ok(Box::new(RollingRobustZ::new(256)?)),
@@ -934,12 +1019,16 @@ pub(crate) fn assemble_multi(shards: &[&StreamDetector]) -> Result<StreamReport>
         stats.duplicates_dropped += s.duplicates_dropped;
         stats.series_failed += s.series_failed;
         stats.corrupt_records += s.corrupt_records;
+        stats.drift_events += s.drift_events;
+        stats.refits += s.refits;
         for (lane, l) in shard.lane_stats() {
             let entry = lane_stats.entry(lane).or_default();
             entry.released += l.released;
             entry.late_dropped += l.late_dropped;
             entry.duplicates_dropped += l.duplicates_dropped;
             entry.corrupt_records += l.corrupt_records;
+            entry.drift_events += l.drift_events;
+            entry.refits += l.refits;
         }
     }
     Ok(StreamReport {

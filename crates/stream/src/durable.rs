@@ -707,6 +707,20 @@ impl<S: Storage> DurableStream<S> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped detector — the `hierod-adapt` hook
+    /// for installing scorer wrappers and swapping pipeline scorers at
+    /// tick boundaries (see DESIGN.md §4.19).
+    ///
+    /// Scorer-level mutation only: scorers are *derived* state, rebuilt
+    /// deterministically on recovery from the journalled inputs, so
+    /// replacing one does not touch the durability contract. Driving
+    /// lifecycle methods directly on the returned detector (instead of
+    /// through [`DurableStream::control`]) would bypass the WAL and must
+    /// not be done.
+    pub fn detector_mut(&mut self) -> &mut StreamDetector {
+        &mut self.inner
+    }
+
     /// The underlying store (read-only; exposes WAL index and storage).
     pub fn store(&self) -> &Store<S> {
         &self.store

@@ -49,7 +49,8 @@ pub mod tenant;
 pub mod watermark;
 
 pub use detector::{
-    ControlEvent, LaneStats, ScorerMode, StreamConfig, StreamDetector, StreamReport, StreamStats,
+    ControlEvent, LaneStats, ScorerMode, ScorerVisitor, StreamConfig, StreamDetector, StreamReport,
+    StreamStats,
 };
 pub use durable::{DurableRecovery, DurableStream};
 pub use ring::{ring, ClosedError, Consumer, Producer, TryPushError};

@@ -132,12 +132,12 @@ impl Injection {
     pub fn apply(&self, values: &mut [f64], at: usize) -> usize {
         let mut effective = 0;
         let threshold = self.magnitude.abs() * 0.05;
-        for k in 0..values.len().saturating_sub(at) {
+        for (k, v) in values.iter_mut().skip(at).enumerate() {
             let e = self.effect_at(k);
             if e.abs() <= threshold && self.outlier != OutlierType::LevelShift {
                 break;
             }
-            values[at + k] += e;
+            *v += e;
             effective += 1;
             if self.outlier == OutlierType::Additive {
                 break;

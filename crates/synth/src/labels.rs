@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 
 use hierod_hierarchy::PhaseKind;
 
+use crate::faults::FaultKind;
 use crate::inject::{OutlierType, Scope};
 
 /// One injected anomaly, fully located in the hierarchy.
@@ -57,6 +58,31 @@ pub struct EnvInjectionRecord {
     pub magnitude: f64,
 }
 
+/// One injected channel fault (see [`crate::faults`]): a slow gauge
+/// degradation on a single sensor channel, fully located in the
+/// hierarchy. Channel faults are measurement-side by construction —
+/// exactly one channel of a redundant group is afflicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelFaultRecord {
+    /// Machine id.
+    pub machine: String,
+    /// Job id.
+    pub job: String,
+    /// Phase the fault landed in.
+    pub phase: PhaseKind,
+    /// The afflicted sensor channel.
+    pub sensor: String,
+    /// Fault shape.
+    pub kind: FaultKind,
+    /// Sample index (within the phase series) where the fault starts.
+    pub start_idx: usize,
+    /// Number of affected samples.
+    pub len: usize,
+    /// Peak magnitude (0 carries no meaning for stuck-at/dropout/rate
+    /// faults, whose effect is value-replacement rather than additive).
+    pub magnitude: f64,
+}
+
 /// Ground truth of one generated scenario.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroundTruth {
@@ -64,6 +90,10 @@ pub struct GroundTruth {
     pub injections: Vec<InjectionRecord>,
     /// Environment-level injections (HVAC excursions etc.).
     pub environment_injections: Vec<EnvInjectionRecord>,
+    /// Channel faults injected by
+    /// [`apply_channel_faults`](crate::apply_channel_faults) (empty when
+    /// fault injection is disabled).
+    pub channel_faults: Vec<ChannelFaultRecord>,
 }
 
 impl GroundTruth {
@@ -75,6 +105,30 @@ impl GroundTruth {
     /// `true` if nothing was injected.
     pub fn is_empty(&self) -> bool {
         self.injections.is_empty()
+    }
+
+    /// Point-level boolean labels of channel faults for one sensor
+    /// series of length `n` — the ground truth the drift monitors and
+    /// the fused support term are evaluated against.
+    pub fn channel_fault_labels(
+        &self,
+        machine: &str,
+        job: &str,
+        phase: PhaseKind,
+        sensor: &str,
+        n: usize,
+    ) -> Vec<bool> {
+        let mut labels = vec![false; n];
+        for r in &self.channel_faults {
+            if r.machine != machine || r.job != job || r.phase != phase || r.sensor != sensor {
+                continue;
+            }
+            let end = (r.start_idx + r.len).min(n);
+            for l in labels.iter_mut().take(end).skip(r.start_idx.min(n)) {
+                *l = true;
+            }
+        }
+        labels
     }
 
     /// Injections affecting the given sensor series (machine + job + phase +
@@ -128,7 +182,8 @@ impl GroundTruth {
                 }
             }
             let end = (r.start_idx + r.len).min(n);
-            for l in &mut labels[r.start_idx.min(n)..end] {
+            let span = labels.get_mut(r.start_idx.min(n)..end);
+            for l in span.into_iter().flatten() {
                 *l = true;
             }
         }
@@ -193,6 +248,7 @@ mod tests {
         let gt = GroundTruth {
             injections: vec![record(Scope::ProcessAnomaly, "s0", 2, 3)],
             environment_injections: vec![],
+            channel_faults: vec![],
         };
         let labels = gt.point_labels("m0", "j0", PhaseKind::Printing, "s0", 8);
         assert_eq!(
@@ -212,6 +268,7 @@ mod tests {
         let gt = GroundTruth {
             injections: vec![record(Scope::ProcessAnomaly, "s0", 6, 10)],
             environment_injections: vec![],
+            channel_faults: vec![],
         };
         let labels = gt.point_labels("m0", "j0", PhaseKind::Printing, "s0", 8);
         assert!(labels[6]);
@@ -226,6 +283,7 @@ mod tests {
         let gt = GroundTruth {
             injections: vec![r],
             environment_injections: vec![],
+            channel_faults: vec![],
         };
         assert_eq!(
             gt.for_series("m0", "j0", PhaseKind::Printing, "s1").count(),
@@ -242,6 +300,7 @@ mod tests {
                 r
             }],
             environment_injections: vec![],
+            channel_faults: vec![],
         };
         let jobs = gt.anomalous_jobs();
         assert_eq!(jobs.len(), 1);

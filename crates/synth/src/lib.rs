@@ -23,13 +23,15 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod faults;
 pub mod inject;
 pub mod labels;
 pub mod process;
 pub mod replay;
 pub mod scenario;
 
+pub use faults::{apply_channel_faults, ChannelFaults, FaultKind};
 pub use inject::{Injection, OutlierType, Scope};
-pub use labels::{EnvInjectionRecord, GroundTruth, InjectionRecord};
+pub use labels::{ChannelFaultRecord, EnvInjectionRecord, GroundTruth, InjectionRecord};
 pub use replay::{replay_plant, ReplayEvent};
 pub use scenario::{Scenario, ScenarioBuilder};

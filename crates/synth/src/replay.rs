@@ -128,8 +128,10 @@ pub fn replay_plant(plant: &Plant) -> Vec<ReplayEvent> {
         env.sort_by_key(|&(t, _, _)| t);
         let mut env_cursor = 0;
         let mut emit_env_until = |cut: Option<u64>, events: &mut Vec<ReplayEvent>| {
-            while env_cursor < env.len() && cut.is_none_or(|c| env[env_cursor].0 < c) {
-                let (timestamp, sensor, value) = env[env_cursor];
+            while let Some(&(timestamp, sensor, value)) = env.get(env_cursor) {
+                if cut.is_some_and(|c| timestamp >= c) {
+                    break;
+                }
                 events.push(ReplayEvent::EnvSample {
                     machine: machine.clone(),
                     sensor: sensor.to_string(),

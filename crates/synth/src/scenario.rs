@@ -44,7 +44,7 @@ const JOB_GAP: u64 = 100;
 /// base seed offset by the plant index times the golden-ratio
 /// increment. Adjacent plant indices land in statistically unrelated
 /// streams, and the mapping is stable across plant counts.
-fn mix_seed(seed: u64, plant: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, plant: u64) -> u64 {
     let mut z = seed ^ plant.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -298,8 +298,14 @@ impl ScenarioBuilder {
                 0.0
             };
             let config = self.gen_config(rng);
-            let bed_setpoint = config.value("bed_setpoint").expect("bed_setpoint");
-            let laser_setpoint = config.value("laser_setpoint").expect("laser_setpoint");
+            // gen_config always sets both; the canonical setpoints are the
+            // fallback of record rather than a panic path.
+            let bed_setpoint = config
+                .value("bed_setpoint")
+                .unwrap_or_else(|| canonical_setpoint(SensorKind::BedTemperature));
+            let laser_setpoint = config
+                .value("laser_setpoint")
+                .unwrap_or_else(|| canonical_setpoint(SensorKind::LaserPower));
 
             // Plan this job's injection (if any) before generating phases.
             let plan = self.plan_injection(rng);
@@ -325,10 +331,10 @@ impl ScenarioBuilder {
                     let latent = model.latent(n, setpoint, rng);
                     for sensor_name in &group.sensors {
                         let vals = model.observe(&latent, bias_of(sensor_name, &biases), rng);
-                        series.push(
-                            TimeSeries::regular(sensor_name.clone(), tick, 1, vals)
-                                .expect("regular series"),
-                        );
+                        // `n >= 1` keeps the constructor infallible here.
+                        if let Ok(ts) = TimeSeries::regular(sensor_name.clone(), tick, 1, vals) {
+                            series.push(ts);
+                        }
                     }
                 }
                 // Discrete machine-state events: one symbol per 10 samples,
@@ -442,9 +448,15 @@ impl ScenarioBuilder {
         if !rng.gen_bool(self.anomaly_rate) {
             return None;
         }
-        let phase = PhaseKind::ALL[rng.gen_range(0..PhaseKind::ALL.len())];
-        let kind = INJECTABLE[rng.gen_range(0..INJECTABLE.len())];
-        let outlier = OutlierType::ALL[rng.gen_range(0..OutlierType::ALL.len())];
+        let phase = PhaseKind::ALL
+            .get(rng.gen_range(0..PhaseKind::ALL.len()))
+            .copied()?;
+        let kind = INJECTABLE
+            .get(rng.gen_range(0..INJECTABLE.len()))
+            .copied()?;
+        let outlier = OutlierType::ALL
+            .get(rng.gen_range(0..OutlierType::ALL.len()))
+            .copied()?;
         let scope = if rng.gen_bool(self.measurement_error_fraction) {
             Scope::MeasurementError
         } else {
@@ -473,12 +485,13 @@ impl ScenarioBuilder {
         truth: &mut GroundTruth,
         env_injections: &mut Vec<(u64, Injection)>,
     ) -> f64 {
-        let group = redundancy
-            .iter()
-            .find(|g| g.kind == kind)
-            .expect("group exists for injectable kind");
-        let n = phase
-            .sensor_series(&group.sensors[0])
+        let Some(group) = redundancy.iter().find(|g| g.kind == kind) else {
+            return 0.0;
+        };
+        let n = group
+            .sensors
+            .first()
+            .and_then(|s0| phase.sensor_series(s0))
             .map(TimeSeries::len)
             .unwrap_or(0);
         if n < 10 {
@@ -486,7 +499,9 @@ impl ScenarioBuilder {
         }
         let at = rng.gen_range(n / 10..(n * 8) / 10);
         let primary_idx = rng.gen_range(0..group.sensors.len());
-        let primary = group.sensors[primary_idx].clone();
+        let Some(primary) = group.sensors.get(primary_idx).cloned() else {
+            return 0.0;
+        };
         let affected: Vec<String> = match injection.scope {
             Scope::MeasurementError => vec![primary.clone()],
             Scope::ProcessAnomaly => group.sensors.clone(),
@@ -579,11 +594,14 @@ impl ScenarioBuilder {
                     magnitude: sign * self.env_magnitude,
                 });
         }
-        let room_series = TimeSeries::regular(format!("{machine}.room_temp"), 0, ENV_STEP, room)
-            .expect("env series");
-        let hum_series = TimeSeries::regular(format!("{machine}.humidity"), 0, ENV_STEP, hum)
-            .expect("env series");
-        Environment::new(vec![room_series, hum_series])
+        let series: Vec<TimeSeries> = [
+            TimeSeries::regular(format!("{machine}.room_temp"), 0, ENV_STEP, room),
+            TimeSeries::regular(format!("{machine}.humidity"), 0, ENV_STEP, hum),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        Environment::new(series)
     }
 }
 

@@ -1,7 +1,9 @@
 //! Property tests over the generator's structural guarantees.
 
 use hierod_hierarchy::{Level, LevelView, PhaseKind};
-use hierod_synth::{Injection, OutlierType, ScenarioBuilder, Scope};
+use hierod_synth::{
+    apply_channel_faults, ChannelFaults, FaultKind, Injection, OutlierType, ScenarioBuilder, Scope,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -136,5 +138,120 @@ proptest! {
         let b = build();
         prop_assert_eq!(a.plant, b.plant);
         prop_assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn channel_fault_labels_match_samples(
+        seed in 0_u64..300,
+        rate in 0.3_f64..1.0,
+    ) {
+        let builder = ScenarioBuilder::new(seed)
+            .machines(2)
+            .jobs_per_machine(3)
+            .redundancy(2)
+            .phase_samples(32)
+            .anomaly_rate(0.0);
+        let clean = builder.build();
+        let mut s = builder.build();
+        apply_channel_faults(&mut s, &ChannelFaults::with_rate(rate));
+        for r in &s.truth.channel_faults {
+            let line = s.plant.line(&r.machine).expect("machine");
+            let job = line.job(&r.job).expect("job");
+            let phase = job.phase(r.phase).expect("phase");
+            let series = phase.sensor_series(&r.sensor).expect("sensor");
+            let n = series.len();
+            prop_assert!(r.start_idx < n);
+            prop_assert!(r.len >= 1 && r.start_idx + r.len <= n);
+            let labels = s
+                .truth
+                .channel_fault_labels(&r.machine, &r.job, r.phase, &r.sensor, n);
+            let pristine = clean
+                .plant
+                .line(&r.machine).expect("machine")
+                .job(&r.job).expect("job")
+                .phase(r.phase).expect("phase")
+                .sensor_series(&r.sensor).expect("sensor")
+                .values()
+                .to_vec();
+            // Label/sample consistency: every sample that differs from the
+            // clean build is inside a labelled window; samples before the
+            // first labelled index are untouched.
+            for (i, (&v, &p)) in series.values().iter().zip(&pristine).enumerate() {
+                if v != p {
+                    prop_assert!(labels[i], "unlabelled change at {} in {:?}", i, r);
+                }
+            }
+            // Window semantics per shape.
+            let window = &series.values()[r.start_idx..r.start_idx + r.len];
+            match r.kind {
+                FaultKind::StuckAt => {
+                    prop_assert!(window.iter().all(|&v| v == window[0]));
+                }
+                FaultKind::Dropout => {
+                    prop_assert!(window.iter().all(|&v| v == 0.0));
+                }
+                FaultKind::MixedRate => {
+                    // Zero-order hold: every odd offset repeats its
+                    // predecessor.
+                    for pair in window.chunks(2) {
+                        if let [a, b] = pair {
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                }
+                FaultKind::LinearDrift | FaultKind::StepDrift => {
+                    prop_assert!(r.magnitude != 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_faults_stable_across_plant_counts(
+        seed in 0_u64..200,
+        extra in 1_usize..4,
+    ) {
+        // Plant 0's faults must be identical no matter how many tenants
+        // share the process — the fault RNG derives from the per-plant
+        // mixed seed, preserving the SplitMix64 decorrelation contract.
+        let builder = ScenarioBuilder::new(seed)
+            .machines(1)
+            .jobs_per_machine(3)
+            .redundancy(2)
+            .phase_samples(24)
+            .anomaly_rate(0.0);
+        let cfg = ChannelFaults::with_rate(0.8);
+        let mut solo = builder.multi_plant(1);
+        let mut many = builder.multi_plant(1 + extra);
+        for s in solo.iter_mut().chain(many.iter_mut()) {
+            apply_channel_faults(s, &cfg);
+        }
+        prop_assert_eq!(&solo[0].truth.channel_faults, &many[0].truth.channel_faults);
+        prop_assert_eq!(&solo[0].plant, &many[0].plant);
+    }
+
+    #[test]
+    fn channel_faults_deterministic_and_decorrelated(seed in 0_u64..200) {
+        let builder = ScenarioBuilder::new(seed)
+            .machines(2)
+            .jobs_per_machine(3)
+            .redundancy(2)
+            .phase_samples(24)
+            .anomaly_rate(0.4);
+        let cfg = ChannelFaults::default();
+        let mut a = builder.build();
+        let mut b = builder.build();
+        apply_channel_faults(&mut a, &cfg);
+        apply_channel_faults(&mut b, &cfg);
+        prop_assert_eq!(&a.plant, &b.plant);
+        prop_assert_eq!(&a.truth, &b.truth);
+        // Fault injection never perturbs the base scenario's own draws:
+        // event injections are identical with and without faults.
+        let clean = builder.build();
+        prop_assert_eq!(&a.truth.injections, &clean.truth.injections);
+        prop_assert_eq!(
+            &a.truth.environment_injections,
+            &clean.truth.environment_injections
+        );
     }
 }

@@ -317,6 +317,8 @@ fn put_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
     codec::put_varint(out, s.duplicates_dropped);
     codec::put_varint(out, s.series_failed);
     codec::put_varint(out, s.corrupt_records);
+    codec::put_varint(out, s.drift_events);
+    codec::put_varint(out, s.refits);
 }
 
 fn take_stream_stats(buf: &mut &[u8]) -> Option<StreamStats> {
@@ -327,6 +329,8 @@ fn take_stream_stats(buf: &mut &[u8]) -> Option<StreamStats> {
         duplicates_dropped: codec::take_varint(buf)?,
         series_failed: codec::take_varint(buf)?,
         corrupt_records: codec::take_varint(buf)?,
+        drift_events: codec::take_varint(buf)?,
+        refits: codec::take_varint(buf)?,
     })
 }
 
@@ -338,6 +342,8 @@ fn put_lane_stats(out: &mut Vec<u8>, lanes: &[(LaneId, LaneStats)]) {
         codec::put_varint(out, l.late_dropped);
         codec::put_varint(out, l.duplicates_dropped);
         codec::put_varint(out, l.corrupt_records);
+        codec::put_varint(out, l.drift_events);
+        codec::put_varint(out, l.refits);
     }
 }
 
@@ -351,6 +357,8 @@ fn take_lane_stats(buf: &mut &[u8]) -> Option<Vec<(LaneId, LaneStats)>> {
             late_dropped: codec::take_varint(buf)?,
             duplicates_dropped: codec::take_varint(buf)?,
             corrupt_records: codec::take_varint(buf)?,
+            drift_events: codec::take_varint(buf)?,
+            refits: codec::take_varint(buf)?,
         };
         out.push((lane, stats));
     }

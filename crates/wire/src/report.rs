@@ -195,7 +195,7 @@ fn take_detections(buf: &mut &[u8]) -> Option<LevelDetections> {
 /// docs for the determinism contract.
 pub fn encode_report(report: &StreamReport) -> Vec<u8> {
     let mut out = Vec::with_capacity(1024);
-    out.push(1); // report codec version
+    out.push(2); // report codec version (2: added drift/refit counters)
     codec::put_varint(&mut out, report.detections.len() as u64);
     for d in report.detections.values() {
         put_detections(&mut out, d);
@@ -219,6 +219,8 @@ pub fn encode_report(report: &StreamReport) -> Vec<u8> {
     codec::put_varint(&mut out, report.stats.duplicates_dropped);
     codec::put_varint(&mut out, report.stats.series_failed);
     codec::put_varint(&mut out, report.stats.corrupt_records);
+    codec::put_varint(&mut out, report.stats.drift_events);
+    codec::put_varint(&mut out, report.stats.refits);
     codec::put_varint(&mut out, report.lane_stats.len() as u64);
     for (lane, l) in &report.lane_stats {
         codec::put_bytes(&mut out, &encode_lane(lane));
@@ -226,6 +228,8 @@ pub fn encode_report(report: &StreamReport) -> Vec<u8> {
         codec::put_varint(&mut out, l.late_dropped);
         codec::put_varint(&mut out, l.duplicates_dropped);
         codec::put_varint(&mut out, l.corrupt_records);
+        codec::put_varint(&mut out, l.drift_events);
+        codec::put_varint(&mut out, l.refits);
     }
     out
 }
@@ -235,7 +239,7 @@ pub fn encode_report(report: &StreamReport) -> Vec<u8> {
 pub fn decode_report(bytes: &[u8]) -> Option<StreamReport> {
     let mut buf = bytes;
     let buf = &mut buf;
-    if codec::take_u8(buf)? != 1 {
+    if codec::take_u8(buf)? != 2 {
         return None;
     }
     let n = codec::take_varint(buf)?;
@@ -266,6 +270,8 @@ pub fn decode_report(bytes: &[u8]) -> Option<StreamReport> {
         duplicates_dropped: codec::take_varint(buf)?,
         series_failed: codec::take_varint(buf)?,
         corrupt_records: codec::take_varint(buf)?,
+        drift_events: codec::take_varint(buf)?,
+        refits: codec::take_varint(buf)?,
     };
     let n = codec::take_varint(buf)?;
     let mut lane_stats: BTreeMap<LaneId, LaneStats> = BTreeMap::new();
@@ -276,6 +282,8 @@ pub fn decode_report(bytes: &[u8]) -> Option<StreamReport> {
             late_dropped: codec::take_varint(buf)?,
             duplicates_dropped: codec::take_varint(buf)?,
             corrupt_records: codec::take_varint(buf)?,
+            drift_events: codec::take_varint(buf)?,
+            refits: codec::take_varint(buf)?,
         };
         lane_stats.insert(lane, l);
     }

@@ -120,7 +120,14 @@ fn arb_lane_stats() -> impl Strategy<Value = Vec<(LaneId, LaneStats)>> {
     prop::collection::vec(
         (
             arb_lane(),
-            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
         ),
         0..4,
     )
@@ -129,7 +136,7 @@ fn arb_lane_stats() -> impl Strategy<Value = Vec<(LaneId, LaneStats)>> {
         // sorted vec, so generator duplicates would not round-trip.
         let map: BTreeMap<LaneId, LaneStats> = lanes
             .into_iter()
-            .map(|(lane, (a, b, c, d))| {
+            .map(|(lane, (a, b, c, d, e, f))| {
                 (
                     lane,
                     LaneStats {
@@ -137,6 +144,8 @@ fn arb_lane_stats() -> impl Strategy<Value = Vec<(LaneId, LaneStats)>> {
                         late_dropped: b,
                         duplicates_dropped: c,
                         corrupt_records: d,
+                        drift_events: e,
+                        refits: f,
                     },
                 )
             })
@@ -150,17 +159,23 @@ fn arb_stream_stats() -> impl Strategy<Value = StreamStats> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
-        .prop_map(|(a, b, c, d, e, f)| StreamStats {
+        .prop_map(|(a, b, c, (d, e, f, g, h))| StreamStats {
             samples_ingested: a,
             samples_released: b,
             late_dropped: c,
             duplicates_dropped: d,
             series_failed: e,
             corrupt_records: f,
+            drift_events: g,
+            refits: h,
         })
 }
 

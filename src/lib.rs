@@ -32,7 +32,11 @@
 //!   WAL records verbatim, so a captured stream replays through the store.
 //! * [`server`] — std-only TCP front-end serving a `PlantService` to
 //!   concurrent clients, with bounded accept queue and graceful drain.
+//! * [`adapt`] — adaptive detection: residual drift monitors
+//!   (Page–Hinkley, ADWIN-style), store-driven scorer refits at tick
+//!   boundaries, and cross-sensor fusion for Algorithm 1's support term.
 
+pub use hierod_adapt as adapt;
 pub use hierod_core as core;
 pub use hierod_corpus as corpus;
 pub use hierod_detect as detect;

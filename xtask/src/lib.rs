@@ -34,7 +34,7 @@ use rules::taxonomy::{TaxonomyInputs, CATALOG, COVERAGE, DESIGN, REGISTRY};
 pub const ALLOWLIST_PATH: &str = "xtask/lint.allow";
 
 /// The crates whose library code is under the `panic-site` rule.
-const PANIC_SCOPE: [&str; 10] = [
+const PANIC_SCOPE: [&str; 15] = [
     "crates/detect/src/",
     "crates/core/src/",
     "crates/hierarchy/src/",
@@ -45,10 +45,15 @@ const PANIC_SCOPE: [&str; 10] = [
     "crates/wire/src/",
     "crates/server/src/",
     "crates/history/src/",
+    "crates/olap/src/",
+    "crates/eval/src/",
+    "crates/synth/src/",
+    "crates/corpus/src/",
+    "crates/adapt/src/",
 ];
 
 /// The crates under the `nan-cmp` rule (library *and* test code).
-const NAN_SCOPE: [&str; 8] = [
+const NAN_SCOPE: [&str; 13] = [
     "crates/detect/",
     "crates/core/",
     "crates/stream/",
@@ -57,6 +62,11 @@ const NAN_SCOPE: [&str; 8] = [
     "crates/wire/",
     "crates/server/",
     "crates/history/",
+    "crates/olap/",
+    "crates/eval/",
+    "crates/synth/",
+    "crates/corpus/",
+    "crates/adapt/",
 ];
 
 /// The result of a lint run.
